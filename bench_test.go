@@ -1,0 +1,831 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one target per
+// table and figure, plus ablations of the design choices DESIGN.md calls
+// out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Most targets report a "modelled-ms" metric: the counted page I/O priced
+// with the 1998 disk model, which is the unit the paper's measurements are
+// in. Wall-clock ns/op on a modern SSD is reported by the framework as
+// usual.
+package cubetree_test
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"cubetree/internal/bitmap"
+	"cubetree/internal/core"
+	"cubetree/internal/cube"
+	"cubetree/internal/enc"
+	"cubetree/internal/experiment"
+	"cubetree/internal/greedy"
+	"cubetree/internal/heapfile"
+	"cubetree/internal/lattice"
+	"cubetree/internal/pager"
+	"cubetree/internal/relstore"
+	"cubetree/internal/rtree"
+	"cubetree/internal/tpcd"
+	"cubetree/internal/workload"
+)
+
+// benchSF keeps benchmark datasets laptop-sized (12k fact rows) while
+// leaving the I/O shapes visible through deliberately small buffer pools.
+const (
+	benchSF   = 0.002
+	benchPool = 8
+	benchSeed = 1998
+	benchQGen = 424242
+)
+
+var (
+	benchOnce sync.Once
+	benchDir  string
+	benchSet  *experiment.Setup
+	benchErr  error
+)
+
+// sharedSetup builds one experiment setup reused by the query benchmarks.
+func sharedSetup(b *testing.B) *experiment.Setup {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDir, benchErr = os.MkdirTemp("", "cubetree-bench-")
+		if benchErr != nil {
+			return
+		}
+		benchSet, benchErr = experiment.NewSetup(experiment.Params{
+			SF:        benchSF,
+			Seed:      benchSeed,
+			PoolPages: benchPool,
+			Replicas:  true,
+			Dir:       benchDir,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSet
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if benchSet != nil {
+		benchSet.Close()
+	}
+	if benchDir != "" {
+		os.RemoveAll(benchDir)
+	}
+	os.Exit(code)
+}
+
+// benchViewData computes the paper's view set once per benchmark.
+func benchViewData(b *testing.B, dir string) (map[string]*cube.ViewData, greedy.Selection, *tpcd.Dataset) {
+	b.Helper()
+	ds := tpcd.New(tpcd.Params{SF: benchSF, Seed: benchSeed})
+	sel := greedy.PaperSelection(tpcd.AttrPart, tpcd.AttrSupplier, tpcd.AttrCustomer)
+	data, err := cube.Compute(dir, benchRows(ds), sel.Views, cube.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data, sel, ds
+}
+
+type benchFactRows struct{ it *tpcd.Iterator }
+
+func (f *benchFactRows) Next() bool                          { return f.it.Next() }
+func (f *benchFactRows) Value(a lattice.Attr) (int64, error) { return f.it.Value(a) }
+func (f *benchFactRows) Measure() int64                      { return f.it.Fact().Quantity }
+
+func benchRows(ds *tpcd.Dataset) *benchFactRows { return &benchFactRows{it: ds.FactRows()} }
+
+func reportModelled(b *testing.B, stats pager.StatsSnapshot, perOp int) {
+	ms := float64(pager.Disk1998.Cost(stats).Milliseconds())
+	if perOp > 0 {
+		ms /= float64(perOp)
+	}
+	b.ReportMetric(ms, "modelled-ms/op")
+}
+
+// --- Table 6: initial load ---------------------------------------------------
+
+// BenchmarkTable6LoadConventional times loading the view set as heap tables
+// plus per-row B-tree index builds (the paper's 11h49m side).
+func BenchmarkTable6LoadConventional(b *testing.B) {
+	data, sel, ds := benchViewData(b, b.TempDir())
+	b.ResetTimer()
+	var io pager.StatsSnapshot
+	for i := 0; i < b.N; i++ {
+		stats := &pager.Stats{}
+		conv, err := relstore.Create(filepath.Join(b.TempDir(), "conv"), relstore.Options{
+			PoolPages: benchPool, Domains: ds.Domains(), Stats: stats,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, view := range sel.Views {
+			if err := conv.LoadView(data[view.Key()]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, order := range sel.Indexes {
+			if err := conv.BuildIndex(order); err != nil {
+				b.Fatal(err)
+			}
+		}
+		io = stats.Snapshot()
+		conv.Remove()
+	}
+	reportModelled(b, io, 1)
+}
+
+// BenchmarkTable6LoadCubetrees times packing the same views (plus the two
+// replica sort orders) into a Cubetree forest (the paper's 45m side).
+func BenchmarkTable6LoadCubetrees(b *testing.B) {
+	dir := b.TempDir()
+	data, sel, ds := benchViewData(b, dir)
+	top := data[lattice.CanonKey([]lattice.Attr{tpcd.AttrPart, tpcd.AttrSupplier, tpcd.AttrCustomer})]
+	rep1, err := cube.Reorder(dir, top, []lattice.Attr{tpcd.AttrSupplier, tpcd.AttrCustomer, tpcd.AttrPart}, cube.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep2, err := cube.Reorder(dir, top, []lattice.Attr{tpcd.AttrCustomer, tpcd.AttrPart, tpcd.AttrSupplier}, cube.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sources []*cube.ViewData
+	for _, view := range sel.Views {
+		sources = append(sources, data[view.Key()])
+	}
+	sources = append(sources, rep1, rep2)
+	b.ResetTimer()
+	var io pager.StatsSnapshot
+	for i := 0; i < b.N; i++ {
+		stats := &pager.Stats{}
+		f, err := core.Build(filepath.Join(b.TempDir(), "forest"), sources, core.BuildOptions{
+			PoolPages: benchPool, Domains: ds.Domains(), Stats: stats,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		io = stats.Snapshot()
+		f.Remove()
+	}
+	reportModelled(b, io, 1)
+}
+
+// --- Storage (Section 3.2) ----------------------------------------------------
+
+// BenchmarkStorageFootprint reports the on-disk bytes of both
+// configurations as metrics (conv-bytes, cube-bytes, saving-pct).
+func BenchmarkStorageFootprint(b *testing.B) {
+	s := sharedSetup(b)
+	for i := 0; i < b.N; i++ {
+		_ = s.RunStorage()
+	}
+	st := s.RunStorage()
+	b.ReportMetric(float64(st.ConvTotal), "conv-bytes")
+	b.ReportMetric(float64(st.CubeTotal), "cube-bytes")
+	b.ReportMetric(st.Saving*100, "saving-pct")
+	b.ReportMetric(st.CubeLeafFrac*100, "leaf-pct")
+}
+
+// --- Figure 12/13: query performance -------------------------------------------
+
+// BenchmarkFig12Query measures one random slice query per iteration against
+// each configuration, per lattice view.
+func BenchmarkFig12Query(b *testing.B) {
+	s := sharedSetup(b)
+	for _, node := range experiment.Nodes() {
+		node := node
+		b.Run("conv/"+experiment.NodeLabel(node), func(b *testing.B) {
+			gen := workload.NewGenerator(benchQGen, s.Dataset.Domains())
+			mark := s.ConvStats().Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Conv.Execute(gen.ForNode(node)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModelled(b, s.ConvStats().Snapshot().Sub(mark), b.N)
+		})
+		b.Run("cube/"+experiment.NodeLabel(node), func(b *testing.B) {
+			gen := workload.NewGenerator(benchQGen, s.Dataset.Domains())
+			mark := s.CubeStats().Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Forest.Execute(gen.ForNode(node)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModelled(b, s.CubeStats().Snapshot().Sub(mark), b.N)
+		})
+	}
+}
+
+// BenchmarkFig13Throughput reports end-to-end queries/sec over the full
+// 27-type workload for each configuration (modelled q/s as a metric).
+func BenchmarkFig13Throughput(b *testing.B) {
+	s := sharedSetup(b)
+	run := func(b *testing.B, exec func(workload.Query) ([]workload.Row, error), stats *pager.Stats) {
+		gen := workload.NewGenerator(benchQGen, s.Dataset.Domains())
+		nodes := experiment.Nodes()
+		mark := stats.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := exec(gen.ForNode(nodes[i%len(nodes)])); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		io := stats.Snapshot().Sub(mark)
+		cost := pager.Disk1998.Cost(io)
+		if cost > 0 {
+			b.ReportMetric(float64(b.N)/cost.Seconds(), "modelled-q/s")
+		}
+	}
+	b.Run("conv", func(b *testing.B) { run(b, s.Conv.Execute, s.ConvStats()) })
+	b.Run("cube", func(b *testing.B) { run(b, s.Forest.Execute, s.CubeStats()) })
+}
+
+// --- Figure 14: scalability -----------------------------------------------------
+
+// BenchmarkFig14Scalability queries Cubetree forests built at 1x and 2x
+// scale with identical batches.
+func BenchmarkFig14Scalability(b *testing.B) {
+	for _, mult := range []struct {
+		name string
+		sf   float64
+	}{{"1x", benchSF}, {"2x", benchSF * 2}} {
+		mult := mult
+		b.Run(mult.name, func(b *testing.B) {
+			s, err := experiment.NewSetup(experiment.Params{
+				SF: mult.sf, Seed: benchSeed, PoolPages: benchPool,
+				Replicas: true, Dir: b.TempDir(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			// Query with the 1x domains so both scales see identical batches.
+			doms := tpcd.New(tpcd.Params{SF: benchSF, Seed: benchSeed}).Domains()
+			gen := workload.NewGenerator(benchQGen, doms)
+			nodes := experiment.Nodes()
+			mark := s.CubeStats().Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Forest.Execute(gen.ForNode(nodes[i%len(nodes)])); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModelled(b, s.CubeStats().Snapshot().Sub(mark), b.N)
+		})
+	}
+}
+
+// --- Table 7: updates -------------------------------------------------------------
+
+// BenchmarkTable7 compares the three refresh strategies on a 10% increment.
+func BenchmarkTable7(b *testing.B) {
+	dir := b.TempDir()
+	data, sel, ds := benchViewData(b, dir)
+
+	deltaOnce := func(b *testing.B) map[string]*cube.ViewData {
+		inc := ds.Increment(0.1, 1)
+		delta, err := cube.Compute(b.TempDir(), &benchFactRows{it: inc}, sel.Views, cube.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return delta
+	}
+
+	b.Run("incremental-conventional", func(b *testing.B) {
+		delta := deltaOnce(b)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			stats := &pager.Stats{}
+			conv, err := relstore.Create(filepath.Join(b.TempDir(), "conv"), relstore.Options{
+				PoolPages: benchPool, Domains: ds.Domains(), Stats: stats,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, view := range sel.Views {
+				if err := conv.LoadView(data[view.Key()]); err != nil {
+					b.Fatal(err)
+				}
+				if err := conv.BuildPrimary(view.Key()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			mark := stats.Snapshot()
+			b.StartTimer()
+			for _, view := range sel.Views {
+				if _, err := conv.ApplyDelta(delta[view.Key()], relstore.Budget{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModelled(b, stats.Snapshot().Sub(mark), 1)
+			conv.Remove()
+			b.StartTimer()
+		}
+	})
+
+	b.Run("recompute-conventional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			stats := &pager.Stats{}
+			scratch := b.TempDir()
+			b.StartTimer()
+			merged, err := cube.Compute(scratch, &mergedBenchRows{
+				a: benchRows(ds), b: &benchFactRows{it: ds.Increment(0.1, 1)},
+			}, sel.Views, cube.Options{Stats: stats})
+			if err != nil {
+				b.Fatal(err)
+			}
+			conv, err := relstore.Create(filepath.Join(scratch, "conv"), relstore.Options{
+				PoolPages: benchPool, Domains: ds.Domains(), Stats: stats,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, view := range sel.Views {
+				if err := conv.LoadView(merged[view.Key()]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, order := range sel.Indexes {
+				if err := conv.BuildIndex(order); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModelled(b, stats.Snapshot(), 1)
+			conv.Remove()
+			b.StartTimer()
+		}
+	})
+
+	b.Run("mergepack-cubetrees", func(b *testing.B) {
+		var sources []*cube.ViewData
+		for _, view := range sel.Views {
+			sources = append(sources, data[view.Key()])
+		}
+		stats := &pager.Stats{}
+		forest, err := core.Build(filepath.Join(b.TempDir(), "forest"), sources, core.BuildOptions{
+			PoolPages: benchPool, Domains: ds.Domains(), Stats: stats,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer forest.Close()
+		delta := deltaOnce(b)
+		scratch := b.TempDir()
+		b.ResetTimer()
+		var io pager.StatsSnapshot
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			mark := stats.Snapshot()
+			b.StartTimer()
+			deltas, err := forest.DeltasFor(scratch, delta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nf, err := forest.MergeUpdate(filepath.Join(b.TempDir(), "f2"), deltas, core.BuildOptions{Stats: stats})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			io = stats.Snapshot().Sub(mark)
+			nf.Remove()
+			b.StartTimer()
+		}
+		reportModelled(b, io, 1)
+	})
+}
+
+type mergedBenchRows struct {
+	a, b *benchFactRows
+	inB  bool
+}
+
+func (m *mergedBenchRows) Next() bool {
+	if !m.inB {
+		if m.a.Next() {
+			return true
+		}
+		m.inB = true
+	}
+	return m.b.Next()
+}
+func (m *mergedBenchRows) Value(a lattice.Attr) (int64, error) {
+	if m.inB {
+		return m.b.Value(a)
+	}
+	return m.a.Value(a)
+}
+func (m *mergedBenchRows) Measure() int64 {
+	if m.inB {
+		return m.b.Measure()
+	}
+	return m.a.Measure()
+}
+
+// --- Ablations ---------------------------------------------------------------------
+
+// BenchmarkAblationMapping compares SelectMapping against one tree per view
+// on bytes and query I/O.
+func BenchmarkAblationMapping(b *testing.B) {
+	dir := b.TempDir()
+	data, sel, ds := benchViewData(b, dir)
+	var sources []*cube.ViewData
+	for _, view := range sel.Views {
+		sources = append(sources, data[view.Key()])
+	}
+	for _, cfg := range []struct {
+		name    string
+		mapping func([]lattice.View) core.Mapping
+	}{
+		{"selectmapping", core.SelectMapping},
+		{"per-view", core.PerViewMapping},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			views := make([]lattice.View, len(sources))
+			for i, s := range sources {
+				views[i] = s.View
+			}
+			m := cfg.mapping(views)
+			stats := &pager.Stats{}
+			forest, err := core.Build(filepath.Join(b.TempDir(), "f"), sources, core.BuildOptions{
+				PoolPages: benchPool, Domains: ds.Domains(), Stats: stats, Mapping: &m,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer forest.Close()
+			gen := workload.NewGenerator(benchQGen, ds.Domains())
+			nodes := experiment.Nodes()
+			mark := stats.Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := forest.Execute(gen.ForNode(nodes[i%len(nodes)])); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModelled(b, stats.Snapshot().Sub(mark), b.N)
+			b.ReportMetric(float64(forest.TotalBytes()), "bytes")
+			b.ReportMetric(float64(forest.Trees()), "trees")
+		})
+	}
+}
+
+// BenchmarkAblationCompression compares packing an arity-1 view compressed
+// (1 stored coordinate) versus embedded uncompressed at full
+// dimensionality.
+func BenchmarkAblationCompression(b *testing.B) {
+	const n = 50000
+	build := func(b *testing.B, arity int) int64 {
+		f, err := pager.Create(filepath.Join(b.TempDir(), "t.ct"), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool := pager.NewPool(f, 64)
+		defer pool.Close()
+		bld, err := rtree.NewBuilder(pool, 3, rtree.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bld.BeginRun(arity); err != nil {
+			b.Fatal(err)
+		}
+		coords := make([]int64, arity)
+		for i := int64(1); i <= n; i++ {
+			coords[0] = i
+			if err := bld.Add(coords, []int64{i, 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := bld.EndRun(); err != nil {
+			b.Fatal(err)
+		}
+		tree, err := bld.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tree.Bytes()
+	}
+	b.Run("compressed-arity1", func(b *testing.B) {
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			bytes = build(b, 1)
+		}
+		b.ReportMetric(float64(bytes), "bytes")
+	})
+	b.Run("uncompressed-dim3", func(b *testing.B) {
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			bytes = build(b, 3)
+		}
+		b.ReportMetric(float64(bytes), "bytes")
+	})
+}
+
+// BenchmarkAblationReplicas measures the query benefit of the top view's
+// replica sort orders.
+func BenchmarkAblationReplicas(b *testing.B) {
+	for _, replicas := range []bool{false, true} {
+		replicas := replicas
+		name := "without"
+		if replicas {
+			name = "with"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, err := experiment.NewSetup(experiment.Params{
+				SF: benchSF, Seed: benchSeed, PoolPages: benchPool,
+				Replicas: replicas, Dir: b.TempDir(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			gen := workload.NewGenerator(benchQGen, s.Dataset.Domains())
+			node := experiment.Nodes()[0] // the replicated top view
+			mark := s.CubeStats().Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Forest.Execute(gen.ForNode(node)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModelled(b, s.CubeStats().Snapshot().Sub(mark), b.N)
+		})
+	}
+}
+
+// BenchmarkAblationBufferPool sweeps the buffer pool size for the query
+// workload, demonstrating the paper's buffer-hit-ratio argument for fewer
+// trees.
+func BenchmarkAblationBufferPool(b *testing.B) {
+	for _, pool := range []int{4, 16, 64, 256} {
+		pool := pool
+		b.Run(itoa(pool), func(b *testing.B) {
+			s, err := experiment.NewSetup(experiment.Params{
+				SF: benchSF, Seed: benchSeed, PoolPages: pool,
+				Replicas: true, Dir: b.TempDir(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			gen := workload.NewGenerator(benchQGen, s.Dataset.Domains())
+			nodes := experiment.Nodes()
+			mark := s.CubeStats().Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Forest.Execute(gen.ForNode(nodes[i%len(nodes)])); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			io := s.CubeStats().Snapshot().Sub(mark)
+			reportModelled(b, io, b.N)
+			if total := io.PoolHits + io.PoolMisses; total > 0 {
+				b.ReportMetric(float64(io.PoolHits)/float64(total)*100, "hit-pct")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDelta sweeps the increment size for merge-pack updates,
+// showing the linear-time property.
+func BenchmarkAblationDelta(b *testing.B) {
+	dir := b.TempDir()
+	data, sel, ds := benchViewData(b, dir)
+	var sources []*cube.ViewData
+	for _, view := range sel.Views {
+		sources = append(sources, data[view.Key()])
+	}
+	for _, frac := range []float64{0.01, 0.1, 0.5} {
+		frac := frac
+		b.Run(fmtFrac(frac), func(b *testing.B) {
+			stats := &pager.Stats{}
+			forest, err := core.Build(filepath.Join(b.TempDir(), "f"), sources, core.BuildOptions{
+				PoolPages: benchPool, Domains: ds.Domains(), Stats: stats,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer forest.Close()
+			delta, err := cube.Compute(b.TempDir(), &benchFactRows{it: ds.Increment(frac, 1)},
+				sel.Views, cube.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			scratch := b.TempDir()
+			b.ResetTimer()
+			var io pager.StatsSnapshot
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mark := stats.Snapshot()
+				b.StartTimer()
+				deltas, err := forest.DeltasFor(scratch, delta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nf, err := forest.MergeUpdate(filepath.Join(b.TempDir(), "f2"), deltas,
+					core.BuildOptions{Stats: stats})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				io = stats.Snapshot().Sub(mark)
+				nf.Remove()
+				b.StartTimer()
+			}
+			reportModelled(b, io, 1)
+		})
+	}
+}
+
+// BenchmarkRangeQuery compares both configurations on bounded range
+// queries, the workload Section 3.1 predicts favours Cubetrees even more
+// than equality slices.
+func BenchmarkRangeQuery(b *testing.B) {
+	s := sharedSetup(b)
+	node := experiment.Nodes()[0]
+	for _, width := range []float64{0.05, 0.25} {
+		width := width
+		b.Run("conv/"+fmtFrac(width), func(b *testing.B) {
+			gen := workload.NewGenerator(benchQGen, s.Dataset.Domains())
+			mark := s.ConvStats().Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Conv.Execute(gen.ForNodeRanges(node, width)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModelled(b, s.ConvStats().Snapshot().Sub(mark), b.N)
+		})
+		b.Run("cube/"+fmtFrac(width), func(b *testing.B) {
+			gen := workload.NewGenerator(benchQGen, s.Dataset.Domains())
+			mark := s.CubeStats().Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Forest.Execute(gen.ForNodeRanges(node, width)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModelled(b, s.CubeStats().Snapshot().Sub(mark), b.N)
+		})
+	}
+}
+
+// BenchmarkAblationBitmapJoin reproduces the paper's Section 2.2 argument:
+// a hierarchy query ("total per supplier for brand B") answered three ways
+// — materialized Cubetree view, bitmapped join index over the fact table,
+// and a plain fact scan. The materialized view should win; the bitmap
+// index only preselects rows and still pays per-row fact fetches.
+func BenchmarkAblationBitmapJoin(b *testing.B) {
+	ds := tpcd.New(tpcd.Params{SF: benchSF, Seed: benchSeed})
+
+	// Fact table in a heap file (row order = generation order) + bitmap
+	// index on brand.
+	factStats := &pager.Stats{}
+	pf, err := pager.Create(filepath.Join(b.TempDir(), "fact.heap"), factStats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := pager.NewPool(pf, benchPool)
+	defer pool.Close()
+	heap, err := heapfile.Create(pool, 32) // part, supp, brand, qty
+	if err != nil {
+		b.Fatal(err)
+	}
+	bmb := bitmap.NewBuilder(int(ds.Facts))
+	it := ds.FactRows()
+	tuple := make([]byte, 32)
+	for it.Next() {
+		f := it.Fact()
+		brand := tpcd.BrandOf(f.PartKey)
+		enc.PutTuple(tuple, []int64{f.PartKey, f.SuppKey, brand, f.Quantity})
+		if _, err := heap.Insert(tuple); err != nil {
+			b.Fatal(err)
+		}
+		if err := bmb.Add(brand); err != nil {
+			b.Fatal(err)
+		}
+	}
+	brandIndex := bmb.Finish()
+	perPage := heap.PerPage()
+
+	// Cubetree side: materialized V{brand,suppkey}.
+	view := lattice.View{Attrs: []lattice.Attr{tpcd.AttrBrand, tpcd.AttrSupplier}}
+	data, err := cube.Compute(b.TempDir(), benchRows(ds), []lattice.View{view}, cube.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cubeStats := &pager.Stats{}
+	forest, err := core.Build(filepath.Join(b.TempDir(), "f"), []*cube.ViewData{data[view.Key()]},
+		core.BuildOptions{PoolPages: benchPool, Domains: ds.Domains(), Stats: cubeStats})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer forest.Close()
+
+	query := func(brand int64) workload.Query {
+		return workload.Query{
+			Node:  []lattice.Attr{tpcd.AttrBrand, tpcd.AttrSupplier},
+			Fixed: []workload.Pred{{Attr: tpcd.AttrBrand, Value: brand}},
+		}
+	}
+
+	b.Run("materialized-cubetree", func(b *testing.B) {
+		mark := cubeStats.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := forest.Execute(query(int64(i%tpcd.NumBrands) + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportModelled(b, cubeStats.Snapshot().Sub(mark), b.N)
+	})
+
+	b.Run("bitmap-join-index", func(b *testing.B) {
+		mark := factStats.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			brand := int64(i%tpcd.NumBrands) + 1
+			agg := workload.NewAggregator(1)
+			group := make([]int64, 1)
+			err := brandIndex.Lookup(brand).Iterate(func(row int) error {
+				rid := heapfile.RID{Page: pager.PageID(1 + row/perPage), Slot: uint16(row % perPage)}
+				tup, err := heap.Get(rid)
+				if err != nil {
+					return err
+				}
+				group[0] = enc.Field(tup, 1)
+				agg.Add(group, enc.Field(tup, 3), 1)
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(agg.Rows()) == 0 {
+				b.Fatal("bitmap join found nothing")
+			}
+		}
+		b.StopTimer()
+		reportModelled(b, factStats.Snapshot().Sub(mark), b.N)
+		b.ReportMetric(float64(brandIndex.Bytes()), "index-bytes")
+	})
+
+	b.Run("fact-scan", func(b *testing.B) {
+		mark := factStats.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			brand := int64(i%tpcd.NumBrands) + 1
+			agg := workload.NewAggregator(1)
+			group := make([]int64, 1)
+			err := heap.Scan(func(_ heapfile.RID, tup []byte) error {
+				if enc.Field(tup, 2) != brand {
+					return nil
+				}
+				group[0] = enc.Field(tup, 1)
+				agg.Add(group, enc.Field(tup, 3), 1)
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportModelled(b, factStats.Snapshot().Sub(mark), b.N)
+	})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func fmtFrac(f float64) string {
+	return itoa(int(f*100)) + "pct"
+}

@@ -1,0 +1,121 @@
+// Command ctload materializes the paper's TPC-D view set into either
+// storage organization:
+//
+//	ctload -mode cubetree -dir ./wh -sf 0.01
+//	ctload -mode conventional -dir ./conv -sf 0.01
+//
+// The Cubetree mode produces a warehouse usable with ctquery; both modes
+// print load time, counted I/O, and on-disk size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cubetree"
+
+	"cubetree/internal/cube"
+	"cubetree/internal/greedy"
+	"cubetree/internal/lattice"
+	"cubetree/internal/pager"
+	"cubetree/internal/relstore"
+	"cubetree/internal/tpcd"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "cubetree", "storage organization: cubetree or conventional")
+		dir      = flag.String("dir", "", "target directory (required)")
+		sf       = flag.Float64("sf", 0.01, "TPC-D scale factor")
+		seed     = flag.Uint64("seed", 1998, "random seed")
+		replicas = flag.Bool("replicas", true, "cubetree mode: replicate the top view in two extra sort orders")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fatal(fmt.Errorf("-dir is required"))
+	}
+
+	ds := tpcd.New(tpcd.Params{SF: *sf, Seed: *seed})
+	sel := greedy.PaperSelection(tpcd.AttrPart, tpcd.AttrSupplier, tpcd.AttrCustomer)
+	stats := &pager.Stats{}
+	start := time.Now()
+
+	switch *mode {
+	case "cubetree":
+		cfg := cubetree.Config{
+			Dir:     *dir,
+			Domains: ds.Domains(),
+			Stats:   stats,
+		}
+		if *replicas {
+			cfg.Replicas = [][]cubetree.Attr{
+				{tpcd.AttrSupplier, tpcd.AttrCustomer, tpcd.AttrPart},
+				{tpcd.AttrCustomer, tpcd.AttrPart, tpcd.AttrSupplier},
+			}
+		}
+		w, err := cubetree.Materialize(cfg, sel.Views, rows(ds))
+		if err != nil {
+			fatal(err)
+		}
+		defer w.Close()
+		st := w.Stat()
+		fmt.Printf("loaded %d fact rows into %d cubetrees (%d views incl. replicas)\n",
+			ds.Facts, st.Trees, st.Views)
+		fmt.Printf("points %d, size %.1f MB, leaf fraction %.0f%%\n",
+			st.Points, float64(st.Bytes)/(1<<20), st.LeafFraction*100)
+
+	case "conventional":
+		conv, err := relstore.Create(*dir, relstore.Options{
+			Domains: ds.Domains(),
+			Stats:   stats,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer conv.Close()
+		data, err := cube.Compute(*dir+"/scratch", rows(ds), sel.Views, cube.Options{Stats: stats})
+		if err != nil {
+			fatal(err)
+		}
+		for _, view := range sel.Views {
+			if err := conv.LoadView(data[view.Key()]); err != nil {
+				fatal(err)
+			}
+		}
+		for _, order := range sel.Indexes {
+			if err := conv.BuildIndex(order); err != nil {
+				fatal(err)
+			}
+		}
+		for _, vd := range data {
+			vd.Remove()
+		}
+		os.RemoveAll(*dir + "/scratch")
+		fmt.Printf("loaded %d fact rows into %d tables + %d indexes\n",
+			ds.Facts, len(sel.Views), len(sel.Indexes))
+		fmt.Printf("tables %.1f MB, indexes %.1f MB\n",
+			float64(conv.TableBytes())/(1<<20), float64(conv.IndexBytes())/(1<<20))
+
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	snap := stats.Snapshot()
+	fmt.Printf("wall %v; page I/O: %s\n", time.Since(start).Round(time.Millisecond), snap)
+	fmt.Printf("modelled 1998-disk time: %v\n", pager.Disk1998.Cost(snap).Round(time.Millisecond))
+}
+
+type factRows struct{ it *tpcd.Iterator }
+
+func (f *factRows) Next() bool                          { return f.it.Next() }
+func (f *factRows) Value(a lattice.Attr) (int64, error) { return f.it.Value(a) }
+func (f *factRows) Measure() int64                      { return f.it.Fact().Quantity }
+
+func rows(ds *tpcd.Dataset) *factRows { return &factRows{it: ds.FactRows()} }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ctload:", err)
+	os.Exit(1)
+}

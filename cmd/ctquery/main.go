@@ -1,0 +1,144 @@
+// Command ctquery runs slice queries against a Cubetree warehouse built
+// with ctload (or the cubetree package):
+//
+//	ctquery -dir ./wh -node partkey,suppkey -fix partkey=17
+//	ctquery -dir ./wh -node custkey -random 100
+//
+// With -random it generates a batch of uniform slice queries on the node
+// (the paper's query generator) and reports throughput.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cubetree"
+
+	"cubetree/internal/pager"
+	"cubetree/internal/workload"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "warehouse directory (required)")
+		node    = flag.String("node", "", "comma-separated group-by attributes (empty = super-aggregate)")
+		fix     = flag.String("fix", "", "comma-separated equality predicates attr=value")
+		sql     = flag.String("sql", "", "run a SQL slice query instead of -node/-fix")
+		explain = flag.Bool("explain", false, "print the plan instead of executing")
+		random  = flag.Int("random", 0, "run N random slice queries on the node instead of one explicit query")
+		seed    = flag.Uint64("seed", 7, "random query seed")
+		limit   = flag.Int("limit", 20, "max result rows to print")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fatal(fmt.Errorf("-dir is required"))
+	}
+
+	stats := &cubetree.Stats{}
+	w, err := cubetree.Open(*dir, stats)
+	if err != nil {
+		fatal(err)
+	}
+	defer w.Close()
+
+	if *sql != "" {
+		if *explain {
+			plan, err := w.ExplainSQL(*sql)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(plan)
+			return
+		}
+		start := time.Now()
+		headers, rows, err := w.QuerySQL(*sql)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(strings.Join(headers, "\t"))
+		for i, r := range rows {
+			if i >= *limit {
+				fmt.Printf("... %d more rows\n", len(rows)-*limit)
+				break
+			}
+			fmt.Println(strings.Join(r, "\t"))
+		}
+		fmt.Printf("(%d rows in %v)\n", len(rows), time.Since(start).Round(time.Microsecond))
+		return
+	}
+
+	var attrs []cubetree.Attr
+	if *node != "" {
+		for _, a := range strings.Split(*node, ",") {
+			attrs = append(attrs, cubetree.Attr(strings.TrimSpace(a)))
+		}
+	}
+
+	if *random > 0 {
+		domains := w.Domains()
+		for _, v := range w.Views() {
+			for _, a := range v.Attrs {
+				if domains[a] <= 0 {
+					domains[a] = 1 << 20 // unknown: misses simply return empty
+				}
+			}
+		}
+		gen := workload.NewGenerator(*seed, domains)
+		start := time.Now()
+		mark := stats.Snapshot()
+		var rowsOut int
+		for i := 0; i < *random; i++ {
+			rows, err := w.Query(gen.ForNode(attrs))
+			if err != nil {
+				fatal(err)
+			}
+			rowsOut += len(rows)
+		}
+		wall := time.Since(start)
+		io := stats.Snapshot().Sub(mark)
+		fmt.Printf("%d queries on {%s}: %d result rows, wall %v (%.1f q/s), I/O %s, modelled %v\n",
+			*random, *node, rowsOut, wall.Round(time.Millisecond),
+			float64(*random)/wall.Seconds(), io, pager.Disk1998.Cost(io).Round(time.Millisecond))
+		return
+	}
+
+	q := cubetree.Query{Node: attrs}
+	if *fix != "" {
+		for _, pred := range strings.Split(*fix, ",") {
+			parts := strings.SplitN(pred, "=", 2)
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("bad predicate %q (want attr=value)", pred))
+			}
+			v, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad predicate value in %q: %v", pred, err))
+			}
+			q.Fixed = append(q.Fixed, cubetree.Pred{
+				Attr:  cubetree.Attr(strings.TrimSpace(parts[0])),
+				Value: v,
+			})
+		}
+	}
+	start := time.Now()
+	rows, err := w.Query(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s -> %d rows in %v\n", q, len(rows), time.Since(start).Round(time.Microsecond))
+	for i, r := range rows {
+		if i >= *limit {
+			fmt.Printf("... %d more rows\n", len(rows)-*limit)
+			break
+		}
+		fmt.Printf("  %v  sum=%d count=%d avg=%.2f\n", r.Group, r.Sum, r.Count, r.Avg())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ctquery:", err)
+	os.Exit(1)
+}

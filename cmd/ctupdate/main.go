@@ -1,0 +1,90 @@
+// Command ctupdate applies a bulk increment to a Cubetree warehouse built
+// with ctload, merge-packing the sorted delta into a new forest generation
+// (the paper's Figure 15 refresh):
+//
+//	ctupdate -dir ./wh -sf 0.01 -frac 0.1 -gen 1
+//
+// The -sf and -seed flags must match the ctload invocation so the increment
+// draws from the same key domains.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cubetree"
+
+	"cubetree/internal/lattice"
+	"cubetree/internal/pager"
+	"cubetree/internal/tpcd"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", "", "warehouse directory (required)")
+		sf     = flag.Float64("sf", 0.01, "TPC-D scale factor (must match ctload)")
+		seed   = flag.Uint64("seed", 1998, "random seed (must match ctload)")
+		frac   = flag.Float64("frac", 0.1, "increment size as a fraction of the fact table")
+		gen    = flag.Uint64("gen", 1, "increment generation number (vary per day)")
+		verify = flag.Bool("verify", false, "validate forest invariants after the merge")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fatal(fmt.Errorf("-dir is required"))
+	}
+
+	stats := &cubetree.Stats{}
+	w, err := cubetree.Open(*dir, stats)
+	if err != nil {
+		fatal(err)
+	}
+	defer w.Close()
+
+	ds := tpcd.New(tpcd.Params{SF: *sf, Seed: *seed})
+	inc := ds.Increment(*frac, *gen)
+	rows := inc.Remaining()
+
+	before := w.Stat()
+	mark := stats.Snapshot()
+	start := time.Now()
+	if err := w.Update(&factRows{it: inc}); err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+	io := stats.Snapshot().Sub(mark)
+	after := w.Stat()
+
+	fmt.Printf("merged %d delta rows into generation %d\n", rows, w.Generation())
+	fmt.Printf("points %d -> %d, size %.1f MB -> %.1f MB\n",
+		before.Points, after.Points, float64(before.Bytes)/(1<<20), float64(after.Bytes)/(1<<20))
+	fmt.Printf("wall %v; page I/O: %s\n", wall.Round(time.Millisecond), io)
+	fmt.Printf("modelled 1998-disk time: %v (sequential share %.0f%%)\n",
+		pager.Disk1998.Cost(io).Round(time.Millisecond), seqShare(io)*100)
+	if *verify {
+		if err := w.Verify(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("forest invariants verified")
+	}
+}
+
+func seqShare(io pager.StatsSnapshot) float64 {
+	total := io.Pages()
+	if total == 0 {
+		return 1
+	}
+	return float64(io.SeqReads+io.SeqWrites) / float64(total)
+}
+
+type factRows struct{ it *tpcd.Iterator }
+
+func (f *factRows) Next() bool                          { return f.it.Next() }
+func (f *factRows) Value(a lattice.Attr) (int64, error) { return f.it.Value(a) }
+func (f *factRows) Measure() int64                      { return f.it.Fact().Quantity }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ctupdate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+package cubetree_test
+
+import (
+	"strings"
+	"testing"
+
+	"cubetree"
+)
+
+const csvData = `partkey,suppkey,custkey,quantity
+1,1,1,5
+1,1,1,7
+2,1,1,3
+2,2,3,4
+3,1,3,9
+1,2,2,2
+`
+
+func TestCSVRowsMaterialize(t *testing.T) {
+	rows, err := cubetree.CSVRows(strings.NewReader(csvData), "quantity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := cubetree.Materialize(testConfig(t), testViews(), rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Query(cubetree.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Sum != 30 || res[0].Count != 6 {
+		t.Fatalf("total = %+v", res)
+	}
+	// Same answers as the in-memory source.
+	w2, err := cubetree.Materialize(cubetree.Config{
+		Dir:     t.TempDir() + "/wh2",
+		Domains: map[cubetree.Attr]int64{"partkey": 3, "suppkey": 2, "custkey": 3},
+	}, testViews(), facts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	q := cubetree.Query{
+		Node:  []cubetree.Attr{"partkey", "suppkey"},
+		Fixed: []cubetree.Pred{{Attr: "partkey", Value: 1}},
+	}
+	a, _ := w.Query(q)
+	b, _ := w2.Query(q)
+	if len(a) != len(b) || a[0].Sum != b[0].Sum {
+		t.Fatalf("csv vs memory: %+v vs %+v", a, b)
+	}
+}
+
+func TestCSVRowsErrors(t *testing.T) {
+	if _, err := cubetree.CSVRows(strings.NewReader(""), "q"); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := cubetree.CSVRows(strings.NewReader("a,b\n1,2\n"), "q"); err == nil {
+		t.Fatal("missing measure column accepted")
+	}
+	rows, err := cubetree.CSVRows(strings.NewReader("a,q\nx,2\n"), "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Next() {
+		t.Fatal("non-integer field accepted")
+	}
+	if rows.Err() == nil {
+		t.Fatal("error not surfaced")
+	}
+	// Unknown attribute lookups fail cleanly.
+	rows2, _ := cubetree.CSVRows(strings.NewReader("a,q\n1,2\n"), "q")
+	if !rows2.Next() {
+		t.Fatal("row not read")
+	}
+	if _, err := rows2.Value("zzz"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if v, err := rows2.Value("a"); err != nil || v != 1 {
+		t.Fatalf("Value(a) = %d, %v", v, err)
+	}
+	if rows2.Measure() != 2 {
+		t.Fatalf("Measure = %d", rows2.Measure())
+	}
+}

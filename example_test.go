@@ -1,0 +1,110 @@
+package cubetree_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cubetree"
+)
+
+// exampleRows is a tiny in-memory fact stream over (product, region).
+type exampleRows struct {
+	rows [][3]int64 // product, region, quantity
+	i    int
+}
+
+func (s *exampleRows) Next() bool { s.i++; return s.i <= len(s.rows) }
+func (s *exampleRows) Value(a cubetree.Attr) (int64, error) {
+	switch a {
+	case "product":
+		return s.rows[s.i-1][0], nil
+	case "region":
+		return s.rows[s.i-1][1], nil
+	}
+	return 0, fmt.Errorf("unknown attribute %q", a)
+}
+func (s *exampleRows) Measure() int64 { return s.rows[s.i-1][2] }
+
+// ExampleWarehouse_QuerySQL answers the same slice query through the SQL
+// dialect.
+func ExampleWarehouse_QuerySQL() {
+	dir, err := os.MkdirTemp("", "cubetree-sql-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	w, err := cubetree.Materialize(cubetree.Config{
+		Dir:     dir,
+		Domains: map[cubetree.Attr]int64{"product": 3, "region": 2},
+	}, []cubetree.View{
+		cubetree.NewView("by-product-region", "product", "region"),
+	}, &exampleRows{rows: [][3]int64{
+		{1, 1, 10}, {1, 2, 5}, {2, 1, 7}, {1, 1, 4},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	headers, rows, err := w.QuerySQL(
+		"SELECT region, sum(quantity), avg(quantity) FROM sales WHERE product = 1 GROUP BY region")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(headers)
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	// Output:
+	// [region sum(quantity) avg(quantity)]
+	// [1 14 7.00]
+	// [2 5 5.00]
+}
+
+// Example materializes two views, queries a slice, and applies a bulk
+// update.
+func Example() {
+	dir, err := os.MkdirTemp("", "cubetree-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	w, err := cubetree.Materialize(cubetree.Config{
+		Dir:     dir,
+		Domains: map[cubetree.Attr]int64{"product": 3, "region": 2},
+	}, []cubetree.View{
+		cubetree.NewView("by-product-region", "product", "region"),
+		cubetree.NewView("total"),
+	}, &exampleRows{rows: [][3]int64{
+		{1, 1, 10}, {1, 2, 5}, {2, 1, 7}, {1, 1, 4},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	rows, err := w.Query(cubetree.Query{
+		Node:  []cubetree.Attr{"product", "region"},
+		Fixed: []cubetree.Pred{{Attr: "product", Value: 1}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("product %d region %d: sum=%d\n", r.Group[0], r.Group[1], r.Sum)
+	}
+
+	if err := w.Update(&exampleRows{rows: [][3]int64{{1, 2, 100}}}); err != nil {
+		log.Fatal(err)
+	}
+	rows, _ = w.Query(cubetree.Query{})
+	fmt.Printf("total after update: %d\n", rows[0].Sum)
+
+	// Output:
+	// product 1 region 1: sum=14
+	// product 1 region 2: sum=5
+	// total after update: 126
+}

@@ -1,0 +1,87 @@
+// Quickstart: materialize three aggregate views of a small sales fact
+// table into a Cubetree warehouse, query it, and apply a bulk update.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cubetree"
+)
+
+// sales is an in-memory fact stream: (product, region) -> quantity.
+type sales struct {
+	rows [][3]int64 // product, region, quantity
+	i    int
+}
+
+func (s *sales) Next() bool { s.i++; return s.i <= len(s.rows) }
+func (s *sales) Value(a cubetree.Attr) (int64, error) {
+	r := s.rows[s.i-1]
+	switch a {
+	case "product":
+		return r[0], nil
+	case "region":
+		return r[1], nil
+	}
+	return 0, fmt.Errorf("unknown attribute %q", a)
+}
+func (s *sales) Measure() int64 { return s.rows[s.i-1][2] }
+
+func main() {
+	dir, err := os.MkdirTemp("", "cubetree-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	views := []cubetree.View{
+		cubetree.NewView("by-product-region", "product", "region"),
+		cubetree.NewView("by-product", "product"),
+		cubetree.NewView("total"),
+	}
+	data := &sales{rows: [][3]int64{
+		{1, 1, 10}, {1, 2, 5}, {2, 1, 7}, {2, 2, 3}, {3, 1, 12}, {1, 1, 4},
+	}}
+
+	w, err := cubetree.Materialize(cubetree.Config{
+		Dir:     dir,
+		Domains: map[cubetree.Attr]int64{"product": 3, "region": 2},
+	}, views, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	st := w.Stat()
+	fmt.Printf("warehouse: %d cubetrees, %d views, %d points, %d bytes\n",
+		st.Trees, st.Views, st.Points, st.Bytes)
+
+	// Total sales per region of product 1.
+	rows, err := w.Query(cubetree.Query{
+		Node:  []cubetree.Attr{"product", "region"},
+		Fixed: []cubetree.Pred{{Attr: "product", Value: 1}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sales of product 1 by region:")
+	for _, r := range rows {
+		fmt.Printf("  region %d: sum=%d count=%d avg=%.1f\n", r.Group[1], r.Sum, r.Count, r.Avg())
+	}
+
+	// Bulk update: one more day of sales, merge-packed into a new
+	// forest generation.
+	if err := w.Update(&sales{rows: [][3]int64{{1, 1, 100}, {3, 2, 9}}}); err != nil {
+		log.Fatal(err)
+	}
+	rows, err = w.Query(cubetree.Query{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grand total after update (generation %d): sum=%d count=%d\n",
+		w.Generation(), rows[0].Sum, rows[0].Count)
+}

@@ -1,0 +1,127 @@
+// Rollup demonstrates the paper's hierarchy discussion (Section 2.1) and
+// its V2-style views ("group by part.type"): views are materialized at
+// several levels of the part and time hierarchies, and the program
+// drills down from yearly totals per brand to monthly detail, then rolls
+// back up — each step answered by the most specific materialized view.
+//
+//	go run ./examples/rollup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cubetree"
+
+	"cubetree/internal/lattice"
+	"cubetree/internal/tpcd"
+)
+
+type factRows struct{ it *tpcd.Iterator }
+
+func (f *factRows) Next() bool                          { return f.it.Next() }
+func (f *factRows) Value(a lattice.Attr) (int64, error) { return f.it.Value(a) }
+func (f *factRows) Measure() int64                      { return f.it.Fact().Quantity }
+
+func main() {
+	sf := flag.Float64("sf", 0.002, "TPC-D scale factor")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "cubetree-rollup-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	ds := tpcd.New(tpcd.Params{SF: *sf, Seed: 7})
+	// Views along the hierarchies brand -> part and year -> month. The
+	// paper's V2 is the type-level view; V3/V4 mix hierarchy levels with
+	// keys.
+	views := []cubetree.View{
+		cubetree.NewView("by-part", tpcd.AttrPart),
+		cubetree.NewView("detail", tpcd.AttrBrand, tpcd.AttrYear, tpcd.AttrMonth),
+		cubetree.NewView("by-brand-year", tpcd.AttrBrand, tpcd.AttrYear),
+		cubetree.NewView("by-type", tpcd.AttrType), // the paper's V2
+		cubetree.NewView("by-year", tpcd.AttrYear),
+	}
+	w, err := cubetree.Materialize(cubetree.Config{
+		Dir:     dir,
+		Domains: ds.Domains(),
+		// Declared hierarchies let by-type and the brand level derive from
+		// finer views instead of re-reading the fact stream.
+		Hierarchies: []cubetree.Hierarchy{
+			{From: tpcd.AttrPart, To: tpcd.AttrBrand, Map: tpcd.BrandOf},
+			{From: tpcd.AttrPart, To: tpcd.AttrType, Map: tpcd.TypeOf},
+		},
+	}, views, &factRows{it: ds.FactRows()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	st := w.Stat()
+	fmt.Printf("%d facts -> %d hierarchy views (%d points) in %d cubetrees\n\n",
+		ds.Facts, st.Views, st.Points, st.Trees)
+
+	// Roll-up: total sales per year.
+	rows, err := w.Query(cubetree.Query{Node: []cubetree.Attr{tpcd.AttrYear}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sales per year (view by-year):")
+	var bestYear, bestSum int64
+	for _, r := range rows {
+		fmt.Printf("  %d: %d\n", tpcd.FirstYear+int(r.Group[0])-1, r.Sum)
+		if r.Sum > bestSum {
+			bestYear, bestSum = r.Group[0], r.Sum
+		}
+	}
+
+	// Drill-down: the best year per brand.
+	rows, err = w.Query(cubetree.Query{
+		Node:  []cubetree.Attr{tpcd.AttrBrand, tpcd.AttrYear},
+		Fixed: []cubetree.Pred{{Attr: tpcd.AttrYear, Value: bestYear}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var bestBrand, brandSum int64
+	for _, r := range rows {
+		if r.Sum > brandSum {
+			bestBrand, brandSum = r.Group[0], r.Sum
+		}
+	}
+	fmt.Printf("\ndrill-down into %d: top brand is %s with %d units (view by-brand-year, %d brands)\n",
+		tpcd.FirstYear+int(bestYear)-1, tpcd.BrandName(bestBrand), brandSum, len(rows))
+
+	// Deeper: that brand's monthly profile in the best year.
+	rows, err = w.Query(cubetree.Query{
+		Node: []cubetree.Attr{tpcd.AttrBrand, tpcd.AttrYear, tpcd.AttrMonth},
+		Fixed: []cubetree.Pred{
+			{Attr: tpcd.AttrBrand, Value: bestBrand},
+			{Attr: tpcd.AttrYear, Value: bestYear},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monthly detail for %s in %d (view detail):\n",
+		tpcd.BrandName(bestBrand), tpcd.FirstYear+int(bestYear)-1)
+	for _, r := range rows {
+		fmt.Printf("  month %2d: %5d (avg %.1f)\n", r.Group[2], r.Sum, r.Avg())
+	}
+
+	// Roll up to the type level (the paper's V2).
+	rows, err = w.Query(cubetree.Query{
+		Node:  []cubetree.Attr{tpcd.AttrType},
+		Fixed: []cubetree.Pred{{Attr: tpcd.AttrType, Value: 1}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rows) == 1 {
+		fmt.Printf("\nroll-up to part type %q: %d units across %d order lines (view by-type)\n",
+			tpcd.TypeName(1), rows[0].Sum, rows[0].Count)
+	}
+}

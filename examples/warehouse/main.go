@@ -1,0 +1,145 @@
+// Warehouse runs the paper's full TPC-D pipeline at laptop scale: generate
+// the dataset, take the paper's greedy view/index selection, load BOTH
+// storage organizations, fire the same random slice-query batch at each,
+// and report storage and throughput side by side.
+//
+//	go run ./examples/warehouse [-sf 0.005]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cubetree"
+
+	"cubetree/internal/cube"
+	"cubetree/internal/greedy"
+	"cubetree/internal/lattice"
+	"cubetree/internal/pager"
+	"cubetree/internal/relstore"
+	"cubetree/internal/tpcd"
+	"cubetree/internal/workload"
+)
+
+type factRows struct{ it *tpcd.Iterator }
+
+func (f *factRows) Next() bool                          { return f.it.Next() }
+func (f *factRows) Value(a lattice.Attr) (int64, error) { return f.it.Value(a) }
+func (f *factRows) Measure() int64                      { return f.it.Fact().Quantity }
+
+func main() {
+	sf := flag.Float64("sf", 0.005, "TPC-D scale factor")
+	queries := flag.Int("queries", 50, "random queries per configuration")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "cubetree-warehouse-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	ds := tpcd.New(tpcd.Params{SF: *sf, Seed: 1998})
+	sel := greedy.PaperSelection(tpcd.AttrPart, tpcd.AttrSupplier, tpcd.AttrCustomer)
+	fmt.Printf("TPC-D at SF=%.4g: %d facts, %d parts, %d suppliers, %d customers\n",
+		*sf, ds.Facts, ds.Parts, ds.Suppliers, ds.Customers)
+	fmt.Printf("materialized set V: %d views; index set I: %d indexes (paper's selection)\n\n",
+		len(sel.Views), len(sel.Indexes))
+
+	// --- Cubetree warehouse -------------------------------------------------
+	cubeStats := &cubetree.Stats{}
+	start := time.Now()
+	w, err := cubetree.Materialize(cubetree.Config{
+		Dir:     filepath.Join(dir, "wh"),
+		Domains: ds.Domains(),
+		Replicas: [][]cubetree.Attr{
+			{tpcd.AttrSupplier, tpcd.AttrCustomer, tpcd.AttrPart},
+			{tpcd.AttrCustomer, tpcd.AttrPart, tpcd.AttrSupplier},
+		},
+		Stats: cubeStats,
+	}, sel.Views, &factRows{it: ds.FactRows()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	st := w.Stat()
+	fmt.Printf("cubetrees:    loaded in %v (%d trees, %d placements, %.1f MB)\n",
+		time.Since(start).Round(time.Millisecond), st.Trees, st.Views, float64(st.Bytes)/(1<<20))
+
+	// --- Conventional configuration -----------------------------------------
+	convStats := &pager.Stats{}
+	start = time.Now()
+	conv, err := relstore.Create(filepath.Join(dir, "conv"), relstore.Options{
+		Domains: ds.Domains(),
+		Stats:   convStats,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conv.Close()
+	data, err := cube.Compute(filepath.Join(dir, "scratch"), &factRows{it: ds.FactRows()},
+		sel.Views, cube.Options{Stats: convStats})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, view := range sel.Views {
+		if err := conv.LoadView(data[view.Key()]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, order := range sel.Indexes {
+		if err := conv.BuildIndex(order); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("conventional: loaded in %v (%d tables + %d indexes, %.1f MB)\n\n",
+		time.Since(start).Round(time.Millisecond), len(sel.Views), len(sel.Indexes),
+		float64(conv.TotalBytes())/(1<<20))
+
+	// --- Identical query batch against both ----------------------------------
+	nodes := [][]lattice.Attr{
+		{tpcd.AttrPart, tpcd.AttrSupplier, tpcd.AttrCustomer},
+		{tpcd.AttrPart, tpcd.AttrCustomer},
+		{tpcd.AttrCustomer},
+	}
+	for _, node := range nodes {
+		genA := workload.NewGenerator(7, ds.Domains())
+		genB := workload.NewGenerator(7, ds.Domains())
+
+		markC := cubeStats.Snapshot()
+		start = time.Now()
+		for i := 0; i < *queries; i++ {
+			if _, err := w.Query(genA.ForNode(node)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		cubeWall := time.Since(start)
+		cubeIO := cubeStats.Snapshot().Sub(markC)
+
+		markV := convStats.Snapshot()
+		start = time.Now()
+		for i := 0; i < *queries; i++ {
+			if _, err := conv.Execute(genB.ForNode(node)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		convWall := time.Since(start)
+		convIO := convStats.Snapshot().Sub(markV)
+
+		label := ""
+		for i, a := range node {
+			if i > 0 {
+				label += ","
+			}
+			label += string(a)
+		}
+		fmt.Printf("%d queries on {%s}:\n", *queries, label)
+		fmt.Printf("  cubetrees:    wall %8v  modelled-1998 %8v\n",
+			cubeWall.Round(time.Microsecond), pager.Disk1998.Cost(cubeIO).Round(time.Millisecond))
+		fmt.Printf("  conventional: wall %8v  modelled-1998 %8v\n",
+			convWall.Round(time.Microsecond), pager.Disk1998.Cost(convIO).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,3 @@
+module cubetree
+
+go 1.22

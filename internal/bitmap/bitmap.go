@@ -1,0 +1,175 @@
+// Package bitmap implements bitmapped (join) indices in the style of
+// O'Neil & Graefe (SIGMOD Record 1995) and O'Neil & Quass (SIGMOD 1997),
+// the "special purpose indices" the paper's Section 2.2 discusses as the
+// alternative to materializing hierarchy views: a per-value bitmap over
+// fact-table row ordinals lets a join-grouped predicate (part.brand = B)
+// preselect fact rows without a join. The paper argues — and the
+// BenchmarkAblationBitmapJoin target measures — that a materialized view
+// still beats this, because the bitmap only filters: every qualifying row
+// must still be fetched and aggregated.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bitmap is a dense bitset over row ordinals [0, N).
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// New creates an empty bitmap over n rows.
+func New(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the row universe size.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set marks row i.
+func (b *Bitmap) Set(i int) {
+	b.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Get reports whether row i is set.
+func (b *Bitmap) Get(i int) bool {
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Count returns the number of set rows.
+func (b *Bitmap) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// And intersects o into b (b &= o). Universes must match.
+func (b *Bitmap) And(o *Bitmap) error {
+	if b.n != o.n {
+		return fmt.Errorf("bitmap: universe mismatch %d vs %d", b.n, o.n)
+	}
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+	return nil
+}
+
+// Or unions o into b (b |= o). Universes must match.
+func (b *Bitmap) Or(o *Bitmap) error {
+	if b.n != o.n {
+		return fmt.Errorf("bitmap: universe mismatch %d vs %d", b.n, o.n)
+	}
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+	return nil
+}
+
+// AndNot removes o's rows from b (b &^= o).
+func (b *Bitmap) AndNot(o *Bitmap) error {
+	if b.n != o.n {
+		return fmt.Errorf("bitmap: universe mismatch %d vs %d", b.n, o.n)
+	}
+	for i := range b.words {
+		b.words[i] &^= o.words[i]
+	}
+	return nil
+}
+
+// Clone copies the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	return &Bitmap{words: append([]uint64(nil), b.words...), n: b.n}
+}
+
+// Iterate calls fn with every set row ordinal in ascending order.
+func (b *Bitmap) Iterate(fn func(i int) error) error {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if err := fn(wi*64 + bit); err != nil {
+				return err
+			}
+			w &= w - 1
+		}
+	}
+	return nil
+}
+
+// Bytes returns the in-memory footprint of the bitmap.
+func (b *Bitmap) Bytes() int64 { return int64(len(b.words)) * 8 }
+
+// Index is a bitmapped index over one attribute of a row sequence: one
+// bitmap per distinct value.
+type Index struct {
+	rows int
+	vals map[int64]*Bitmap
+}
+
+// Builder accumulates rows for an Index.
+type Builder struct {
+	idx *Index
+	i   int
+}
+
+// NewBuilder creates a builder for an index over n rows.
+func NewBuilder(n int) *Builder {
+	return &Builder{idx: &Index{rows: n, vals: make(map[int64]*Bitmap)}}
+}
+
+// Add appends the attribute value of the next row.
+func (b *Builder) Add(value int64) error {
+	if b.i >= b.idx.rows {
+		return fmt.Errorf("bitmap: more rows than declared (%d)", b.idx.rows)
+	}
+	bm, ok := b.idx.vals[value]
+	if !ok {
+		bm = New(b.idx.rows)
+		b.idx.vals[value] = bm
+	}
+	bm.Set(b.i)
+	b.i++
+	return nil
+}
+
+// Finish returns the index. Missing trailing rows are allowed (they simply
+// set no bits).
+func (b *Builder) Finish() *Index { return b.idx }
+
+// Rows returns the row universe size.
+func (ix *Index) Rows() int { return ix.rows }
+
+// Values returns the number of distinct indexed values.
+func (ix *Index) Values() int { return len(ix.vals) }
+
+// Lookup returns the bitmap of rows whose attribute equals v, or an empty
+// bitmap.
+func (ix *Index) Lookup(v int64) *Bitmap {
+	if bm, ok := ix.vals[v]; ok {
+		return bm
+	}
+	return New(ix.rows)
+}
+
+// LookupRange returns the union of bitmaps for values in [lo, hi].
+func (ix *Index) LookupRange(lo, hi int64) *Bitmap {
+	out := New(ix.rows)
+	for v, bm := range ix.vals {
+		if v >= lo && v <= hi {
+			out.Or(bm)
+		}
+	}
+	return out
+}
+
+// Bytes returns the total in-memory footprint of the index.
+func (ix *Index) Bytes() int64 {
+	var total int64
+	for _, bm := range ix.vals {
+		total += bm.Bytes()
+	}
+	return total
+}

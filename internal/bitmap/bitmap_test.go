@@ -1,0 +1,131 @@
+package bitmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetCount(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 129} {
+		b.Set(i)
+	}
+	if b.Count() != 7 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	if !b.Get(64) || b.Get(66) {
+		t.Fatal("Get broken across word boundary")
+	}
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a, b := New(100), New(100)
+	for i := 0; i < 100; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Set(i)
+	}
+	and := a.Clone()
+	if err := and.And(b); err != nil {
+		t.Fatal(err)
+	}
+	if and.Count() != 17 { // multiples of 6 in [0,100): 0,6,...,96
+		t.Fatalf("And count = %d", and.Count())
+	}
+	or := a.Clone()
+	or.Or(b)
+	if or.Count() != 50+34-17 {
+		t.Fatalf("Or count = %d", or.Count())
+	}
+	diff := a.Clone()
+	diff.AndNot(b)
+	if diff.Count() != 50-17 {
+		t.Fatalf("AndNot count = %d", diff.Count())
+	}
+	short := New(10)
+	if err := a.And(short); err == nil {
+		t.Fatal("universe mismatch accepted")
+	}
+}
+
+func TestIterateOrder(t *testing.T) {
+	b := New(200)
+	want := []int{3, 64, 65, 130, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.Iterate(func(i int) error { got = append(got, i); return nil })
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: %v", got)
+		}
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	bld := NewBuilder(6)
+	for _, v := range []int64{7, 8, 7, 9, 8, 7} {
+		if err := bld.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := bld.Finish()
+	if ix.Values() != 3 {
+		t.Fatalf("Values = %d", ix.Values())
+	}
+	if got := ix.Lookup(7).Count(); got != 3 {
+		t.Fatalf("Lookup(7) = %d rows", got)
+	}
+	if got := ix.Lookup(42).Count(); got != 0 {
+		t.Fatalf("Lookup(42) = %d rows", got)
+	}
+	if got := ix.LookupRange(7, 8).Count(); got != 5 {
+		t.Fatalf("LookupRange(7,8) = %d rows", got)
+	}
+	if err := bld.Add(1); err == nil {
+		t.Fatal("overflow add accepted")
+	}
+}
+
+func TestIndexMatchesMapQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		bld := NewBuilder(len(raw))
+		want := map[int64][]int{}
+		for i, r := range raw {
+			v := int64(r % 11)
+			bld.Add(v)
+			want[v] = append(want[v], i)
+		}
+		ix := bld.Finish()
+		for v, rows := range want {
+			bm := ix.Lookup(v)
+			if bm.Count() != len(rows) {
+				return false
+			}
+			j := 0
+			ok := true
+			bm.Iterate(func(i int) error {
+				if j >= len(rows) || rows[j] != i {
+					ok = false
+				}
+				j++
+				return nil
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package btree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"cubetree/internal/pager"
+)
+
+func benchTree(b *testing.B, keys int64) *Tree {
+	b.Helper()
+	f, err := pager.Create(filepath.Join(b.TempDir(), "b.bt"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := pager.NewPool(f, 1024)
+	b.Cleanup(func() { pool.Close() })
+	tr, err := Create(pool, 3, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := int64(0); i < keys; i++ {
+		if _, err := tr.Put([]int64{r.Int63n(1000), r.Int63n(1000), i}, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func BenchmarkPutRandom(b *testing.B) {
+	f, _ := pager.Create(filepath.Join(b.TempDir(), "b.bt"), nil)
+	pool := pager.NewPool(f, 1024)
+	defer pool.Close()
+	tr, _ := Create(pool, 3, Options{})
+	r := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Put([]int64{r.Int63n(1 << 30), r.Int63n(1 << 30), int64(i)}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutSequential(b *testing.B) {
+	f, _ := pager.Create(filepath.Join(b.TempDir(), "b.bt"), nil)
+	pool := pager.NewPool(f, 1024)
+	defer pool.Close()
+	tr, _ := Create(pool, 3, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Put([]int64{int64(i), 0, 0}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := benchTree(b, 50000)
+	r := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Get([]int64{r.Int63n(1000), r.Int63n(1000), r.Int63n(50000)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanPrefix(b *testing.B) {
+	tr := benchTree(b, 50000)
+	r := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := tr.ScanPrefix([]int64{r.Int63n(1000)}, func([]int64, int64) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

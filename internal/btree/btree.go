@@ -1,0 +1,589 @@
+// Package btree implements a disk-based B+-tree over composite integer keys.
+//
+// The conventional ROLAP configuration in the paper stores each materialized
+// view in a relational table and indexes it with B-trees whose search keys
+// are concatenations of the view's group-by attributes (the paper's
+// I_{a,b,c} notation). This package provides that index: fixed-arity int64
+// keys, an 8-byte payload (usually a heapfile RID or an inline aggregate),
+// point lookups, lower-bound range scans, and one-at-a-time inserts — the
+// access pattern whose random I/O makes conventional incremental view
+// maintenance so slow in Table 7.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cubetree/internal/enc"
+	"cubetree/internal/pager"
+)
+
+const (
+	metaPage = 0
+	magic    = 0x42545245 // "BTRE"
+
+	kindInternal = 0
+	kindLeaf     = 1
+
+	nodeHeaderSize = 8 // kind u8, pad u8, count u16, next/child0 u32
+)
+
+// Tree is a disk B+-tree. Keys are vectors of K int64 fields compared
+// lexicographically; values are opaque int64 payloads.
+type Tree struct {
+	pool    *pager.Pool
+	k       int // key fields
+	keySize int // bytes
+	root    pager.PageID
+	height  int // 1 = root is a leaf
+	count   int64
+
+	leafCap  int
+	innerCap int
+
+	// capOverride, when >0, limits both capacities (for tests that need
+	// tiny fan-outs).
+	capOverride int
+}
+
+// Options configures tree creation.
+type Options struct {
+	// Fanout, if non-zero, caps the number of entries per node. Used by
+	// tests to force deep trees on few keys.
+	Fanout int
+}
+
+// Create initializes an empty tree with K key fields on pool.
+func Create(pool *pager.Pool, k int, opts Options) (*Tree, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("btree: need at least one key field")
+	}
+	t := &Tree{pool: pool, k: k, keySize: enc.TupleSize(k), capOverride: opts.Fanout}
+	t.computeCaps()
+	meta, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	if meta.ID() != metaPage {
+		pool.Unpin(meta, false)
+		return nil, fmt.Errorf("btree: Create on non-empty file")
+	}
+	rootFr, err := pool.NewPage()
+	if err != nil {
+		pool.Unpin(meta, false)
+		return nil, err
+	}
+	initNode(rootFr.Data(), kindLeaf)
+	setNext(rootFr.Data(), pager.InvalidPage)
+	t.root = rootFr.ID()
+	t.height = 1
+	pool.Unpin(rootFr, true)
+	t.writeMeta(meta.Data())
+	pool.Unpin(meta, true)
+	return t, nil
+}
+
+// Open loads an existing tree from pool.
+func Open(pool *pager.Pool) (*Tree, error) {
+	fr, err := pool.Fetch(metaPage)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(fr, false)
+	b := fr.Data()
+	if binary.LittleEndian.Uint32(b[0:]) != magic {
+		return nil, fmt.Errorf("btree: bad magic")
+	}
+	t := &Tree{
+		pool:        pool,
+		k:           int(binary.LittleEndian.Uint32(b[4:])),
+		root:        pager.PageID(binary.LittleEndian.Uint32(b[8:])),
+		height:      int(binary.LittleEndian.Uint32(b[12:])),
+		count:       int64(binary.LittleEndian.Uint64(b[16:])),
+		capOverride: int(binary.LittleEndian.Uint32(b[24:])),
+	}
+	t.keySize = enc.TupleSize(t.k)
+	t.computeCaps()
+	return t, nil
+}
+
+func (t *Tree) computeCaps() {
+	t.leafCap = (pager.PageSize - nodeHeaderSize) / (t.keySize + 8)
+	t.innerCap = (pager.PageSize - nodeHeaderSize) / (t.keySize + 4)
+	if t.capOverride > 1 {
+		if t.leafCap > t.capOverride {
+			t.leafCap = t.capOverride
+		}
+		if t.innerCap > t.capOverride {
+			t.innerCap = t.capOverride
+		}
+	}
+}
+
+func (t *Tree) writeMeta(b []byte) {
+	binary.LittleEndian.PutUint32(b[0:], magic)
+	binary.LittleEndian.PutUint32(b[4:], uint32(t.k))
+	binary.LittleEndian.PutUint32(b[8:], uint32(t.root))
+	binary.LittleEndian.PutUint32(b[12:], uint32(t.height))
+	binary.LittleEndian.PutUint64(b[16:], uint64(t.count))
+	binary.LittleEndian.PutUint32(b[24:], uint32(t.capOverride))
+}
+
+func (t *Tree) syncMeta() error {
+	fr, err := t.pool.Fetch(metaPage)
+	if err != nil {
+		return err
+	}
+	t.writeMeta(fr.Data())
+	t.pool.Unpin(fr, true)
+	return nil
+}
+
+// K returns the number of key fields.
+func (t *Tree) K() int { return t.k }
+
+// Count returns the number of distinct keys stored.
+func (t *Tree) Count() int64 { return t.count }
+
+// Height returns the tree height (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Pages returns the number of pages in the tree's file.
+func (t *Tree) Pages() uint32 { return t.pool.File().NumPages() }
+
+// Close persists metadata and flushes the pool.
+func (t *Tree) Close() error {
+	if err := t.syncMeta(); err != nil {
+		return err
+	}
+	return t.pool.Flush()
+}
+
+// encodeKey validates and encodes a key.
+func (t *Tree) encodeKey(key []int64) ([]byte, error) {
+	if len(key) != t.k {
+		return nil, fmt.Errorf("btree: key with %d fields, want %d", len(key), t.k)
+	}
+	buf := make([]byte, t.keySize)
+	enc.PutTuple(buf, key)
+	return buf, nil
+}
+
+// compareKeys compares two encoded keys field by field.
+func (t *Tree) compareKeys(a, b []byte) int {
+	for i := 0; i < t.k; i++ {
+		if c := enc.CompareFields(a, b, i); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// --- node accessors -------------------------------------------------------
+
+func initNode(b []byte, kind byte) {
+	for i := 0; i < nodeHeaderSize; i++ {
+		b[i] = 0
+	}
+	b[0] = kind
+}
+
+func nodeKind(b []byte) byte           { return b[0] }
+func nodeCount(b []byte) int           { return int(binary.LittleEndian.Uint16(b[2:])) }
+func setNodeCount(b []byte, n int)     { binary.LittleEndian.PutUint16(b[2:], uint16(n)) }
+func next(b []byte) pager.PageID       { return pager.PageID(binary.LittleEndian.Uint32(b[4:])) }
+func setNext(b []byte, p pager.PageID) { binary.LittleEndian.PutUint32(b[4:], uint32(p)) }
+
+// child0 shares the header slot used by leaf next pointers.
+func child0(b []byte) pager.PageID       { return pager.PageID(binary.LittleEndian.Uint32(b[4:])) }
+func setChild0(b []byte, p pager.PageID) { binary.LittleEndian.PutUint32(b[4:], uint32(p)) }
+
+// leaf entry i: key at leafKeyOff(i), value at +keySize.
+func (t *Tree) leafKeyOff(i int) int { return nodeHeaderSize + i*(t.keySize+8) }
+
+func (t *Tree) leafKey(b []byte, i int) []byte {
+	off := t.leafKeyOff(i)
+	return b[off : off+t.keySize]
+}
+
+func (t *Tree) leafVal(b []byte, i int) int64 {
+	off := t.leafKeyOff(i) + t.keySize
+	return int64(binary.LittleEndian.Uint64(b[off:]))
+}
+
+func (t *Tree) setLeafEntry(b []byte, i int, key []byte, val int64) {
+	off := t.leafKeyOff(i)
+	copy(b[off:off+t.keySize], key)
+	binary.LittleEndian.PutUint64(b[off+t.keySize:], uint64(val))
+}
+
+func (t *Tree) setLeafVal(b []byte, i int, val int64) {
+	off := t.leafKeyOff(i) + t.keySize
+	binary.LittleEndian.PutUint64(b[off:], uint64(val))
+}
+
+// internal entry i: key at innerKeyOff(i), child pointer at +keySize.
+func (t *Tree) innerKeyOff(i int) int { return nodeHeaderSize + i*(t.keySize+4) }
+
+func (t *Tree) innerKey(b []byte, i int) []byte {
+	off := t.innerKeyOff(i)
+	return b[off : off+t.keySize]
+}
+
+func (t *Tree) innerChild(b []byte, i int) pager.PageID {
+	off := t.innerKeyOff(i) + t.keySize
+	return pager.PageID(binary.LittleEndian.Uint32(b[off:]))
+}
+
+func (t *Tree) setInnerEntry(b []byte, i int, key []byte, child pager.PageID) {
+	off := t.innerKeyOff(i)
+	copy(b[off:off+t.keySize], key)
+	binary.LittleEndian.PutUint32(b[off+t.keySize:], uint32(child))
+}
+
+// leafEntryBytes and innerEntryBytes are entry strides.
+func (t *Tree) leafEntryBytes() int  { return t.keySize + 8 }
+func (t *Tree) innerEntryBytes() int { return t.keySize + 4 }
+
+// --- search ---------------------------------------------------------------
+
+// lowerBoundLeaf returns the index of the first leaf entry with key >= key.
+func (t *Tree) lowerBoundLeaf(b []byte, key []byte) int {
+	lo, hi := 0, nodeCount(b)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.compareKeys(t.leafKey(b, mid), key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child to descend for key: the largest i such
+// that innerKey(i-1) <= key, with child 0 for keys below every separator.
+func (t *Tree) childIndex(b []byte, key []byte) int {
+	lo, hi := 0, nodeCount(b)
+	// find first separator > key; descend the child just before it.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.compareKeys(t.innerKey(b, mid), key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo // child index in [0, count]
+}
+
+func (t *Tree) childAt(b []byte, idx int) pager.PageID {
+	if idx == 0 {
+		return child0(b)
+	}
+	return t.innerChild(b, idx-1)
+}
+
+// findLeaf descends to the leaf that would contain key.
+func (t *Tree) findLeaf(key []byte) (*pager.Frame, error) {
+	pid := t.root
+	for level := t.height; level > 1; level-- {
+		fr, err := t.pool.Fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		b := fr.Data()
+		if nodeKind(b) != kindInternal {
+			t.pool.Unpin(fr, false)
+			return nil, fmt.Errorf("btree: corrupt node %d: expected internal", pid)
+		}
+		pid = t.childAt(b, t.childIndex(b, key))
+		t.pool.Unpin(fr, false)
+	}
+	fr, err := t.pool.Fetch(pid)
+	if err != nil {
+		return nil, err
+	}
+	if nodeKind(fr.Data()) != kindLeaf {
+		t.pool.Unpin(fr, false)
+		return nil, fmt.Errorf("btree: corrupt node %d: expected leaf", pid)
+	}
+	return fr, nil
+}
+
+// Get returns the value stored under key, if present.
+func (t *Tree) Get(key []int64) (int64, bool, error) {
+	kb, err := t.encodeKey(key)
+	if err != nil {
+		return 0, false, err
+	}
+	fr, err := t.findLeaf(kb)
+	if err != nil {
+		return 0, false, err
+	}
+	defer t.pool.Unpin(fr, false)
+	b := fr.Data()
+	i := t.lowerBoundLeaf(b, kb)
+	if i < nodeCount(b) && t.compareKeys(t.leafKey(b, i), kb) == 0 {
+		return t.leafVal(b, i), true, nil
+	}
+	return 0, false, nil
+}
+
+// --- insert ---------------------------------------------------------------
+
+// splitResult communicates a child split to its parent.
+type splitResult struct {
+	split   bool
+	sepKey  []byte
+	newPage pager.PageID
+}
+
+// Put inserts key with value val, overwriting the value if key exists.
+// It reports whether a new key was inserted (false on overwrite).
+func (t *Tree) Put(key []int64, val int64) (bool, error) {
+	kb, err := t.encodeKey(key)
+	if err != nil {
+		return false, err
+	}
+	inserted, res, err := t.insert(t.root, t.height, kb, val)
+	if err != nil {
+		return false, err
+	}
+	if res.split {
+		// grow a new root
+		fr, err := t.pool.NewPage()
+		if err != nil {
+			return false, err
+		}
+		b := fr.Data()
+		initNode(b, kindInternal)
+		setChild0(b, t.root)
+		t.setInnerEntry(b, 0, res.sepKey, res.newPage)
+		setNodeCount(b, 1)
+		t.root = fr.ID()
+		t.height++
+		t.pool.Unpin(fr, true)
+	}
+	if inserted {
+		t.count++
+	}
+	return inserted, nil
+}
+
+func (t *Tree) insert(pid pager.PageID, level int, key []byte, val int64) (bool, splitResult, error) {
+	fr, err := t.pool.Fetch(pid)
+	if err != nil {
+		return false, splitResult{}, err
+	}
+	b := fr.Data()
+	if level == 1 {
+		inserted, res, dirty, err := t.insertLeaf(b, key, val)
+		t.pool.Unpin(fr, dirty)
+		return inserted, res, err
+	}
+	idx := t.childIndex(b, key)
+	child := t.childAt(b, idx)
+	inserted, childRes, err := t.insert(child, level-1, key, val)
+	if err != nil {
+		t.pool.Unpin(fr, false)
+		return false, splitResult{}, err
+	}
+	if !childRes.split {
+		t.pool.Unpin(fr, false)
+		return inserted, splitResult{}, nil
+	}
+	res, err := t.insertInner(b, idx, childRes.sepKey, childRes.newPage)
+	t.pool.Unpin(fr, true)
+	return inserted, res, err
+}
+
+// insertLeaf puts (key,val) into the leaf b, splitting if full.
+func (t *Tree) insertLeaf(b []byte, key []byte, val int64) (bool, splitResult, bool, error) {
+	n := nodeCount(b)
+	i := t.lowerBoundLeaf(b, key)
+	if i < n && t.compareKeys(t.leafKey(b, i), key) == 0 {
+		t.setLeafVal(b, i, val)
+		return false, splitResult{}, true, nil
+	}
+	if n < t.leafCap {
+		t.shiftLeaf(b, i, n)
+		t.setLeafEntry(b, i, key, val)
+		setNodeCount(b, n+1)
+		return true, splitResult{}, true, nil
+	}
+	// split: allocate right sibling, move upper half.
+	right, err := t.pool.NewPage()
+	if err != nil {
+		return false, splitResult{}, false, err
+	}
+	rb := right.Data()
+	initNode(rb, kindLeaf)
+	mid := (n + 1) / 2
+	moved := n - mid
+	copy(rb[t.leafKeyOff(0):], b[t.leafKeyOff(mid):t.leafKeyOff(mid)+moved*t.leafEntryBytes()])
+	setNodeCount(rb, moved)
+	setNodeCount(b, mid)
+	setNext(rb, next(b))
+	setNext(b, right.ID())
+	// insert into the proper half
+	if i <= mid {
+		t.shiftLeaf(b, i, mid)
+		t.setLeafEntry(b, i, key, val)
+		setNodeCount(b, mid+1)
+	} else {
+		j := i - mid
+		t.shiftLeaf(rb, j, moved)
+		t.setLeafEntry(rb, j, key, val)
+		setNodeCount(rb, moved+1)
+	}
+	sep := make([]byte, t.keySize)
+	copy(sep, t.leafKey(rb, 0))
+	res := splitResult{split: true, sepKey: sep, newPage: right.ID()}
+	t.pool.Unpin(right, true)
+	return true, res, true, nil
+}
+
+// shiftLeaf opens a gap at index i in a leaf with n entries.
+func (t *Tree) shiftLeaf(b []byte, i, n int) {
+	if i < n {
+		src := b[t.leafKeyOff(i) : t.leafKeyOff(i)+(n-i)*t.leafEntryBytes()]
+		copy(b[t.leafKeyOff(i+1):], src)
+	}
+}
+
+// insertInner inserts separator sep with right child newPage after child
+// position idx in internal node b, splitting if full.
+func (t *Tree) insertInner(b []byte, idx int, sep []byte, newPage pager.PageID) (splitResult, error) {
+	n := nodeCount(b)
+	if n < t.innerCap {
+		t.shiftInner(b, idx, n)
+		t.setInnerEntry(b, idx, sep, newPage)
+		setNodeCount(b, n+1)
+		return splitResult{}, nil
+	}
+	// Split internal node: entries 0..n-1, push-up the median separator.
+	right, err := t.pool.NewPage()
+	if err != nil {
+		return splitResult{}, err
+	}
+	rb := right.Data()
+	initNode(rb, kindInternal)
+
+	// Build the full (n+1)-entry list in scratch, then distribute.
+	entry := t.innerEntryBytes()
+	scratch := make([]byte, (n+1)*entry)
+	copy(scratch, b[t.innerKeyOff(0):t.innerKeyOff(0)+idx*entry])
+	copy(scratch[idx*entry:], sep)
+	binary.LittleEndian.PutUint32(scratch[idx*entry+t.keySize:], uint32(newPage))
+	copy(scratch[(idx+1)*entry:], b[t.innerKeyOff(idx):t.innerKeyOff(idx)+(n-idx)*entry])
+
+	total := n + 1
+	mid := total / 2 // entry pushed up
+	// left keeps entries [0,mid), right gets (mid,total)
+	copy(b[t.innerKeyOff(0):], scratch[:mid*entry])
+	setNodeCount(b, mid)
+	pushKey := make([]byte, t.keySize)
+	copy(pushKey, scratch[mid*entry:mid*entry+t.keySize])
+	pushChild := pager.PageID(binary.LittleEndian.Uint32(scratch[mid*entry+t.keySize:]))
+	setChild0(rb, pushChild)
+	rn := total - mid - 1
+	copy(rb[t.innerKeyOff(0):], scratch[(mid+1)*entry:])
+	setNodeCount(rb, rn)
+	res := splitResult{split: true, sepKey: pushKey, newPage: right.ID()}
+	t.pool.Unpin(right, true)
+	return res, nil
+}
+
+// shiftInner opens a gap at entry index i in an internal node with n entries.
+func (t *Tree) shiftInner(b []byte, i, n int) {
+	if i < n {
+		entry := t.innerEntryBytes()
+		src := b[t.innerKeyOff(i) : t.innerKeyOff(i)+(n-i)*entry]
+		copy(b[t.innerKeyOff(i+1):], src)
+	}
+}
+
+// --- validation -----------------------------------------------------------
+
+// Validate checks structural invariants: sorted keys in every node, correct
+// separator bounds, uniform leaf depth, and leaf chain ordering. It is used
+// by tests and returns a descriptive error on the first violation.
+func (t *Tree) Validate() error {
+	var prevLeafKey []byte
+	leaves := 0
+	var walk func(pid pager.PageID, level int, lo, hi []byte) error
+	walk = func(pid pager.PageID, level int, lo, hi []byte) error {
+		fr, err := t.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		defer t.pool.Unpin(fr, false)
+		b := fr.Data()
+		n := nodeCount(b)
+		if level == 1 {
+			if nodeKind(b) != kindLeaf {
+				return fmt.Errorf("btree: node %d at leaf level is internal", pid)
+			}
+			leaves++
+			for i := 0; i < n; i++ {
+				k := t.leafKey(b, i)
+				if i > 0 && t.compareKeys(t.leafKey(b, i-1), k) >= 0 {
+					return fmt.Errorf("btree: leaf %d keys out of order at %d", pid, i)
+				}
+				if lo != nil && t.compareKeys(k, lo) < 0 {
+					return fmt.Errorf("btree: leaf %d key below separator", pid)
+				}
+				if hi != nil && t.compareKeys(k, hi) >= 0 {
+					return fmt.Errorf("btree: leaf %d key above separator", pid)
+				}
+				if prevLeafKey != nil && t.compareKeys(prevLeafKey, k) >= 0 {
+					return fmt.Errorf("btree: leaf chain out of order at page %d", pid)
+				}
+				prevLeafKey = append(prevLeafKey[:0], k...)
+			}
+			return nil
+		}
+		if nodeKind(b) != kindInternal {
+			return fmt.Errorf("btree: node %d at level %d is a leaf", pid, level)
+		}
+		for i := 0; i < n; i++ {
+			if i > 0 && t.compareKeys(t.innerKey(b, i-1), t.innerKey(b, i)) >= 0 {
+				return fmt.Errorf("btree: internal %d separators out of order", pid)
+			}
+		}
+		for i := 0; i <= n; i++ {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = append([]byte(nil), t.innerKey(b, i-1)...)
+			}
+			if i < n {
+				chi = append([]byte(nil), t.innerKey(b, i)...)
+			}
+			if err := walk(t.childAt(b, i), level-1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, t.height, nil, nil); err != nil {
+		return err
+	}
+	// count check
+	it, err := t.SeekFirst()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	var n int64
+	for it.Next() {
+		n++
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if n != t.count {
+		return fmt.Errorf("btree: count mismatch: meta %d, leaves %d", t.count, n)
+	}
+	return nil
+}

@@ -1,0 +1,434 @@
+package btree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cubetree/internal/pager"
+)
+
+func newPool(t *testing.T, pages int) *pager.Pool {
+	t.Helper()
+	f, err := pager.Create(filepath.Join(t.TempDir(), "bt.pg"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pager.NewPool(f, pages)
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestPutGetSingle(t *testing.T) {
+	tr, err := Create(newPool(t, 64), 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := tr.Put([]int64{1, 2}, 42)
+	if err != nil || !ins {
+		t.Fatalf("Put: %v inserted=%v", err, ins)
+	}
+	v, ok, err := tr.Get([]int64{1, 2})
+	if err != nil || !ok || v != 42 {
+		t.Fatalf("Get = %d, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := tr.Get([]int64{1, 3}); ok {
+		t.Fatal("found missing key")
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	tr, _ := Create(newPool(t, 64), 1, Options{})
+	tr.Put([]int64{7}, 1)
+	ins, err := tr.Put([]int64{7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins {
+		t.Fatal("overwrite reported as insert")
+	}
+	v, _, _ := tr.Get([]int64{7})
+	if v != 2 {
+		t.Fatalf("value = %d, want 2", v)
+	}
+	if tr.Count() != 1 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+}
+
+func TestManyKeysSplitsAndValidate(t *testing.T) {
+	tr, _ := Create(newPool(t, 256), 2, Options{})
+	r := rand.New(rand.NewSource(11))
+	keys := make(map[[2]int64]int64)
+	for i := 0; i < 20000; i++ {
+		k := [2]int64{r.Int63n(5000), r.Int63n(5000)}
+		keys[k] = int64(i)
+		if _, err := tr.Put(k[:], int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Count() != int64(len(keys)) {
+		t.Fatalf("Count = %d, want %d", tr.Count(), len(keys))
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("tree did not split: height %d", tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range keys {
+		got, ok, err := tr.Get(k[:])
+		if err != nil || !ok || got != v {
+			t.Fatalf("Get(%v) = %d,%v,%v want %d", k, got, ok, err, v)
+		}
+	}
+}
+
+func TestTinyFanoutDeepTree(t *testing.T) {
+	tr, _ := Create(newPool(t, 256), 1, Options{Fanout: 3})
+	for i := 0; i < 200; i++ {
+		tr.Put([]int64{int64(i * 7 % 200)}, int64(i))
+	}
+	if tr.Height() < 4 {
+		t.Fatalf("fanout-3 tree with 200 keys has height %d", tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIteratorFullScanSorted(t *testing.T) {
+	tr, _ := Create(newPool(t, 128), 1, Options{Fanout: 4})
+	r := rand.New(rand.NewSource(3))
+	var want []int64
+	seen := map[int64]bool{}
+	for i := 0; i < 500; i++ {
+		v := r.Int63n(10000)
+		if !seen[v] {
+			seen[v] = true
+			want = append(want, v)
+		}
+		tr.Put([]int64{v}, v*2)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	it, err := tr.SeekFirst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []int64
+	for it.Next() {
+		got = append(got, it.Key()[0])
+		if it.Value() != it.Key()[0]*2 {
+			t.Fatalf("value mismatch at %d", it.Key()[0])
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	tr, _ := Create(newPool(t, 64), 1, Options{})
+	for _, v := range []int64{10, 20, 30, 40} {
+		tr.Put([]int64{v}, v)
+	}
+	it, err := tr.SeekGE([]int64{25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if !it.Next() || it.Key()[0] != 30 {
+		t.Fatalf("SeekGE(25) -> %v", it.Key())
+	}
+	if !it.Next() || it.Key()[0] != 40 {
+		t.Fatalf("second = %v", it.Key())
+	}
+	if it.Next() {
+		t.Fatal("iterator past end")
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	tr, _ := Create(newPool(t, 128), 3, Options{})
+	// keys (a,b,c) for a in 1..5, b in 1..4, c in 1..3
+	for a := int64(1); a <= 5; a++ {
+		for b := int64(1); b <= 4; b++ {
+			for c := int64(1); c <= 3; c++ {
+				tr.Put([]int64{a, b, c}, a*100+b*10+c)
+			}
+		}
+	}
+	var got []int64
+	err := tr.ScanPrefix([]int64{3, 2}, func(key []int64, val int64) error {
+		if key[0] != 3 || key[1] != 2 {
+			t.Fatalf("prefix violated: %v", key)
+		}
+		got = append(got, key[2])
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("prefix scan found %d entries, want 3", len(got))
+	}
+	// One-column prefix.
+	n := 0
+	tr.ScanPrefix([]int64{5}, func(key []int64, _ int64) error {
+		if key[0] != 5 {
+			t.Fatalf("prefix violated: %v", key)
+		}
+		n++
+		return nil
+	})
+	if n != 12 {
+		t.Fatalf("one-column prefix found %d, want 12", n)
+	}
+	// Empty prefix scans everything.
+	n = 0
+	tr.ScanPrefix(nil, func([]int64, int64) error { n++; return nil })
+	if n != 60 {
+		t.Fatalf("empty prefix found %d, want 60", n)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr, _ := Create(newPool(t, 128), 2, Options{Fanout: 4})
+	for a := int64(1); a <= 10; a++ {
+		for b := int64(1); b <= 5; b++ {
+			tr.Put([]int64{a, b}, a*10+b)
+		}
+	}
+	// Full-width inclusive range.
+	var got [][2]int64
+	err := tr.ScanRange([]int64{3, 2}, []int64{5, 3}, func(key []int64, val int64) error {
+		got = append(got, [2]int64{key[0], key[1]})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lexicographic range [3 2, 5 3]: (3,2)..(3,5), (4,*), (5,1)..(5,3).
+	want := 4 + 5 + 3
+	if len(got) != want {
+		t.Fatalf("ScanRange found %d keys, want %d: %v", len(got), want, got)
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] >= b[1]) {
+			t.Fatalf("ScanRange out of order at %d: %v", i, got)
+		}
+	}
+	// Empty range yields nothing.
+	n := 0
+	tr.ScanRange([]int64{7, 4}, []int64{7, 3}, func([]int64, int64) error { n++; return nil })
+	if n != 0 {
+		t.Fatalf("empty range returned %d keys", n)
+	}
+	// Single key.
+	n = 0
+	tr.ScanRange([]int64{2, 2}, []int64{2, 2}, func(key []int64, val int64) error {
+		if val != 22 {
+			t.Fatalf("val = %d", val)
+		}
+		n++
+		return nil
+	})
+	if n != 1 {
+		t.Fatalf("point range returned %d keys", n)
+	}
+}
+
+func TestIteratorCloseEarly(t *testing.T) {
+	tr, _ := Create(newPool(t, 64), 1, Options{Fanout: 3})
+	for i := int64(0); i < 100; i++ {
+		tr.Put([]int64{i}, i)
+	}
+	it, err := tr.SeekFirst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10 && it.Next(); i++ {
+	}
+	it.Close()
+	// The pool must not be left with pinned frames: another full traversal
+	// and structure validation still work.
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeKeys(t *testing.T) {
+	tr, _ := Create(newPool(t, 64), 1, Options{})
+	for _, v := range []int64{-5, 3, -1, 0, 7} {
+		tr.Put([]int64{v}, v)
+	}
+	it, _ := tr.SeekFirst()
+	defer it.Close()
+	want := []int64{-5, -1, 0, 3, 7}
+	for _, w := range want {
+		if !it.Next() || it.Key()[0] != w {
+			t.Fatalf("order with negatives broken: got %v want %d", it.Key(), w)
+		}
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "persist.bt")
+	f, _ := pager.Create(path, nil)
+	pool := pager.NewPool(f, 64)
+	tr, _ := Create(pool, 2, Options{})
+	for i := int64(0); i < 1000; i++ {
+		tr.Put([]int64{i % 37, i}, i)
+	}
+	count := tr.Count()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+
+	f2, _ := pager.Open(path, nil)
+	pool2 := pager.NewPool(f2, 64)
+	defer pool2.Close()
+	tr2, err := Open(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Count() != count || tr2.K() != 2 {
+		t.Fatalf("reopened count=%d k=%d", tr2.Count(), tr2.K())
+	}
+	v, ok, _ := tr2.Get([]int64{5, 5})
+	if !ok || v != 5 {
+		t.Fatalf("reopened Get = %d, %v", v, ok)
+	}
+	if err := tr2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrongKeyWidth(t *testing.T) {
+	tr, _ := Create(newPool(t, 16), 2, Options{})
+	if _, err := tr.Put([]int64{1}, 0); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if _, _, err := tr.Get([]int64{1, 2, 3}); err == nil {
+		t.Fatal("long key accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, _ := Create(newPool(t, 64), 1, Options{Fanout: 4})
+	for i := int64(0); i < 100; i++ {
+		tr.Put([]int64{i}, i)
+	}
+	// Delete every third key.
+	for i := int64(0); i < 100; i += 3 {
+		ok, err := tr.Delete([]int64{i})
+		if err != nil || !ok {
+			t.Fatalf("Delete(%d) = %v, %v", i, ok, err)
+		}
+	}
+	// Deleting again reports absent.
+	if ok, _ := tr.Delete([]int64{0}); ok {
+		t.Fatal("double delete reported present")
+	}
+	if ok, _ := tr.Delete([]int64{999}); ok {
+		t.Fatal("deleting unknown key reported present")
+	}
+	for i := int64(0); i < 100; i++ {
+		_, found, err := tr.Get([]int64{i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := i%3 != 0
+		if found != want {
+			t.Fatalf("Get(%d) found=%v, want %v", i, found, want)
+		}
+	}
+	if tr.Count() != 66 {
+		t.Fatalf("Count = %d, want 66", tr.Count())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-inserting a deleted key works.
+	if ins, err := tr.Put([]int64{0}, 42); err != nil || !ins {
+		t.Fatalf("re-insert = %v, %v", ins, err)
+	}
+	v, ok, _ := tr.Get([]int64{0})
+	if !ok || v != 42 {
+		t.Fatalf("re-inserted value = %d, %v", v, ok)
+	}
+}
+
+func TestDeleteEntireTree(t *testing.T) {
+	tr, _ := Create(newPool(t, 128), 2, Options{Fanout: 3})
+	const n = 200
+	for i := int64(0); i < n; i++ {
+		tr.Put([]int64{i % 17, i}, i)
+	}
+	for i := int64(0); i < n; i++ {
+		if ok, err := tr.Delete([]int64{i % 17, i}); err != nil || !ok {
+			t.Fatalf("Delete #%d: %v %v", i, ok, err)
+		}
+	}
+	if tr.Count() != 0 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+	it, err := tr.SeekFirst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if it.Next() {
+		t.Fatal("iterator found entries in emptied tree")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInsertEverywhereQuick property: after inserting any set of keys, every
+// key is retrievable with its latest value and the structure validates.
+func TestInsertEverywhereQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		pool := newPool(t, 128)
+		tr, err := Create(pool, 1, Options{Fanout: 5})
+		if err != nil {
+			return false
+		}
+		want := map[int64]int64{}
+		for i, r := range raw {
+			k := int64(r % 512)
+			want[k] = int64(i)
+			if _, err := tr.Put([]int64{k}, int64(i)); err != nil {
+				return false
+			}
+		}
+		if tr.Count() != int64(len(want)) {
+			return false
+		}
+		for k, v := range want {
+			got, ok, err := tr.Get([]int64{k})
+			if err != nil || !ok || got != v {
+				return false
+			}
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

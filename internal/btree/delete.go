@@ -1,0 +1,34 @@
+package btree
+
+// Delete removes key from the tree, reporting whether it was present.
+//
+// Deletion is lazy: the entry is removed from its leaf but nodes are never
+// merged or rebalanced, so a heavily-deleted tree retains its height until
+// rebuilt. This matches warehouse workloads, where summary tables shrink
+// only on full recomputation; the paper's update model is insert-only.
+func (t *Tree) Delete(key []int64) (bool, error) {
+	kb, err := t.encodeKey(key)
+	if err != nil {
+		return false, err
+	}
+	fr, err := t.findLeaf(kb)
+	if err != nil {
+		return false, err
+	}
+	b := fr.Data()
+	n := nodeCount(b)
+	i := t.lowerBoundLeaf(b, kb)
+	if i >= n || t.compareKeys(t.leafKey(b, i), kb) != 0 {
+		t.pool.Unpin(fr, false)
+		return false, nil
+	}
+	if i < n-1 {
+		entry := t.leafEntryBytes()
+		src := b[t.leafKeyOff(i+1) : t.leafKeyOff(i+1)+(n-1-i)*entry]
+		copy(b[t.leafKeyOff(i):], src)
+	}
+	setNodeCount(b, n-1)
+	t.pool.Unpin(fr, true)
+	t.count--
+	return true, nil
+}

@@ -1,0 +1,180 @@
+package btree
+
+import (
+	"math"
+
+	"cubetree/internal/enc"
+	"cubetree/internal/pager"
+)
+
+// Iterator walks leaf entries in key order. Use Next to advance and Key/Value
+// to read the current entry. A typical loop:
+//
+//	it, err := t.SeekGE(lo)
+//	for it.Next() { use(it.Key(), it.Value()) }
+//	err = it.Err()
+//	it.Close()
+type Iterator struct {
+	t     *Tree
+	fr    *pager.Frame
+	idx   int // index of the entry Next will return
+	key   []int64
+	val   int64
+	err   error
+	valid bool
+}
+
+// SeekFirst positions an iterator before the smallest key.
+func (t *Tree) SeekFirst() (*Iterator, error) {
+	lo := make([]int64, t.k)
+	for i := range lo {
+		lo[i] = math.MinInt64
+	}
+	return t.SeekGE(lo)
+}
+
+// SeekGE positions an iterator before the smallest key >= key.
+func (t *Tree) SeekGE(key []int64) (*Iterator, error) {
+	kb, err := t.encodeKey(key)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := t.findLeaf(kb)
+	if err != nil {
+		return nil, err
+	}
+	it := &Iterator{t: t, fr: fr, key: make([]int64, t.k)}
+	it.idx = t.lowerBoundLeaf(fr.Data(), kb)
+	return it, nil
+}
+
+// Next advances to the next entry, reporting whether one exists.
+func (it *Iterator) Next() bool {
+	if it.err != nil || it.fr == nil {
+		it.valid = false
+		return false
+	}
+	t := it.t
+	for {
+		b := it.fr.Data()
+		if it.idx < nodeCount(b) {
+			kb := t.leafKey(b, it.idx)
+			for i := 0; i < t.k; i++ {
+				it.key[i] = enc.Field(kb, i)
+			}
+			it.val = t.leafVal(b, it.idx)
+			it.idx++
+			it.valid = true
+			return true
+		}
+		nxt := next(b)
+		t.pool.Unpin(it.fr, false)
+		it.fr = nil
+		if nxt == pager.InvalidPage {
+			it.valid = false
+			return false
+		}
+		fr, err := t.pool.Fetch(nxt)
+		if err != nil {
+			it.err = err
+			it.valid = false
+			return false
+		}
+		it.fr = fr
+		it.idx = 0
+	}
+}
+
+// Key returns the current key. The slice is reused across Next calls.
+func (it *Iterator) Key() []int64 { return it.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() int64 { return it.val }
+
+// Err returns the first error encountered while iterating.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases the iterator's pinned page.
+func (it *Iterator) Close() {
+	if it.fr != nil {
+		it.t.pool.Unpin(it.fr, false)
+		it.fr = nil
+	}
+}
+
+// PrefixBounds returns [lo, hi) full-width keys for scanning all entries
+// whose first len(prefix) fields equal prefix. hi is nil when the scan has
+// no upper bound (prefix at the maximum value).
+func (t *Tree) PrefixBounds(prefix []int64) (lo, hi []int64) {
+	lo = make([]int64, t.k)
+	copy(lo, prefix)
+	for i := len(prefix); i < t.k; i++ {
+		lo[i] = math.MinInt64
+	}
+	hi = make([]int64, t.k)
+	copy(hi, prefix)
+	// increment the prefix to form the exclusive upper bound
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if hi[i] != math.MaxInt64 {
+			hi[i]++
+			for j := len(prefix); j < t.k; j++ {
+				hi[j] = math.MinInt64
+			}
+			return lo, hi
+		}
+		hi[i] = math.MinInt64
+	}
+	return lo, nil
+}
+
+// ScanRange calls fn for every entry with lo <= key <= hi in lexicographic
+// key order. The key slice passed to fn is reused between calls.
+func (t *Tree) ScanRange(lo, hi []int64, fn func(key []int64, val int64) error) error {
+	it, err := t.SeekGE(lo)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	hb := make([]byte, t.keySize)
+	enc.PutTuple(hb, hi)
+	kb := make([]byte, t.keySize)
+	for it.Next() {
+		enc.PutTuple(kb, it.Key())
+		if t.compareKeys(kb, hb) > 0 {
+			break
+		}
+		if err := fn(it.Key(), it.Value()); err != nil {
+			return err
+		}
+	}
+	return it.Err()
+}
+
+// ScanPrefix calls fn for every entry whose leading fields equal prefix.
+// The key slice passed to fn is reused between calls.
+func (t *Tree) ScanPrefix(prefix []int64, fn func(key []int64, val int64) error) error {
+	lo, hi := t.PrefixBounds(prefix)
+	it, err := t.SeekGE(lo)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	var hb []byte
+	if hi != nil {
+		hb = make([]byte, t.keySize)
+		enc.PutTuple(hb, hi)
+	}
+	kb := make([]byte, t.keySize)
+	for it.Next() {
+		if hb != nil {
+			enc.PutTuple(kb, it.Key())
+			if t.compareKeys(kb, hb) >= 0 {
+				break
+			}
+		}
+		if err := fn(it.Key(), it.Value()); err != nil {
+			return err
+		}
+	}
+	return it.Err()
+}

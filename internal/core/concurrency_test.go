@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"cubetree/internal/lattice"
+	"cubetree/internal/workload"
+)
+
+func attrs(names ...lattice.Attr) []lattice.Attr { return names }
+
+// TestConcurrentQueries exercises parallel Execute calls against one
+// forest; the buffer pool is the only shared mutable state and must keep
+// results correct under contention. Run with -race.
+func TestConcurrentQueries(t *testing.T) {
+	f, _ := buildTestForest(t, 0)
+	queries := []workload.Query{
+		{},
+		{Node: attrs("partkey", "suppkey"), Fixed: []workload.Pred{{Attr: "partkey", Value: 1}}},
+		{Node: attrs("custkey"), Fixed: []workload.Pred{{Attr: "custkey", Value: 3}}},
+		{Node: attrs("partkey", "suppkey", "custkey"), Fixed: []workload.Pred{{Attr: "suppkey", Value: 2}}},
+	}
+	want := make([][]workload.Row, len(queries))
+	for i, q := range queries {
+		rows, err := f.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rows
+	}
+
+	const goroutines = 8
+	const iters = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qi := (g + i) % len(queries)
+				rows, err := f.Execute(queries[qi])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !workload.EqualRows(rows, want[qi]) {
+					errs <- errMismatch
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent query result mismatch" }

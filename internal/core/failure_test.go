@@ -1,0 +1,165 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cubetree/internal/pager"
+	"cubetree/internal/rtree"
+)
+
+func jsonUnmarshal(b []byte, v interface{}) error { return json.Unmarshal(b, v) }
+func jsonMarshal(v interface{}) ([]byte, error)   { return json.Marshal(v) }
+
+// Failure-injection tests: corrupted or inconsistent on-disk state must
+// surface as errors, never as wrong answers or panics.
+
+func TestOpenMissingCatalog(t *testing.T) {
+	if _, err := Open(t.TempDir(), nil); err == nil {
+		t.Fatal("open of empty directory succeeded")
+	}
+}
+
+func TestOpenCorruptCatalog(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "forest.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil); err == nil {
+		t.Fatal("corrupt catalog accepted")
+	}
+}
+
+func TestOpenCatalogReferencesMissingTree(t *testing.T) {
+	dir := t.TempDir()
+	cat := `{"trees":["tree0.ct"],"placements":[],"domains":{},"pool_pages":8}`
+	if err := os.WriteFile(filepath.Join(dir, "forest.json"), []byte(cat), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil); err == nil {
+		t.Fatal("missing tree file accepted")
+	}
+}
+
+func TestOpenCatalogBadTreeIndex(t *testing.T) {
+	f, _ := buildTestForest(t, 0)
+	dir := f.Dir()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cat := `{"trees":["tree0.ct"],"placements":[{"attrs":["partkey"],"tree":5,"run":0}],"domains":{},"pool_pages":8}`
+	if err := os.WriteFile(filepath.Join(dir, "forest.json"), []byte(cat), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil); err == nil {
+		t.Fatal("out-of-range tree index accepted")
+	}
+	cat = `{"trees":["tree0.ct"],"placements":[{"attrs":["partkey"],"tree":0,"run":99}],"domains":{},"pool_pages":8}`
+	if err := os.WriteFile(filepath.Join(dir, "forest.json"), []byte(cat), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil); err == nil {
+		t.Fatal("out-of-range run index accepted")
+	}
+}
+
+func TestOpenCorruptTreeMagic(t *testing.T) {
+	f, _ := buildTestForest(t, 0)
+	dir := f.Dir()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Smash the first tree's meta page.
+	path := filepath.Join(dir, "tree0.ct")
+	fh, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.WriteAt([]byte{0xDE, 0xAD, 0xBE, 0xEF}, 0); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	if _, err := Open(dir, nil); err == nil {
+		t.Fatal("corrupt tree magic accepted")
+	}
+}
+
+func TestOpenCorruptSchema(t *testing.T) {
+	f, _ := buildTestForest(t, 0)
+	dir := f.Dir()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cat := `{"trees":[],"placements":[],"domains":{},"schema":["count","sum"],"pool_pages":8}`
+	if err := os.WriteFile(filepath.Join(dir, "forest.json"), []byte(cat), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil); err == nil {
+		t.Fatal("invalid schema order accepted")
+	}
+}
+
+func TestOpenLegacyCatalogWithoutSchema(t *testing.T) {
+	// Catalogs written before the measure-schema field default to
+	// SUM/COUNT on open.
+	f, _ := buildTestForest(t, 0)
+	dir := f.Dir()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "forest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cat map[string]interface{}
+	if err := jsonUnmarshal(raw, &cat); err != nil {
+		t.Fatal(err)
+	}
+	delete(cat, "schema")
+	raw2, err := jsonMarshal(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "forest.json"), raw2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Schema().Len() != 2 {
+		t.Fatalf("legacy schema = %v", g.Schema())
+	}
+}
+
+func TestRTreeOpenOnTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.ct")
+	// A file that is one valid-size page of zeroes: wrong magic.
+	if err := os.WriteFile(path, make([]byte, pager.PageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := pager.Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := pager.NewPool(pf, 4)
+	defer pool.Close()
+	if _, err := rtree.Open(pool); err == nil {
+		t.Fatal("zeroed tree file accepted")
+	}
+}
+
+func TestPagerOpenBadSize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "odd.pg")
+	if err := os.WriteFile(path, make([]byte, pager.PageSize+17), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pager.Open(path, nil); err == nil {
+		t.Fatal("non-page-multiple file accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Package core implements the paper's primary contribution: the Cubetree
+// storage organization for ROLAP aggregate views. A set of materialized
+// views (possibly including replicas of a view in several sort orders) is
+// mapped by the SelectMapping algorithm onto a minimal forest of packed,
+// compressed R-trees; the forest is bulk-loaded from sorted view data,
+// answers slice queries through R-tree search, and is refreshed by
+// merge-packing sorted deltas into a fresh forest with purely sequential
+// I/O.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cubetree/internal/lattice"
+)
+
+// TreeSpec describes one Cubetree chosen by SelectMapping: its
+// dimensionality and the views assigned to it, ordered by increasing arity
+// (which is also the pack order of their runs: lower-arity views have more
+// zero coordinates and therefore sort first).
+type TreeSpec struct {
+	Dim   int
+	Views []int // indexes into the input view slice
+}
+
+// Mapping is the result of SelectMapping.
+type Mapping struct {
+	Trees []TreeSpec
+}
+
+// TreeOf returns the index of the tree holding input view i, or -1.
+func (m Mapping) TreeOf(i int) int {
+	for t, spec := range m.Trees {
+		for _, v := range spec.Views {
+			if v == i {
+				return t
+			}
+		}
+	}
+	return -1
+}
+
+// SelectMapping implements the paper's Figure 5 algorithm. Views are
+// grouped by arity; while unmapped views remain, a new Cubetree is created
+// with the dimensionality of the highest remaining arity and one view of
+// each arity (where available) is mapped to it. The result uses the minimal
+// number of trees such that no tree holds two views of the same arity, so
+// every view occupies a distinct contiguous string of leaves.
+//
+// Views of arity 0 (the super-aggregate "none" view) are mapped to the
+// origin point of the first tree, as in the paper's Section 3.
+//
+// The algorithm runs in linear time in the number of views.
+func SelectMapping(views []lattice.View) Mapping {
+	maxArity := 0
+	for _, v := range views {
+		if v.Arity() > maxArity {
+			maxArity = v.Arity()
+		}
+	}
+	// sets[i] holds (input indexes of) unmapped views of arity i, in input
+	// order; extraction is FIFO so the mapping is deterministic.
+	sets := make([][]int, maxArity+1)
+	var zeros []int
+	for i, v := range views {
+		if v.Arity() == 0 {
+			zeros = append(zeros, i)
+			continue
+		}
+		sets[v.Arity()] = append(sets[v.Arity()], i)
+	}
+
+	var m Mapping
+	remaining := func() int {
+		for a := maxArity; a >= 1; a-- {
+			if len(sets[a]) > 0 {
+				return a
+			}
+		}
+		return 0
+	}
+	for {
+		arity := remaining()
+		if arity == 0 {
+			break
+		}
+		spec := TreeSpec{Dim: arity}
+		for j := 1; j <= arity; j++ {
+			if len(sets[j]) == 0 {
+				continue
+			}
+			spec.Views = append(spec.Views, sets[j][0])
+			sets[j] = sets[j][1:]
+		}
+		m.Trees = append(m.Trees, spec)
+	}
+	if len(zeros) > 0 {
+		if len(m.Trees) == 0 {
+			m.Trees = append(m.Trees, TreeSpec{Dim: 1})
+		}
+		// The origin run packs before every arity>=1 run, so the zero-arity
+		// views go first on tree 0.
+		m.Trees[0].Views = append(zeros, m.Trees[0].Views...)
+	}
+	// Within each tree, runs must be packed in increasing arity so leaf
+	// order matches pack order.
+	for t := range m.Trees {
+		spec := &m.Trees[t]
+		sort.SliceStable(spec.Views, func(a, b int) bool {
+			return views[spec.Views[a]].Arity() < views[spec.Views[b]].Arity()
+		})
+	}
+	return m
+}
+
+// PerViewMapping maps every view to its own Cubetree — the "map each view
+// to a different Cubetree" extreme the paper contrasts SelectMapping
+// against. It uses more trees (more non-leaf overhead, worse buffer hit
+// ratio) but is useful as an ablation baseline.
+func PerViewMapping(views []lattice.View) Mapping {
+	var m Mapping
+	for i, v := range views {
+		dim := v.Arity()
+		if dim == 0 {
+			dim = 1
+		}
+		m.Trees = append(m.Trees, TreeSpec{Dim: dim, Views: []int{i}})
+	}
+	return m
+}
+
+// Validate checks mapping invariants against the input views: every view
+// mapped exactly once, no tree with two views of the same arity, and every
+// view's arity within its tree's dimensionality.
+func (m Mapping) Validate(views []lattice.View) error {
+	seen := make(map[int]bool)
+	for t, spec := range m.Trees {
+		arities := make(map[int]bool)
+		for _, vi := range spec.Views {
+			if vi < 0 || vi >= len(views) {
+				return fmt.Errorf("core: tree %d references unknown view %d", t, vi)
+			}
+			if seen[vi] {
+				return fmt.Errorf("core: view %s mapped twice", views[vi])
+			}
+			seen[vi] = true
+			a := views[vi].Arity()
+			if a > 0 && arities[a] {
+				return fmt.Errorf("core: tree %d holds two views of arity %d", t, a)
+			}
+			arities[a] = true
+			if a > spec.Dim {
+				return fmt.Errorf("core: view %s (arity %d) exceeds tree %d dim %d", views[vi], a, t, spec.Dim)
+			}
+		}
+	}
+	if len(seen) != len(views) {
+		return fmt.Errorf("core: %d of %d views mapped", len(seen), len(views))
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cubetree/internal/lattice"
+	"cubetree/internal/workload"
+)
+
+// Execute answers a slice query against the forest. It implements
+// workload.Engine.
+//
+// Planning: among all placements whose view covers the query's node, the
+// planner picks the one expected to touch the fewest leaves. Because a
+// packed run is sorted last-coordinate-major, predicates on a suffix of the
+// view's coordinates select a contiguous band of leaves; the estimator
+// multiplies the run's leaf count by the selectivity of the fixed suffix.
+// This is what makes replicas in different sort orders useful: each makes a
+// different predicate set cheap.
+func (f *Forest) Execute(q workload.Query) ([]workload.Row, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	best := -1
+	bestCost := math.MaxFloat64
+	for i := range f.placements {
+		p := &f.placements[i]
+		if !p.View.Covers(q.Node) {
+			continue
+		}
+		cost := f.placementCost(p, q)
+		if cost < bestCost {
+			bestCost = cost
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("core: no placement covers %s", q)
+	}
+	return f.executeOn(&f.placements[best], q)
+}
+
+// placementCost estimates work when answering q on p, in points touched.
+// Because a packed run is sorted last-coordinate-major, predicates on a
+// suffix of the view's coordinates select a contiguous band of the run;
+// the estimator scales the run's point count by that suffix's selectivity.
+func (f *Forest) placementCost(p *Placement, q workload.Query) float64 {
+	points := float64(p.Run.Points)
+	if points < 1 {
+		points = 1
+	}
+	// Selectivity of the maximal constrained suffix of the coordinate
+	// order: equality predicates select 1/dom, ranges their width/dom.
+	sel := 1.0
+	for j := p.View.Arity() - 1; j >= 0; j-- {
+		attr := p.View.Attrs[j]
+		dom := float64(f.domains[attr])
+		if _, ok := q.FixedValue(attr); ok {
+			if dom > 1 {
+				sel /= dom
+			}
+			continue
+		}
+		if r, ok := q.RangeFor(attr); ok {
+			if dom > 1 {
+				width := float64(r.Hi-r.Lo) + 1
+				if width > dom {
+					width = dom
+				}
+				sel *= width / dom
+			}
+			continue
+		}
+		break
+	}
+	est := points * sel
+	if est < 1 {
+		est = 1
+	}
+	// Tree height approximates the constant descent cost.
+	return est + float64(f.trees[p.Tree].Height())
+}
+
+// executeOn runs q against placement p and aggregates the matching points
+// by the query's node attributes.
+func (f *Forest) executeOn(p *Placement, q workload.Query) ([]workload.Row, error) {
+	tree := f.trees[p.Tree]
+	dim := tree.Dim()
+	lo := make([]int64, dim)
+	hi := make([]int64, dim)
+	arity := p.View.Arity()
+	for j := 0; j < arity; j++ {
+		attr := p.View.Attrs[j]
+		switch {
+		case fixedAt(q, attr, &lo[j], &hi[j]):
+		case rangeAt(q, attr, &lo[j], &hi[j]):
+		default:
+			lo[j], hi[j] = 1, math.MaxInt64
+		}
+	}
+	// Coordinates beyond the view's arity stay [0,0], confining the search
+	// to this view's region of the shared index space.
+	groupPos := make([]int, len(q.Node))
+	for i, a := range q.Node {
+		pos := -1
+		for j, va := range p.View.Attrs {
+			if a == va {
+				pos = j
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("core: attribute %q missing from %s", a, p.View)
+		}
+		groupPos[i] = pos
+	}
+
+	agg := workload.NewSchemaAggregator(len(q.Node), f.schema)
+	group := make([]int64, len(q.Node))
+	err := tree.Search(lo, hi, func(coords, measures []int64) error {
+		for i, pos := range groupPos {
+			group[i] = coords[pos]
+		}
+		agg.AddMeasures(group, measures)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return agg.Rows(), nil
+}
+
+// PlanInfo describes which placement the planner would use for q, for
+// experiment reporting and tests.
+type PlanInfo struct {
+	Placement Placement
+	EstLeaves float64
+}
+
+// Plan returns the planner's choice for q without executing it.
+func (f *Forest) Plan(q workload.Query) (PlanInfo, error) {
+	if err := q.Validate(); err != nil {
+		return PlanInfo{}, err
+	}
+	best := -1
+	bestCost := math.MaxFloat64
+	for i := range f.placements {
+		p := &f.placements[i]
+		if !p.View.Covers(q.Node) {
+			continue
+		}
+		cost := f.placementCost(p, q)
+		if cost < bestCost {
+			bestCost = cost
+			best = i
+		}
+	}
+	if best < 0 {
+		return PlanInfo{}, fmt.Errorf("core: no placement covers %s", q)
+	}
+	return PlanInfo{Placement: f.placements[best], EstLeaves: bestCost}, nil
+}
+
+// fixedAt narrows [lo,hi] to an equality predicate's value, if present.
+func fixedAt(q workload.Query, attr lattice.Attr, lo, hi *int64) bool {
+	v, ok := q.FixedValue(attr)
+	if ok {
+		*lo, *hi = v, v
+	}
+	return ok
+}
+
+// rangeAt narrows [lo,hi] to a range predicate's bounds, if present. The
+// lower bound is clamped to 1 so the search stays inside the view's region
+// of the shared index space (coordinate 0 belongs to lower-arity views).
+func rangeAt(q workload.Query, attr lattice.Attr, lo, hi *int64) bool {
+	r, ok := q.RangeFor(attr)
+	if ok {
+		*lo, *hi = r.Lo, r.Hi
+		if *lo < 1 {
+			*lo = 1
+		}
+	}
+	return ok
+}
+
+var _ workload.Engine = (*Forest)(nil)

@@ -1,0 +1,363 @@
+package cube
+
+import (
+	"fmt"
+	"testing"
+
+	"cubetree/internal/lattice"
+	"cubetree/internal/rtree"
+	"cubetree/internal/tpcd"
+)
+
+// memRows is an in-memory RowIter for hand-built fact tables.
+type memRows struct {
+	cols    []lattice.Attr
+	rows    [][]int64 // values aligned with cols
+	measure []int64
+	i       int
+}
+
+func (m *memRows) Next() bool {
+	m.i++
+	return m.i <= len(m.rows)
+}
+
+func (m *memRows) Value(attr lattice.Attr) (int64, error) {
+	for j, c := range m.cols {
+		if c == attr {
+			return m.rows[m.i-1][j], nil
+		}
+	}
+	return 0, fmt.Errorf("no column %q", attr)
+}
+
+func (m *memRows) Measure() int64 { return m.measure[m.i-1] }
+
+func smallFacts() *memRows {
+	// (part, supp, cust) -> qty; paper-flavoured toy data.
+	return &memRows{
+		cols: []lattice.Attr{"partkey", "suppkey", "custkey"},
+		rows: [][]int64{
+			{1, 1, 1}, {1, 1, 1}, {2, 1, 1}, {2, 2, 3}, {3, 1, 3}, {1, 2, 2},
+		},
+		measure: []int64{5, 7, 3, 4, 9, 2},
+	}
+}
+
+func viewsOf(attrs ...[]lattice.Attr) []lattice.View {
+	var out []lattice.View
+	for _, a := range attrs {
+		out = append(out, lattice.View{Attrs: a})
+	}
+	return out
+}
+
+func collect(t *testing.T, vd *ViewData) map[string][]int64 {
+	t.Helper()
+	out := map[string][]int64{}
+	var order []string
+	err := vd.Iterate(func(tuple []int64) error {
+		key := fmt.Sprint(tuple[:vd.View.Arity()])
+		out[key] = append([]int64(nil), tuple...)
+		order = append(order, key)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(out) {
+		t.Fatalf("duplicate groups in view data: %v", order)
+	}
+	return out
+}
+
+func TestComputeTopView(t *testing.T) {
+	res, err := Compute(t.TempDir(), smallFacts(),
+		viewsOf([]lattice.Attr{"partkey", "suppkey", "custkey"}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := res["custkey,partkey,suppkey"]
+	if vd == nil {
+		t.Fatalf("missing top view; have %v", keys(res))
+	}
+	got := collect(t, vd)
+	if len(got) != 5 {
+		t.Fatalf("top view has %d groups, want 5", len(got))
+	}
+	// (1,1,1) aggregated 5+7=12, count 2.
+	tup := got["[1 1 1]"]
+	if tup == nil || tup[3] != 12 || tup[4] != 2 {
+		t.Fatalf("group (1,1,1) = %v", tup)
+	}
+}
+
+func TestComputeDerivedViews(t *testing.T) {
+	res, err := Compute(t.TempDir(), smallFacts(), viewsOf(
+		[]lattice.Attr{"partkey", "suppkey", "custkey"},
+		[]lattice.Attr{"partkey", "suppkey"},
+		[]lattice.Attr{"partkey"},
+		nil, // none view
+	), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := collect(t, res["partkey,suppkey"])
+	if len(ps) != 5 {
+		t.Fatalf("ps groups = %d, want 5", len(ps))
+	}
+	if tup := ps["[1 1]"]; tup[2] != 12 || tup[3] != 2 {
+		t.Fatalf("(1,1) = %v", tup)
+	}
+	p := collect(t, res["partkey"])
+	if tup := p["[1]"]; tup[1] != 14 || tup[2] != 3 {
+		t.Fatalf("(1) = %v", tup)
+	}
+	none := collect(t, res["none"])
+	if tup := none["[]"]; tup[0] != 30 || tup[1] != 6 {
+		t.Fatalf("none = %v", tup)
+	}
+}
+
+func TestComputeHierarchyView(t *testing.T) {
+	facts := &memRows{
+		cols:    []lattice.Attr{"partkey", "brand"},
+		rows:    [][]int64{{1, 7}, {2, 7}, {3, 8}},
+		measure: []int64{10, 20, 30},
+	}
+	res, err := Compute(t.TempDir(), facts, viewsOf(
+		[]lattice.Attr{"partkey"},
+		[]lattice.Attr{"brand"},
+	), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brand := collect(t, res["brand"])
+	if tup := brand["[7]"]; tup[1] != 30 || tup[2] != 2 {
+		t.Fatalf("brand 7 = %v", tup)
+	}
+}
+
+func TestViewDataPackOrder(t *testing.T) {
+	res, err := Compute(t.TempDir(), smallFacts(), viewsOf(
+		[]lattice.Attr{"partkey", "suppkey", "custkey"},
+	), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := res["custkey,partkey,suppkey"]
+	var prev []int64
+	err = vd.Iterate(func(tuple []int64) error {
+		cur := append([]int64(nil), tuple[:3]...)
+		if prev != nil && !rtree.PackLess(prev, cur) {
+			t.Fatalf("not in pack order: %v then %v", prev, cur)
+		}
+		prev = cur
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeRejectsDuplicates(t *testing.T) {
+	_, err := Compute(t.TempDir(), smallFacts(), viewsOf(
+		[]lattice.Attr{"partkey", "suppkey"},
+		[]lattice.Attr{"suppkey", "partkey"},
+	), Options{})
+	if err == nil {
+		t.Fatal("duplicate views accepted")
+	}
+}
+
+func TestReorderReplica(t *testing.T) {
+	res, err := Compute(t.TempDir(), smallFacts(), viewsOf(
+		[]lattice.Attr{"partkey", "suppkey", "custkey"},
+	), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := res["custkey,partkey,suppkey"]
+	re, err := Reorder(t.TempDir(), vd, []lattice.Attr{"custkey", "suppkey", "partkey"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Rows != vd.Rows {
+		t.Fatalf("replica rows %d != %d", re.Rows, vd.Rows)
+	}
+	if re.View.OrderKey() != "custkey,suppkey,partkey" {
+		t.Fatalf("replica order = %s", re.View.OrderKey())
+	}
+	// Replica aggregates match: total sums equal.
+	sum := func(v *ViewData) int64 {
+		var s int64
+		v.Iterate(func(tuple []int64) error { s += tuple[v.View.Arity()]; return nil })
+		return s
+	}
+	if sum(re) != sum(vd) {
+		t.Fatal("replica sum differs")
+	}
+	// Replica is in its own pack order.
+	var prev []int64
+	re.Iterate(func(tuple []int64) error {
+		cur := append([]int64(nil), tuple[:3]...)
+		if prev != nil && !rtree.PackLess(prev, cur) {
+			t.Fatalf("replica not pack ordered: %v then %v", prev, cur)
+		}
+		prev = cur
+		return nil
+	})
+}
+
+func TestTupleReaderMatchesIterate(t *testing.T) {
+	res, err := Compute(t.TempDir(), smallFacts(), viewsOf(
+		[]lattice.Attr{"partkey", "suppkey"},
+	), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := res["partkey,suppkey"]
+	var pushed [][]int64
+	vd.Iterate(func(tuple []int64) error {
+		pushed = append(pushed, append([]int64(nil), tuple...))
+		return nil
+	})
+	r, err := vd.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; ; i++ {
+		tup, err := r.Next()
+		if err != nil {
+			if i != len(pushed) {
+				t.Fatalf("reader stopped at %d of %d", i, len(pushed))
+			}
+			break
+		}
+		for j := range tup {
+			if tup[j] != pushed[i][j] {
+				t.Fatalf("reader tuple %d differs: %v vs %v", i, tup, pushed[i])
+			}
+		}
+	}
+}
+
+func TestWriteTuples(t *testing.T) {
+	v := lattice.View{Attrs: []lattice.Attr{"a", "b"}}
+	vd, err := WriteTuples(t.TempDir(), v, [][]int64{
+		{2, 1, 10, 1}, {1, 1, 5, 1}, {2, 1, 3, 1},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, vd)
+	if len(got) != 2 {
+		t.Fatalf("groups = %d", len(got))
+	}
+	if tup := got["[2 1]"]; tup[2] != 13 || tup[3] != 2 {
+		t.Fatalf("(2,1) = %v", tup)
+	}
+}
+
+func TestComputeOnTPCDStream(t *testing.T) {
+	d := tpcd.New(tpcd.Params{SF: 0.002, Seed: 1})
+	views := viewsOf(
+		string2attrs("partkey", "suppkey", "custkey"),
+		string2attrs("partkey", "suppkey"),
+		string2attrs("custkey"),
+		nil,
+	)
+	res, err := Compute(t.TempDir(), &factAdapter{it: d.FactRows()}, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res["custkey,partkey,suppkey"]
+	if top.Rows == 0 || top.Rows > d.Facts {
+		t.Fatalf("top rows = %d", top.Rows)
+	}
+	// |ps| bounded by the PARTSUPP correlation.
+	ps := res["partkey,suppkey"]
+	if ps.Rows > 4*d.Parts {
+		t.Fatalf("|ps| = %d > 4*parts", ps.Rows)
+	}
+	// Total quantity conserved across every view.
+	total := func(vd *ViewData) int64 {
+		var s int64
+		vd.Iterate(func(tuple []int64) error { s += tuple[vd.View.Arity()]; return nil })
+		return s
+	}
+	want := total(res["none"])
+	for k, vd := range res {
+		if got := total(vd); got != want {
+			t.Fatalf("view %s total %d != %d", k, got, want)
+		}
+	}
+}
+
+func TestComputeParallelMatchesSequential(t *testing.T) {
+	d := tpcd.New(tpcd.Params{SF: 0.002, Seed: 3})
+	views := viewsOf(
+		string2attrs("partkey", "suppkey", "custkey"),
+		string2attrs("partkey", "suppkey"),
+		string2attrs("partkey"),
+		string2attrs("suppkey"),
+		string2attrs("custkey"),
+		nil,
+	)
+	seq, err := Compute(t.TempDir(), &factAdapter{it: d.FactRows()}, views, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Compute(t.TempDir(), &factAdapter{it: d.FactRows()}, views, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("view counts differ: %d vs %d", len(seq), len(par))
+	}
+	for key, a := range seq {
+		b := par[key]
+		if b == nil || a.Rows != b.Rows {
+			t.Fatalf("view %s rows differ: %d vs %v", key, a.Rows, b)
+		}
+		am := collect(t, a)
+		bm := collect(t, b)
+		if len(am) != len(bm) {
+			t.Fatalf("view %s groups differ", key)
+		}
+		for k, tup := range am {
+			other := bm[k]
+			for i := range tup {
+				if tup[i] != other[i] {
+					t.Fatalf("view %s group %s differs: %v vs %v", key, k, tup, other)
+				}
+			}
+		}
+	}
+}
+
+func string2attrs(names ...string) []lattice.Attr {
+	out := make([]lattice.Attr, len(names))
+	for i, n := range names {
+		out[i] = lattice.Attr(n)
+	}
+	return out
+}
+
+// factAdapter bridges tpcd.Iterator to cube.RowIter.
+type factAdapter struct{ it *tpcd.Iterator }
+
+func (f *factAdapter) Next() bool { return f.it.Next() }
+func (f *factAdapter) Value(a lattice.Attr) (int64, error) {
+	return f.it.Value(a)
+}
+func (f *factAdapter) Measure() int64 { return f.it.Fact().Quantity }
+
+func keys(m map[string]*ViewData) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

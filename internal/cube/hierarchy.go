@@ -1,0 +1,92 @@
+package cube
+
+import (
+	"fmt"
+
+	"cubetree/internal/lattice"
+)
+
+// Hierarchy declares that attribute To is a function of attribute From —
+// e.g. brand = f(partkey) along the paper's part-type -> part hierarchy, or
+// year = f(month-key) along the time dimension. Declaring hierarchies lets
+// the computation pipeline derive a roll-up view from an already-computed
+// finer view instead of re-scanning the fact stream, exactly the
+// derives-from relation with hierarchies of Harinarayan et al. that the
+// paper's Figure 10 plan uses.
+type Hierarchy struct {
+	From lattice.Attr
+	To   lattice.Attr
+	// Map computes the coarse attribute value from the fine one. It must
+	// be a pure function returning values >= 1.
+	Map func(int64) int64
+}
+
+// hierarchySet indexes hierarchies by target attribute.
+type hierarchySet map[lattice.Attr]Hierarchy
+
+func newHierarchySet(hs []Hierarchy) (hierarchySet, error) {
+	set := make(hierarchySet, len(hs))
+	for _, h := range hs {
+		if h.Map == nil {
+			return nil, fmt.Errorf("cube: hierarchy %s->%s has no mapping", h.From, h.To)
+		}
+		if h.From == h.To {
+			return nil, fmt.Errorf("cube: hierarchy %s maps to itself", h.From)
+		}
+		if _, dup := set[h.To]; dup {
+			return nil, fmt.Errorf("cube: attribute %s has two hierarchies", h.To)
+		}
+		set[h.To] = h
+	}
+	return set, nil
+}
+
+// resolve returns, for each child attribute, how to obtain it from a
+// parent view: the parent column index and an optional mapping. ok is
+// false if some attribute is neither in the parent nor reachable through
+// one hierarchy step from a parent attribute.
+func (hs hierarchySet) resolve(child, parent lattice.View) (plan []attrSource, ok bool) {
+	plan = make([]attrSource, child.Arity())
+	for i, a := range child.Attrs {
+		found := false
+		for j, pa := range parent.Attrs {
+			if a == pa {
+				plan[i] = attrSource{col: j}
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		h, has := hs[a]
+		if !has {
+			return nil, false
+		}
+		for j, pa := range parent.Attrs {
+			if h.From == pa {
+				plan[i] = attrSource{col: j, mapFn: h.Map}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return plan, true
+}
+
+// attrSource produces one child attribute from a parent tuple.
+type attrSource struct {
+	col   int
+	mapFn func(int64) int64
+}
+
+func (s attrSource) value(parentTuple []int64) int64 {
+	v := parentTuple[s.col]
+	if s.mapFn != nil {
+		return s.mapFn(v)
+	}
+	return v
+}

@@ -1,0 +1,89 @@
+// Package enc defines the fixed-width little-endian tuple encoding shared by
+// every storage component. A tuple is a sequence of int64 fields; field i
+// occupies bytes [8i, 8i+8).
+package enc
+
+import "encoding/binary"
+
+// FieldSize is the encoded size of one tuple field in bytes.
+const FieldSize = 8
+
+// TupleSize returns the encoded size in bytes of a tuple with n fields.
+func TupleSize(n int) int { return n * FieldSize }
+
+// PutField stores v as field i of buf.
+func PutField(buf []byte, i int, v int64) {
+	binary.LittleEndian.PutUint64(buf[i*FieldSize:], uint64(v))
+}
+
+// Field loads field i of buf.
+func Field(buf []byte, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(buf[i*FieldSize:]))
+}
+
+// PutTuple encodes vals into buf, which must hold TupleSize(len(vals)) bytes.
+func PutTuple(buf []byte, vals []int64) {
+	for i, v := range vals {
+		PutField(buf, i, v)
+	}
+}
+
+// Tuple decodes n fields of buf into a fresh slice.
+func Tuple(buf []byte, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = Field(buf, i)
+	}
+	return out
+}
+
+// AppendTuple appends the encoding of vals to dst and returns the extended
+// slice.
+func AppendTuple(dst []byte, vals []int64) []byte {
+	for _, v := range vals {
+		var b [FieldSize]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// Less is a total order over encoded tuples.
+type Less func(a, b []byte) bool
+
+// CompareFields compares field i of a and b, returning -1, 0 or +1.
+func CompareFields(a, b []byte, i int) int {
+	av, bv := Field(a, i), Field(b, i)
+	switch {
+	case av < bv:
+		return -1
+	case av > bv:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// LessByFields returns a Less comparing the given fields in order. Fields
+// not listed do not participate in the order.
+func LessByFields(fields []int) Less {
+	order := append([]int(nil), fields...)
+	return func(a, b []byte) bool {
+		for _, f := range order {
+			if c := CompareFields(a, b, f); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	}
+}
+
+// EqualFields reports whether a and b agree on every listed field.
+func EqualFields(a, b []byte, fields []int) bool {
+	for _, f := range fields {
+		if CompareFields(a, b, f) != 0 {
+			return false
+		}
+	}
+	return true
+}

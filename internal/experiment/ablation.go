@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cubetree/internal/core"
+	"cubetree/internal/cube"
+	"cubetree/internal/greedy"
+	"cubetree/internal/lattice"
+	"cubetree/internal/pager"
+	"cubetree/internal/tpcd"
+	"cubetree/internal/workload"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out, on one
+// dataset: SelectMapping vs one-tree-per-view, replicas on/off, and a
+// buffer pool sweep. Each row reports bytes and the modelled cost of a
+// fixed query batch.
+type Ablations struct {
+	Rows []AblationRow
+}
+
+// AblationRow is one configuration's measurements.
+type AblationRow struct {
+	Name    string
+	Trees   int
+	Bytes   int64
+	Queries int
+	Modeled time.Duration
+}
+
+// RunAblations builds each variant from the same computed view data and
+// runs an identical query batch against it.
+func RunAblations(p Params) (Ablations, error) {
+	p = p.withDefaults()
+	ds := tpcd.New(tpcd.Params{SF: p.SF, Seed: p.Seed})
+	sel := greedy.PaperSelection(tpcd.AttrPart, tpcd.AttrSupplier, tpcd.AttrCustomer)
+	scratch, err := tempDir(p.Dir)
+	if err != nil {
+		return Ablations{}, err
+	}
+	data, err := cube.Compute(scratch, &factRows{it: ds.FactRows()}, sel.Views, cube.Options{})
+	if err != nil {
+		return Ablations{}, err
+	}
+	top := data[lattice.CanonKey([]lattice.Attr{tpcd.AttrPart, tpcd.AttrSupplier, tpcd.AttrCustomer})]
+
+	baseSources := make([]*cube.ViewData, 0, len(sel.Views))
+	for _, view := range sel.Views {
+		baseSources = append(baseSources, data[view.Key()])
+	}
+	withReplicas := append([]*cube.ViewData(nil), baseSources...)
+	for _, order := range replicaOrders() {
+		rep, err := cube.Reorder(scratch, top, order, cube.Options{})
+		if err != nil {
+			return Ablations{}, err
+		}
+		withReplicas = append(withReplicas, rep)
+	}
+
+	type variant struct {
+		name    string
+		sources []*cube.ViewData
+		mapping func([]lattice.View) core.Mapping
+		// budget is the TOTAL pool pages across all trees, so variants
+		// with more trees do not silently get more memory.
+		budget int
+	}
+	// The baseline SelectMapping forest has 3 trees.
+	base := p.PoolPages * 3
+	variants := []variant{
+		{"selectmapping+replicas", withReplicas, nil, base},
+		{"selectmapping, no replicas", baseSources, nil, base},
+		{"one tree per view", withReplicas, core.PerViewMapping, base},
+		{"memory/4", withReplicas, nil, maxInt(base/4, 6)},
+		{"memory*4", withReplicas, nil, base * 4},
+	}
+
+	var out Ablations
+	for vi, v := range variants {
+		stats := &pager.Stats{}
+		views := make([]lattice.View, len(v.sources))
+		for i, s := range v.sources {
+			views[i] = s.View
+		}
+		mapping := core.SelectMapping(views)
+		if v.mapping != nil {
+			mapping = v.mapping(views)
+		}
+		opts := core.BuildOptions{
+			PoolPages: maxInt(v.budget/len(mapping.Trees), 2),
+			Domains:   ds.Domains(),
+			Stats:     stats,
+			Mapping:   &mapping,
+		}
+		forest, err := core.Build(filepath.Join(scratch, fmt.Sprintf("ab%d", vi)), v.sources, opts)
+		if err != nil {
+			return out, fmt.Errorf("ablation %q: %w", v.name, err)
+		}
+		gen := workload.NewGenerator(p.Seed^0xab1a, ds.Domains())
+		nodes := Nodes()
+		mark := stats.Snapshot()
+		n := 0
+		for _, node := range nodes {
+			for i := 0; i < p.QueriesPerView; i++ {
+				if _, err := forest.Execute(gen.ForNode(node)); err != nil {
+					forest.Close()
+					return out, fmt.Errorf("ablation %q: %w", v.name, err)
+				}
+				n++
+			}
+		}
+		io := stats.Snapshot().Sub(mark)
+		out.Rows = append(out.Rows, AblationRow{
+			Name:    v.name,
+			Trees:   forest.Trees(),
+			Bytes:   forest.TotalBytes(),
+			Queries: n,
+			Modeled: p.Model.Cost(io),
+		})
+		forest.Close()
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// tempDir returns a scratch directory inside base (or the OS default).
+func tempDir(base string) (string, error) {
+	if base == "" {
+		return os.MkdirTemp("", "cubetree-ablation-")
+	}
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		return "", err
+	}
+	return os.MkdirTemp(base, "ablation-")
+}
+
+// String renders the ablation table.
+func (a Ablations) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations (same views + identical query batch per variant)\n")
+	fmt.Fprintf(&b, "%-28s %6s %12s %8s %14s\n", "variant", "trees", "bytes", "queries", "modelled")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-28s %6d %12d %8d %14s\n", r.Name, r.Trees, r.Bytes, r.Queries, fmtDur(r.Modeled))
+	}
+	return b.String()
+}
+
+// CSV renders the ablation table as CSV.
+func (a Ablations) CSV() string {
+	var b strings.Builder
+	b.WriteString("variant,trees,bytes,queries,modelled_ms\n")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%q,%d,%d,%d,%.1f\n", r.Name, r.Trees, r.Bytes, r.Queries, ms(r.Modeled))
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// barWidth is the maximum bar length in characters.
+const barWidth = 40
+
+// bar renders a proportional horizontal bar.
+func bar(value, max float64) string {
+	if max <= 0 || value <= 0 {
+		return ""
+	}
+	n := int(value / max * barWidth)
+	if n < 1 {
+		n = 1
+	}
+	if n > barWidth {
+		n = barWidth
+	}
+	return strings.Repeat("#", n)
+}
+
+// Chart renders Figure 12 as paired horizontal bars per view, echoing the
+// paper's bar chart.
+func (f Fig12) Chart() string {
+	var max float64
+	for _, r := range f.Rows {
+		if v := float64(r.ConvModeled); v > max {
+			max = v
+		}
+		if v := float64(r.CubeModeled); v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12 (bars: modelled batch time; C=conventional, T=cubetrees)\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-28s C %-*s %s\n", r.View, barWidth,
+			bar(float64(r.ConvModeled), max), fmtDur(r.ConvModeled))
+		fmt.Fprintf(&b, "%-28s T %-*s %s\n", "", barWidth,
+			bar(float64(r.CubeModeled), max), fmtDur(r.CubeModeled))
+	}
+	return b.String()
+}
+
+// Chart renders Figure 13's throughput ranges as bars, echoing the paper's
+// min/max plot.
+func (f Fig13) Chart() string {
+	max := f.CubeAvg
+	if f.ConvAvg > max {
+		max = f.ConvAvg
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13 (bars: avg queries/sec, modelled)\n")
+	fmt.Fprintf(&b, "%-14s %-*s %.1f (min %.1f, max %.1f)\n", "Conventional",
+		barWidth, bar(f.ConvAvg, max), f.ConvAvg, f.ConvMin, f.ConvMax)
+	fmt.Fprintf(&b, "%-14s %-*s %.1f (min %.1f, max %.1f)\n", "Cubetrees",
+		barWidth, bar(f.CubeAvg, max), f.CubeAvg, f.CubeMin, f.CubeMax)
+	return b.String()
+}
+
+// Chart renders Figure 14's two scales side by side.
+func (f Fig14) Chart() string {
+	var max float64
+	for _, r := range f.Rows {
+		if v := float64(r.Base2x); v > max {
+			max = v
+		}
+		if v := float64(r.Base1x); v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 14 (bars: modelled batch time; 1=1x dataset, 2=2x dataset)\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-28s 1 %-*s %s\n", r.View, barWidth,
+			bar(float64(r.Base1x), max), fmtDur(r.Base1x))
+		fmt.Fprintf(&b, "%-28s 2 %-*s %s\n", "", barWidth,
+			bar(float64(r.Base2x), max), fmtDur(r.Base2x))
+	}
+	return b.String()
+}

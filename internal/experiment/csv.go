@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// CSV renderers: each experiment result can emit the series the paper
+// plots as comma-separated values, so figures can be regenerated with any
+// plotting tool (ctbench -csv <dir> writes one file per artifact).
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// CSV renders Table 5 rows.
+func (t Table5) CSV() string {
+	var b strings.Builder
+	b.WriteString("cubetree,view,tuples\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%q,%q,%d\n", r.Tree, r.View, r.Points)
+	}
+	return b.String()
+}
+
+// CSV renders Table 6 phases in modelled milliseconds.
+func (t Table6) CSV() string {
+	var b strings.Builder
+	b.WriteString("configuration,views_ms,indices_ms,total_ms,wall_ms\n")
+	fmt.Fprintf(&b, "conventional,%.1f,%.1f,%.1f,%.1f\n",
+		ms(t.ComputeModeled+t.ConvViewsModeled), ms(t.ConvIndexModeled),
+		ms(t.ComputeModeled+t.ConvViewsModeled+t.ConvIndexModeled),
+		ms(t.ComputeWall+t.ConvViewsWall+t.ConvIndexWall))
+	fmt.Fprintf(&b, "cubetrees,%.1f,0,%.1f,%.1f\n",
+		ms(t.ComputeModeled+t.CubeModeled), ms(t.ComputeModeled+t.CubeModeled),
+		ms(t.ComputeWall+t.CubeWall))
+	return b.String()
+}
+
+// CSV renders the storage comparison.
+func (st Storage) CSV() string {
+	var b strings.Builder
+	b.WriteString("metric,bytes\n")
+	fmt.Fprintf(&b, "conventional_tables,%d\n", st.ConvTables)
+	fmt.Fprintf(&b, "conventional_indexes,%d\n", st.ConvIndexes)
+	fmt.Fprintf(&b, "conventional_total,%d\n", st.ConvTotal)
+	fmt.Fprintf(&b, "cubetrees_total,%d\n", st.CubeTotal)
+	fmt.Fprintf(&b, "saving_pct,%.1f\n", st.Saving*100)
+	fmt.Fprintf(&b, "leaf_page_pct,%.1f\n", st.CubeLeafFrac*100)
+	return b.String()
+}
+
+// CSV renders the Figure 12 series.
+func (f Fig12) CSV() string {
+	var b strings.Builder
+	b.WriteString("view,queries,conventional_ms,cubetrees_ms,conventional_wall_ms,cubetrees_wall_ms\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%q,%d,%.1f,%.1f,%.1f,%.1f\n",
+			r.View, r.Queries, ms(r.ConvModeled), ms(r.CubeModeled),
+			ms(r.ConvWall), ms(r.CubeWall))
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 13 throughput summary.
+func (f Fig13) CSV() string {
+	var b strings.Builder
+	b.WriteString("configuration,min_qps,max_qps,avg_qps\n")
+	fmt.Fprintf(&b, "conventional,%.2f,%.2f,%.2f\n", f.ConvMin, f.ConvMax, f.ConvAvg)
+	fmt.Fprintf(&b, "cubetrees,%.2f,%.2f,%.2f\n", f.CubeMin, f.CubeMax, f.CubeAvg)
+	return b.String()
+}
+
+// CSV renders the Figure 14 scalability series.
+func (f Fig14) CSV() string {
+	var b strings.Builder
+	b.WriteString("view,queries,base1x_ms,base2x_ms,rows1x,rows2x\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%q,%d,%.1f,%.1f,%d,%d\n",
+			r.View, r.Queries, ms(r.Base1x), ms(r.Base2x), r.Output1x, r.Output2x)
+	}
+	return b.String()
+}
+
+// CSV renders Table 7 methods in modelled milliseconds.
+func (t Table7) CSV() string {
+	var b strings.Builder
+	b.WriteString("method,modelled_ms,wall_ms,timed_out\n")
+	fmt.Fprintf(&b, "incremental_conventional,%.1f,%.1f,%v\n", ms(t.IncModeled), ms(t.IncWall), t.IncTimedOut)
+	fmt.Fprintf(&b, "recompute_conventional,%.1f,%.1f,false\n", ms(t.RecompModeled), ms(t.RecompWall))
+	fmt.Fprintf(&b, "mergepack_cubetrees,%.1f,%.1f,false\n", ms(t.CubeModeled), ms(t.CubeWall))
+	return b.String()
+}
+
+// WriteCSV stores content under dir/name, creating dir if needed.
+func WriteCSV(dir, name, content string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}

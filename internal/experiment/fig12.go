@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Fig12 reproduces Figure 12, "Querying the views": the total time of 100
+// random slice queries per lattice view under each configuration. Every
+// query is answered by both engines and the results are cross-checked, so
+// a Fig12 run is also an end-to-end equivalence test of the two storage
+// organizations.
+type Fig12 struct {
+	Rows []Fig12Row
+}
+
+// Fig12Row is one view's batch measurement.
+type Fig12Row struct {
+	View        string
+	Queries     int
+	ConvWall    time.Duration
+	ConvModeled time.Duration
+	CubeWall    time.Duration
+	CubeModeled time.Duration
+}
+
+// RunFig12 executes the query batches over all seven non-scalar lattice
+// views.
+func (s *Setup) RunFig12() (Fig12, error) {
+	var f Fig12
+	for i, node := range Nodes() {
+		res, err := s.runBatch(node, s.Params.QueriesPerView, s.Params.Seed+uint64(i)*7919)
+		if err != nil {
+			return f, err
+		}
+		f.Rows = append(f.Rows, Fig12Row{
+			View:        NodeLabel(node),
+			Queries:     res.Queries,
+			ConvWall:    res.ConvWall,
+			ConvModeled: s.Params.Model.Cost(res.ConvIO),
+			CubeWall:    res.CubeWall,
+			CubeModeled: s.Params.Model.Cost(res.CubeIO),
+		})
+	}
+	return f, nil
+}
+
+// String renders the figure's series as a table.
+func (f Fig12) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12: Querying the views (total time for batch, modelled | wall)\n")
+	fmt.Fprintf(&b, "%-28s %6s %14s %14s | %12s %12s\n",
+		"View", "n", "Conventional", "Cubetrees", "conv wall", "cube wall")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-28s %6d %14s %14s | %12s %12s\n",
+			r.View, r.Queries, fmtDur(r.ConvModeled), fmtDur(r.CubeModeled),
+			fmtDur(r.ConvWall), fmtDur(r.CubeWall))
+	}
+	return b.String()
+}
+
+// Fig13 reproduces Figure 13, "System throughput": the minimum, maximum and
+// average queries/second of each configuration over the Figure 12 batches.
+// The paper measured conventional avg 1.1 q/s vs Cubetrees 10.1 q/s.
+type Fig13 struct {
+	ConvMin, ConvMax, ConvAvg float64
+	CubeMin, CubeMax, CubeAvg float64
+}
+
+// RunFig13 derives throughput from a Fig12 result using modelled time.
+func RunFig13(f Fig12) Fig13 {
+	var out Fig13
+	var convTotal, cubeTotal time.Duration
+	var n int
+	for i, r := range f.Rows {
+		conv := throughput(r.Queries, r.ConvModeled)
+		cube := throughput(r.Queries, r.CubeModeled)
+		if i == 0 {
+			out.ConvMin, out.ConvMax = conv, conv
+			out.CubeMin, out.CubeMax = cube, cube
+		}
+		out.ConvMin = min2(out.ConvMin, conv)
+		out.ConvMax = max2(out.ConvMax, conv)
+		out.CubeMin = min2(out.CubeMin, cube)
+		out.CubeMax = max2(out.CubeMax, cube)
+		convTotal += r.ConvModeled
+		cubeTotal += r.CubeModeled
+		n += r.Queries
+	}
+	out.ConvAvg = throughput(n, convTotal)
+	out.CubeAvg = throughput(n, cubeTotal)
+	return out
+}
+
+func throughput(n int, d time.Duration) float64 {
+	if d <= 0 {
+		// A batch that cost no I/O at all was fully buffered; report it as
+		// if it took one model tick rather than dividing by zero.
+		d = time.Millisecond
+	}
+	return float64(n) / d.Seconds()
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders the throughput comparison.
+func (f Fig13) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13: System throughput (queries/sec, modelled)\n")
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s\n", "Configuration", "min", "max", "avg")
+	fmt.Fprintf(&b, "%-14s %8.2f %8.2f %8.2f\n", "Conventional", f.ConvMin, f.ConvMax, f.ConvAvg)
+	fmt.Fprintf(&b, "%-14s %8.2f %8.2f %8.2f\n", "Cubetrees", f.CubeMin, f.CubeMax, f.CubeAvg)
+	if f.ConvAvg > 0 {
+		fmt.Fprintf(&b, "cubetree/conventional avg ratio: %.1fx (paper: ~10x)\n", f.CubeAvg/f.ConvAvg)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cubetree/internal/workload"
+)
+
+// Fig14 reproduces Figure 14, "Scalability test (Cubetrees only)": the same
+// query batches against a 1x and a 2x dataset. The paper's point is that
+// Cubetree query time is practically unaffected by doubling the input.
+type Fig14 struct {
+	Rows []Fig14Row
+}
+
+// Fig14Row is one view's batch at both scales.
+type Fig14Row struct {
+	View               string
+	Queries            int
+	Base1x, Base2x     time.Duration // modelled
+	Wall1x, Wall2x     time.Duration
+	Output1x, Output2x int64 // result rows, explaining small differences
+}
+
+// RunFig14 builds a second setup at twice the scale factor and queries both
+// forests with identical query batches.
+func RunFig14(p Params) (Fig14, error) {
+	p = p.withDefaults()
+	p2 := p
+	p2.SF = p.SF * 2
+	p2.Dir = ""
+
+	s1, err := NewSetup(p)
+	if err != nil {
+		return Fig14{}, err
+	}
+	defer s1.Close()
+	s2, err := NewSetup(p2)
+	if err != nil {
+		return Fig14{}, err
+	}
+	defer s2.Close()
+
+	var f Fig14
+	for i, node := range Nodes() {
+		// Use the SMALLER dataset's domains for both batches so queries are
+		// identical and in-range on both scales.
+		gen1 := workload.NewGenerator(p.Seed+uint64(i)*104729, s1.Dataset.Domains())
+		gen2 := workload.NewGenerator(p.Seed+uint64(i)*104729, s1.Dataset.Domains())
+		row := Fig14Row{View: NodeLabel(node), Queries: p.QueriesPerView}
+
+		mark := s1.CubeStats().Snapshot()
+		start := time.Now()
+		for j := 0; j < p.QueriesPerView; j++ {
+			rows, err := s1.Forest.Execute(gen1.ForNode(node))
+			if err != nil {
+				return f, err
+			}
+			row.Output1x += int64(len(rows))
+		}
+		row.Wall1x = time.Since(start)
+		row.Base1x = p.Model.Cost(s1.CubeStats().Snapshot().Sub(mark))
+
+		mark = s2.CubeStats().Snapshot()
+		start = time.Now()
+		for j := 0; j < p.QueriesPerView; j++ {
+			rows, err := s2.Forest.Execute(gen2.ForNode(node))
+			if err != nil {
+				return f, err
+			}
+			row.Output2x += int64(len(rows))
+		}
+		row.Wall2x = time.Since(start)
+		row.Base2x = p.Model.Cost(s2.CubeStats().Snapshot().Sub(mark))
+
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// String renders the scalability comparison.
+func (f Fig14) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 14: Scalability test, Cubetrees only (batch time, modelled)\n")
+	fmt.Fprintf(&b, "%-28s %6s %12s %12s %10s %10s\n", "View", "n", "1x dataset", "2x dataset", "rows 1x", "rows 2x")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-28s %6d %12s %12s %10d %10d\n",
+			r.View, r.Queries, fmtDur(r.Base1x), fmtDur(r.Base2x), r.Output1x, r.Output2x)
+	}
+	return b.String()
+}

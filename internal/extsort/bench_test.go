@@ -1,0 +1,52 @@
+package extsort
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"cubetree/internal/enc"
+)
+
+func benchSort(b *testing.B, records int, memLimit int) {
+	b.Helper()
+	less := enc.LessByFields([]int{2, 1, 0}) // pack order
+	r := rand.New(rand.NewSource(1))
+	tuples := make([][]int64, records)
+	for i := range tuples {
+		tuples[i] = []int64{r.Int63n(1 << 20), r.Int63n(1 << 20), r.Int63n(1 << 20), 1}
+	}
+	b.SetBytes(int64(records) * 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSorter(b.TempDir(), 32, less, memLimit, nil)
+		for _, t := range tuples {
+			if err := s.AddTuple(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		it, err := s.Sort()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := it.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		it.Close()
+		if n != records {
+			b.Fatalf("sorted %d of %d", n, records)
+		}
+	}
+}
+
+// BenchmarkSortInMemory sorts entirely in RAM.
+func BenchmarkSortInMemory(b *testing.B) { benchSort(b, 100000, 8<<20) }
+
+// BenchmarkSortSpilled forces multi-run spills and a k-way merge.
+func BenchmarkSortSpilled(b *testing.B) { benchSort(b, 100000, 256<<10) }

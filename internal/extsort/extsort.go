@@ -1,0 +1,321 @@
+// Package extsort implements external merge sort over fixed-width records.
+//
+// The Cubetree organization depends on sorting everywhere: views are
+// computed by sort-based aggregation, Cubetrees are packed from sorted
+// runs, and bulk incremental updates merge a sorted delta with the sorted
+// leaves. This sorter spills sorted runs to temporary files and k-way
+// merges them, charging its file traffic to a pager.Stats as sequential
+// page transfers, which is exactly what the paper's sort phase costs.
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"cubetree/internal/enc"
+	"cubetree/internal/pager"
+)
+
+// DefaultMemLimit is the default in-memory buffer size before a run spills.
+const DefaultMemLimit = 16 << 20
+
+// Iterator yields encoded records in sorted order. Implementations return
+// io.EOF from Next after the last record.
+type Iterator interface {
+	// Next returns the next record. The returned slice is valid until the
+	// following call to Next.
+	Next() ([]byte, error)
+	// Close releases resources held by the iterator.
+	Close() error
+}
+
+// Sorter accumulates fixed-width records and produces them in sorted order.
+// The zero value is not usable; call NewSorter.
+type Sorter struct {
+	dir      string
+	width    int
+	less     enc.Less
+	memLimit int
+	stats    *pager.Stats
+
+	buf   []byte
+	count int64
+	runs  []string
+	done  bool
+}
+
+// NewSorter creates a sorter for records of the given width (bytes) ordered
+// by less. Spill files are created inside dir. memLimit bounds the
+// in-memory buffer in bytes; values < width are raised to DefaultMemLimit.
+// stats may be nil.
+func NewSorter(dir string, width int, less enc.Less, memLimit int, stats *pager.Stats) *Sorter {
+	if memLimit < width {
+		memLimit = DefaultMemLimit
+	}
+	if stats == nil {
+		stats = &pager.Stats{}
+	}
+	return &Sorter{dir: dir, width: width, less: less, memLimit: memLimit, stats: stats}
+}
+
+// Add appends one record (exactly the sorter's width) to the input.
+func (s *Sorter) Add(rec []byte) error {
+	if s.done {
+		return fmt.Errorf("extsort: Add after Sort")
+	}
+	if len(rec) != s.width {
+		return fmt.Errorf("extsort: record width %d, want %d", len(rec), s.width)
+	}
+	if len(s.buf)+s.width > s.memLimit && len(s.buf) > 0 {
+		if err := s.spill(); err != nil {
+			return err
+		}
+	}
+	s.buf = append(s.buf, rec...)
+	s.count++
+	return nil
+}
+
+// AddTuple encodes vals and appends the record.
+func (s *Sorter) AddTuple(vals []int64) error {
+	if enc.TupleSize(len(vals)) != s.width {
+		return fmt.Errorf("extsort: tuple of %d fields, want width %d", len(vals), s.width)
+	}
+	if s.done {
+		return fmt.Errorf("extsort: Add after Sort")
+	}
+	if len(s.buf)+s.width > s.memLimit && len(s.buf) > 0 {
+		if err := s.spill(); err != nil {
+			return err
+		}
+	}
+	s.buf = enc.AppendTuple(s.buf, vals)
+	s.count++
+	return nil
+}
+
+// Count returns the number of records added so far.
+func (s *Sorter) Count() int64 { return s.count }
+
+func (s *Sorter) sortBuf() {
+	n := len(s.buf) / s.width
+	sort.Sort(&recordSlice{buf: s.buf, width: s.width, n: n, less: s.less,
+		tmp: make([]byte, s.width)})
+}
+
+func (s *Sorter) spill() error {
+	s.sortBuf()
+	f, err := os.CreateTemp(s.dir, "run-*.sort")
+	if err != nil {
+		return fmt.Errorf("extsort: spill: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.Write(s.buf); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: spill write: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: spill flush: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("extsort: spill close: %w", err)
+	}
+	s.stats.AddSequentialWrites(uint64((len(s.buf) + pager.PageSize - 1) / pager.PageSize))
+	s.runs = append(s.runs, f.Name())
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Sort finishes input and returns an iterator over all records in order.
+// The sorter cannot be reused afterwards.
+func (s *Sorter) Sort() (Iterator, error) {
+	if s.done {
+		return nil, fmt.Errorf("extsort: Sort called twice")
+	}
+	s.done = true
+	if len(s.runs) == 0 {
+		s.sortBuf()
+		return &memIterator{buf: s.buf, width: s.width}, nil
+	}
+	if len(s.buf) > 0 {
+		if err := s.spill(); err != nil {
+			return nil, err
+		}
+	}
+	return newMergeIterator(s.runs, s.width, s.less, s.stats)
+}
+
+// recordSlice adapts a packed record buffer to sort.Interface.
+type recordSlice struct {
+	buf   []byte
+	width int
+	n     int
+	less  enc.Less
+	tmp   []byte
+}
+
+func (r *recordSlice) Len() int { return r.n }
+func (r *recordSlice) Less(i, j int) bool {
+	return r.less(r.buf[i*r.width:(i+1)*r.width], r.buf[j*r.width:(j+1)*r.width])
+}
+func (r *recordSlice) Swap(i, j int) {
+	a := r.buf[i*r.width : (i+1)*r.width]
+	b := r.buf[j*r.width : (j+1)*r.width]
+	copy(r.tmp, a)
+	copy(a, b)
+	copy(b, r.tmp)
+}
+
+// memIterator iterates over an in-memory sorted buffer.
+type memIterator struct {
+	buf   []byte
+	width int
+	off   int
+}
+
+func (it *memIterator) Next() ([]byte, error) {
+	if it.off >= len(it.buf) {
+		return nil, io.EOF
+	}
+	rec := it.buf[it.off : it.off+it.width]
+	it.off += it.width
+	return rec, nil
+}
+
+func (it *memIterator) Close() error { return nil }
+
+// runReader streams one spilled run.
+type runReader struct {
+	f    *os.File
+	r    *bufio.Reader
+	rec  []byte
+	path string
+}
+
+func openRun(path string, width int) (*runReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &runReader{f: f, r: bufio.NewReaderSize(f, 1<<20), rec: make([]byte, width), path: path}, nil
+}
+
+// next loads the next record into rr.rec; io.EOF at end.
+func (rr *runReader) next() error {
+	_, err := io.ReadFull(rr.r, rr.rec)
+	if err == io.ErrUnexpectedEOF {
+		return io.EOF
+	}
+	return err
+}
+
+func (rr *runReader) close() error {
+	err := rr.f.Close()
+	os.Remove(rr.path)
+	return err
+}
+
+// mergeIterator k-way merges spilled runs with a heap.
+type mergeIterator struct {
+	h     runHeap
+	less  enc.Less
+	stats *pager.Stats
+	bytes int64
+	out   []byte
+}
+
+func newMergeIterator(runs []string, width int, less enc.Less, stats *pager.Stats) (*mergeIterator, error) {
+	m := &mergeIterator{less: less, stats: stats, out: make([]byte, width)}
+	m.h.less = less
+	for _, path := range runs {
+		rr, err := openRun(path, width)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("extsort: open run: %w", err)
+		}
+		if err := rr.next(); err == io.EOF {
+			rr.close()
+			continue
+		} else if err != nil {
+			rr.close()
+			m.Close()
+			return nil, fmt.Errorf("extsort: read run: %w", err)
+		}
+		m.h.readers = append(m.h.readers, rr)
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+func (m *mergeIterator) Next() ([]byte, error) {
+	if len(m.h.readers) == 0 {
+		return nil, io.EOF
+	}
+	top := m.h.readers[0]
+	copy(m.out, top.rec)
+	m.bytes += int64(len(m.out))
+	switch err := top.next(); err {
+	case nil:
+		heap.Fix(&m.h, 0)
+	case io.EOF:
+		heap.Pop(&m.h).(*runReader).close()
+	default:
+		return nil, fmt.Errorf("extsort: merge read: %w", err)
+	}
+	return m.out, nil
+}
+
+func (m *mergeIterator) Close() error {
+	for _, rr := range m.h.readers {
+		rr.close()
+	}
+	m.h.readers = nil
+	m.stats.AddSequentialReads(uint64((m.bytes + pager.PageSize - 1) / pager.PageSize))
+	return nil
+}
+
+type runHeap struct {
+	readers []*runReader
+	less    enc.Less
+}
+
+func (h *runHeap) Len() int           { return len(h.readers) }
+func (h *runHeap) Less(i, j int) bool { return h.less(h.readers[i].rec, h.readers[j].rec) }
+func (h *runHeap) Swap(i, j int)      { h.readers[i], h.readers[j] = h.readers[j], h.readers[i] }
+func (h *runHeap) Push(x interface{}) { h.readers = append(h.readers, x.(*runReader)) }
+func (h *runHeap) Pop() interface{} {
+	last := h.readers[len(h.readers)-1]
+	h.readers = h.readers[:len(h.readers)-1]
+	return last
+}
+
+// TempDir creates a fresh scratch directory for sorter spills below base
+// (or the OS temp dir when base is empty).
+func TempDir(base string) (string, error) {
+	if base == "" {
+		base = os.TempDir()
+	}
+	return os.MkdirTemp(base, "extsort-")
+}
+
+// Discard drains and closes it, returning the record count. Useful in tests
+// and benchmarks.
+func Discard(it Iterator) (int64, error) {
+	defer it.Close()
+	var n int64
+	for {
+		_, err := it.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}

@@ -1,0 +1,182 @@
+package greedy
+
+import (
+	"testing"
+
+	"cubetree/internal/lattice"
+	"cubetree/internal/tpcd"
+)
+
+// paperLattice reproduces the TPC-D 1 GB setting: 6M facts over
+// partkey/suppkey/custkey with DBGEN's part-supplier correlation making
+// |{partkey,suppkey}| ~ 800k.
+func paperLattice(t *testing.T) (*lattice.Lattice, int64, map[string]int64) {
+	t.Helper()
+	dims := []lattice.Attr{tpcd.AttrPart, tpcd.AttrSupplier, tpcd.AttrCustomer}
+	domains := map[lattice.Attr]int64{
+		tpcd.AttrPart: 200000, tpcd.AttrSupplier: 10000, tpcd.AttrCustomer: 150000,
+	}
+	lat, err := lattice.New(dims, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factSize := int64(6001215)
+	sizes := map[string]int64{
+		// The PARTSUPP correlation compresses every node containing both
+		// part and supp; the uncorrelated pairs stay near |F|.
+		lattice.CanonKey([]lattice.Attr{tpcd.AttrPart, tpcd.AttrSupplier, tpcd.AttrCustomer}): 5000000,
+		lattice.CanonKey([]lattice.Attr{tpcd.AttrPart, tpcd.AttrSupplier}):                    800000,
+		lattice.CanonKey([]lattice.Attr{tpcd.AttrPart, tpcd.AttrCustomer}):                    5950000,
+		lattice.CanonKey([]lattice.Attr{tpcd.AttrSupplier, tpcd.AttrCustomer}):                5980000,
+		lattice.CanonKey([]lattice.Attr{tpcd.AttrPart}):                                       200000,
+		lattice.CanonKey([]lattice.Attr{tpcd.AttrSupplier}):                                   10000,
+		lattice.CanonKey([]lattice.Attr{tpcd.AttrCustomer}):                                   150000,
+		"none": 1,
+	}
+	return lat, factSize, sizes
+}
+
+func TestSelectReproducesPaperViews(t *testing.T) {
+	lat, factSize, sizes := paperLattice(t)
+	sel := Select(lat, factSize, sizes, 9)
+
+	// The paper's V: top view, {p,s}, {c}, {s}, {p}, none — and NOT the
+	// uncorrelated pairs {p,c}, {s,c}.
+	wantViews := [][]lattice.Attr{
+		{tpcd.AttrPart, tpcd.AttrSupplier, tpcd.AttrCustomer},
+		{tpcd.AttrPart, tpcd.AttrSupplier},
+		{tpcd.AttrCustomer},
+		{tpcd.AttrSupplier},
+		{tpcd.AttrPart},
+		{},
+	}
+	for _, wv := range wantViews {
+		if !sel.HasView(wv) {
+			t.Errorf("selection missing view %v; trace: %v", wv, traceStrings(sel))
+		}
+	}
+	if sel.HasView([]lattice.Attr{tpcd.AttrPart, tpcd.AttrCustomer}) {
+		t.Errorf("selection includes {part,cust}; trace: %v", traceStrings(sel))
+	}
+	if sel.HasView([]lattice.Attr{tpcd.AttrSupplier, tpcd.AttrCustomer}) {
+		t.Errorf("selection includes {supp,cust}; trace: %v", traceStrings(sel))
+	}
+}
+
+func TestSelectIndexesOnTopView(t *testing.T) {
+	lat, factSize, sizes := paperLattice(t)
+	sel := Select(lat, factSize, sizes, 9)
+	if len(sel.Indexes) != 3 {
+		t.Fatalf("selected %d indexes, want 3; trace: %v", len(sel.Indexes), traceStrings(sel))
+	}
+	topKey := lattice.CanonKey([]lattice.Attr{tpcd.AttrPart, tpcd.AttrSupplier, tpcd.AttrCustomer})
+	leading := map[lattice.Attr]bool{}
+	for _, order := range sel.Indexes {
+		if lattice.CanonKey(order) != topKey {
+			t.Errorf("index %v is not on the top view", order)
+		}
+		leading[order[0]] = true
+	}
+	// As in the paper, the three indexes start with three distinct
+	// attributes, so every single-attribute predicate has a fast path.
+	if len(leading) != 3 {
+		t.Errorf("index leading attributes not distinct: %v", sel.Indexes)
+	}
+}
+
+func TestTraceRecordsMetrics(t *testing.T) {
+	lat, factSize, sizes := paperLattice(t)
+	sel := Select(lat, factSize, sizes, 9)
+	for i, s := range sel.Trace {
+		if s.Benefit <= 0 || s.PerSpace <= 0 {
+			t.Errorf("step %d has non-positive metrics: %+v", i, s)
+		}
+	}
+}
+
+func TestSelectStopsAtZeroBenefit(t *testing.T) {
+	lat, factSize, sizes := paperLattice(t)
+	sel := Select(lat, factSize, sizes, 0) // unlimited steps
+	if len(sel.Trace) == 0 {
+		t.Fatal("no picks")
+	}
+	for _, s := range sel.Trace {
+		if s.Benefit <= 0 {
+			t.Errorf("picked %v with non-positive benefit %f", s.Pick, s.Benefit)
+		}
+	}
+}
+
+func TestSelectFirstPickIsTopOrSmallViews(t *testing.T) {
+	lat, factSize, sizes := paperLattice(t)
+	sel := Select(lat, factSize, sizes, 1)
+	if len(sel.Trace) != 1 {
+		t.Fatalf("trace = %d", len(sel.Trace))
+	}
+	if sel.Trace[0].Pick.IsIndex {
+		t.Fatal("first pick cannot be an index (no views materialized)")
+	}
+}
+
+func TestPaperSelection(t *testing.T) {
+	sel := PaperSelection(tpcd.AttrPart, tpcd.AttrSupplier, tpcd.AttrCustomer)
+	if len(sel.Views) != 6 || len(sel.Indexes) != 3 {
+		t.Fatalf("views=%d indexes=%d", len(sel.Views), len(sel.Indexes))
+	}
+	if sel.Views[0].Arity() != 3 || sel.Views[5].Arity() != 0 {
+		t.Fatal("paper selection order wrong")
+	}
+	if sel.Indexes[0][0] != tpcd.AttrCustomer {
+		t.Fatalf("first index = %v", sel.Indexes[0])
+	}
+}
+
+func TestSelectTwoDims(t *testing.T) {
+	// A 2-dim lattice: greedy must still terminate, pick positive-benefit
+	// structures only, and put indexes only on materialized views.
+	lat, err := lattice.New([]lattice.Attr{"a", "b"},
+		map[lattice.Attr]int64{"a": 10000, "b": 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := Select(lat, 1000000, map[string]int64{"a,b": 900000}, 0)
+	if len(sel.Views) == 0 {
+		t.Fatal("no views selected")
+	}
+	selected := map[string]bool{}
+	for _, v := range sel.Views {
+		selected[v.Key()] = true
+	}
+	for _, order := range sel.Indexes {
+		if !selected[lattice.CanonKey(order)] {
+			t.Fatalf("index %v on unmaterialized view", order)
+		}
+	}
+	// The tiny single-attribute views are obvious wins.
+	if !sel.HasView([]lattice.Attr{"b"}) || !sel.HasView(nil) {
+		t.Fatalf("expected small views selected; trace %v", traceStrings(sel))
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	c := Candidate{Node: []lattice.Attr{"a", "b"}}
+	if c.String() != "V{a,b}" {
+		t.Fatalf("view string = %s", c)
+	}
+	i := Candidate{IsIndex: true, Node: []lattice.Attr{"a", "b"}, Order: []lattice.Attr{"b", "a"}}
+	if i.String() != "I{b,a}" {
+		t.Fatalf("index string = %s", i)
+	}
+	n := Candidate{}
+	if n.String() != "V{none}" {
+		t.Fatalf("none string = %s", n)
+	}
+}
+
+func traceStrings(sel Selection) []string {
+	var out []string
+	for _, s := range sel.Trace {
+		out = append(out, s.Pick.String())
+	}
+	return out
+}

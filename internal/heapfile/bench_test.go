@@ -1,0 +1,69 @@
+package heapfile
+
+import (
+	"path/filepath"
+	"testing"
+
+	"cubetree/internal/enc"
+	"cubetree/internal/pager"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	f, _ := pager.Create(filepath.Join(b.TempDir(), "h.pg"), nil)
+	pool := pager.NewPool(f, 256)
+	defer pool.Close()
+	h, err := Create(pool, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuple := enc.AppendTuple(nil, []int64{1, 2, 3, 4, 5})
+	b.SetBytes(40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Insert(tuple); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	f, _ := pager.Create(filepath.Join(b.TempDir(), "h.pg"), nil)
+	pool := pager.NewPool(f, 256)
+	defer pool.Close()
+	h, _ := Create(pool, 40)
+	tuple := enc.AppendTuple(nil, []int64{1, 2, 3, 4, 5})
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Insert(tuple)
+	}
+	b.SetBytes(n * 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := h.Scan(func(RID, []byte) error { count++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if count != n {
+			b.Fatalf("scanned %d", count)
+		}
+	}
+}
+
+func BenchmarkGetRandom(b *testing.B) {
+	f, _ := pager.Create(filepath.Join(b.TempDir(), "h.pg"), nil)
+	pool := pager.NewPool(f, 256)
+	defer pool.Close()
+	h, _ := Create(pool, 40)
+	tuple := enc.AppendTuple(nil, []int64{1, 2, 3, 4, 5})
+	var rids []RID
+	for i := 0; i < 100000; i++ {
+		rid, _ := h.Insert(tuple)
+		rids = append(rids, rid)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Get(rids[(i*7919)%len(rids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

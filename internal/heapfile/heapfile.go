@@ -1,0 +1,229 @@
+// Package heapfile implements unordered fixed-width tuple storage on pager
+// pages. It is the table storage of the conventional (relational)
+// configuration: materialized summary tables live in heap files and are
+// indexed by separate B+-trees, exactly the organization the paper compares
+// Cubetrees against.
+package heapfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cubetree/internal/pager"
+)
+
+const (
+	headerPage = 0          // page 0 holds file metadata
+	magic      = 0x48454150 // "HEAP"
+
+	// page layout: [count uint16][tuples ...]
+	pageHeaderSize = 2
+)
+
+// RID locates a tuple: the page that holds it and its slot on that page.
+type RID struct {
+	Page pager.PageID
+	Slot uint16
+}
+
+// String formats the RID for diagnostics.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// File is a heap file of fixed-width tuples.
+type File struct {
+	pool       *pager.Pool
+	tupleWidth int
+	perPage    int
+	numTuples  int64
+	lastPage   pager.PageID // last data page, InvalidPage if none
+}
+
+// Create initializes a heap file for tuples of width bytes on pool.
+func Create(pool *pager.Pool, width int) (*File, error) {
+	if width <= 0 || width > pager.PageSize-pageHeaderSize {
+		return nil, fmt.Errorf("heapfile: invalid tuple width %d", width)
+	}
+	fr, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	if fr.ID() != headerPage {
+		pool.Unpin(fr, false)
+		return nil, fmt.Errorf("heapfile: Create on non-empty file (first page %d)", fr.ID())
+	}
+	h := &File{
+		pool:       pool,
+		tupleWidth: width,
+		perPage:    (pager.PageSize - pageHeaderSize) / width,
+		numTuples:  0,
+		lastPage:   pager.InvalidPage,
+	}
+	h.writeHeader(fr.Data())
+	pool.Unpin(fr, true)
+	return h, nil
+}
+
+// Open loads an existing heap file from pool.
+func Open(pool *pager.Pool) (*File, error) {
+	fr, err := pool.Fetch(headerPage)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(fr, false)
+	b := fr.Data()
+	if binary.LittleEndian.Uint32(b[0:]) != magic {
+		return nil, fmt.Errorf("heapfile: bad magic")
+	}
+	width := int(binary.LittleEndian.Uint32(b[4:]))
+	h := &File{
+		pool:       pool,
+		tupleWidth: width,
+		perPage:    (pager.PageSize - pageHeaderSize) / width,
+		numTuples:  int64(binary.LittleEndian.Uint64(b[8:])),
+		lastPage:   pager.PageID(binary.LittleEndian.Uint32(b[16:])),
+	}
+	return h, nil
+}
+
+func (h *File) writeHeader(b []byte) {
+	binary.LittleEndian.PutUint32(b[0:], magic)
+	binary.LittleEndian.PutUint32(b[4:], uint32(h.tupleWidth))
+	binary.LittleEndian.PutUint64(b[8:], uint64(h.numTuples))
+	binary.LittleEndian.PutUint32(b[16:], uint32(h.lastPage))
+}
+
+// syncHeader persists the metadata page.
+func (h *File) syncHeader() error {
+	fr, err := h.pool.Fetch(headerPage)
+	if err != nil {
+		return err
+	}
+	h.writeHeader(fr.Data())
+	h.pool.Unpin(fr, true)
+	return nil
+}
+
+// TupleWidth returns the fixed tuple width in bytes.
+func (h *File) TupleWidth() int { return h.tupleWidth }
+
+// Count returns the number of live tuples.
+func (h *File) Count() int64 { return h.numTuples }
+
+// PerPage returns the tuple capacity of one data page.
+func (h *File) PerPage() int { return h.perPage }
+
+// Insert appends tuple and returns its RID.
+func (h *File) Insert(tuple []byte) (RID, error) {
+	if len(tuple) != h.tupleWidth {
+		return RID{}, fmt.Errorf("heapfile: tuple width %d, want %d", len(tuple), h.tupleWidth)
+	}
+	var fr *pager.Frame
+	var err error
+	if h.lastPage != pager.InvalidPage {
+		fr, err = h.pool.Fetch(h.lastPage)
+		if err != nil {
+			return RID{}, err
+		}
+		if int(pageCount(fr.Data())) >= h.perPage {
+			h.pool.Unpin(fr, false)
+			fr = nil
+		}
+	}
+	if fr == nil {
+		fr, err = h.pool.NewPage()
+		if err != nil {
+			return RID{}, err
+		}
+		h.lastPage = fr.ID()
+	}
+	b := fr.Data()
+	slot := pageCount(b)
+	off := pageHeaderSize + int(slot)*h.tupleWidth
+	copy(b[off:off+h.tupleWidth], tuple)
+	setPageCount(b, slot+1)
+	h.pool.Unpin(fr, true)
+	h.numTuples++
+	return RID{Page: fr.ID(), Slot: slot}, nil
+}
+
+// Get copies the tuple at rid into a fresh slice.
+func (h *File) Get(rid RID) ([]byte, error) {
+	fr, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(fr, false)
+	b := fr.Data()
+	if rid.Slot >= pageCount(b) {
+		return nil, fmt.Errorf("heapfile: slot %d out of range on page %d", rid.Slot, rid.Page)
+	}
+	off := pageHeaderSize + int(rid.Slot)*h.tupleWidth
+	out := make([]byte, h.tupleWidth)
+	copy(out, b[off:off+h.tupleWidth])
+	return out, nil
+}
+
+// Update overwrites the tuple at rid.
+func (h *File) Update(rid RID, tuple []byte) error {
+	if len(tuple) != h.tupleWidth {
+		return fmt.Errorf("heapfile: tuple width %d, want %d", len(tuple), h.tupleWidth)
+	}
+	fr, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	b := fr.Data()
+	if rid.Slot >= pageCount(b) {
+		h.pool.Unpin(fr, false)
+		return fmt.Errorf("heapfile: slot %d out of range on page %d", rid.Slot, rid.Page)
+	}
+	off := pageHeaderSize + int(rid.Slot)*h.tupleWidth
+	copy(b[off:off+h.tupleWidth], tuple)
+	h.pool.Unpin(fr, true)
+	return nil
+}
+
+// Scan calls fn for each tuple in file order. The tuple slice passed to fn
+// is only valid during the call. Scan stops early if fn returns an error,
+// which it propagates (io.EOF is translated to nil for convenient early
+// exits).
+func (h *File) Scan(fn func(rid RID, tuple []byte) error) error {
+	n := h.pool.File().NumPages()
+	for pid := pager.PageID(headerPage + 1); uint32(pid) < n; pid++ {
+		fr, err := h.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		b := fr.Data()
+		cnt := int(pageCount(b))
+		for slot := 0; slot < cnt; slot++ {
+			off := pageHeaderSize + slot*h.tupleWidth
+			if err := fn(RID{Page: pid, Slot: uint16(slot)}, b[off:off+h.tupleWidth]); err != nil {
+				h.pool.Unpin(fr, false)
+				if err == io.EOF {
+					return nil
+				}
+				return err
+			}
+		}
+		h.pool.Unpin(fr, false)
+	}
+	return nil
+}
+
+// Close persists metadata and flushes the pool. It does not close the pool's
+// underlying file, which the caller owns.
+func (h *File) Close() error {
+	if err := h.syncHeader(); err != nil {
+		return err
+	}
+	return h.pool.Flush()
+}
+
+// Pages returns the number of pages used by the heap file, including the
+// header page.
+func (h *File) Pages() uint32 { return h.pool.File().NumPages() }
+
+func pageCount(b []byte) uint16       { return binary.LittleEndian.Uint16(b[0:]) }
+func setPageCount(b []byte, n uint16) { binary.LittleEndian.PutUint16(b[0:], n) }

@@ -1,0 +1,185 @@
+package heapfile
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"cubetree/internal/enc"
+	"cubetree/internal/pager"
+)
+
+func newPool(t *testing.T, pages int) *pager.Pool {
+	t.Helper()
+	f, err := pager.Create(filepath.Join(t.TempDir(), "h.pg"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pager.NewPool(f, pages)
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func tuple(vals ...int64) []byte { return enc.AppendTuple(nil, vals) }
+
+func TestInsertGet(t *testing.T) {
+	h, err := Create(newPool(t, 16), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := h.Insert(tuple(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Field(got, 0) != 1 || enc.Field(got, 2) != 3 {
+		t.Fatalf("got %v", enc.Tuple(got, 3))
+	}
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestInsertSpansPages(t *testing.T) {
+	h, err := Create(newPool(t, 16), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := h.PerPage()*3 + 5
+	rids := make([]RID, n)
+	for i := 0; i < n; i++ {
+		rid, err := h.Insert(tuple(int64(i), 0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	if h.Count() != int64(n) {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	// Pages: header + 4 data pages.
+	if h.Pages() != 5 {
+		t.Fatalf("Pages = %d, want 5", h.Pages())
+	}
+	for i, rid := range rids {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc.Field(got, 0) != int64(i) {
+			t.Fatalf("tuple %d = %d", i, enc.Field(got, 0))
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	h, _ := Create(newPool(t, 16), 16)
+	rid, _ := h.Insert(tuple(10, 20))
+	if err := h.Update(rid, tuple(10, 99)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.Get(rid)
+	if enc.Field(got, 1) != 99 {
+		t.Fatalf("update lost: %v", enc.Tuple(got, 2))
+	}
+}
+
+func TestUpdateBadSlot(t *testing.T) {
+	h, _ := Create(newPool(t, 16), 16)
+	h.Insert(tuple(1, 2))
+	if err := h.Update(RID{Page: 1, Slot: 7}, tuple(0, 0)); err == nil {
+		t.Fatal("expected slot range error")
+	}
+}
+
+func TestScanOrderAndEarlyStop(t *testing.T) {
+	h, _ := Create(newPool(t, 16), 8)
+	for i := 0; i < 100; i++ {
+		h.Insert(tuple(int64(i)))
+	}
+	var seen []int64
+	err := h.Scan(func(_ RID, tup []byte) error {
+		seen = append(seen, enc.Field(tup, 0))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 100 {
+		t.Fatalf("scanned %d", len(seen))
+	}
+	for i, v := range seen {
+		if v != int64(i) {
+			t.Fatalf("scan order broken at %d: %d", i, v)
+		}
+	}
+	// Early stop via io.EOF.
+	count := 0
+	err = h.Scan(func(_ RID, _ []byte) error {
+		count++
+		if count == 10 {
+			return io.EOF
+		}
+		return nil
+	})
+	if err != nil || count != 10 {
+		t.Fatalf("early stop: count=%d err=%v", count, err)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pg")
+	f, _ := pager.Create(path, nil)
+	pool := pager.NewPool(f, 16)
+	h, _ := Create(pool, 16)
+	for i := 0; i < 50; i++ {
+		h.Insert(tuple(int64(i), int64(i*2)))
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+
+	f2, _ := pager.Open(path, nil)
+	pool2 := pager.NewPool(f2, 16)
+	defer pool2.Close()
+	h2, err := Open(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Count() != 50 {
+		t.Fatalf("reopened Count = %d", h2.Count())
+	}
+	if h2.TupleWidth() != 16 {
+		t.Fatalf("reopened width = %d", h2.TupleWidth())
+	}
+	// Inserts continue on the last page.
+	rid, err := h2.Insert(tuple(999, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h2.Get(rid)
+	if enc.Field(got, 0) != 999 {
+		t.Fatal("insert after reopen corrupt")
+	}
+}
+
+func TestCreateRejectsBadWidth(t *testing.T) {
+	if _, err := Create(newPool(t, 4), 0); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := Create(newPool(t, 4), pager.PageSize); err == nil {
+		t.Fatal("oversized width accepted")
+	}
+}
+
+func TestInsertWrongWidth(t *testing.T) {
+	h, _ := Create(newPool(t, 4), 16)
+	if _, err := h.Insert(tuple(1)); err == nil {
+		t.Fatal("expected width error")
+	}
+}

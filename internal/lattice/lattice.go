@@ -1,0 +1,234 @@
+// Package lattice models the data cube lattice of Harinarayan, Rajaraman &
+// Ullman (1996) as used by the paper: aggregate views identified by their
+// projection lists, the derives-from relation between them, and the
+// smallest-parent computation plan used when materializing a selected
+// subset of the cube.
+package lattice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Attr names a grouping attribute (a dimension key such as "partkey", or an
+// attribute reachable through a dimension hierarchy such as "brand").
+type Attr string
+
+// View is an aggregate view: the result of grouping the fact table by Attrs
+// and aggregating the measure. The order of Attrs is the view's projection
+// list order, which determines its coordinate mapping inside a Cubetree
+// (attribute i maps to coordinate i).
+type View struct {
+	// Name is an optional human-readable label ("V1"). Views are identified
+	// structurally by Key; Name is only for display.
+	Name string
+	// Attrs is the projection list.
+	Attrs []Attr
+}
+
+// NewView constructs a view over the given attributes.
+func NewView(name string, attrs ...Attr) View {
+	return View{Name: name, Attrs: attrs}
+}
+
+// Arity returns the number of grouping attributes.
+func (v View) Arity() int { return len(v.Attrs) }
+
+// Key returns the canonical identity of the view: its attribute set, sorted.
+// Two views with the same Key hold the same data (possibly in different
+// orders).
+func (v View) Key() string { return CanonKey(v.Attrs) }
+
+// OrderKey returns the identity of the view including attribute order,
+// distinguishing replicas stored in different sort orders.
+func (v View) OrderKey() string {
+	parts := make([]string, len(v.Attrs))
+	for i, a := range v.Attrs {
+		parts[i] = string(a)
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders the view like the paper's V{partkey,suppkey} notation.
+func (v View) String() string {
+	if v.Arity() == 0 {
+		if v.Name != "" {
+			return v.Name + "{none}"
+		}
+		return "V{none}"
+	}
+	name := v.Name
+	if name == "" {
+		name = "V"
+	}
+	return name + "{" + v.OrderKey() + "}"
+}
+
+// Has reports whether the view projects attr.
+func (v View) Has(attr Attr) bool {
+	for _, a := range v.Attrs {
+		if a == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// Covers reports whether the view can answer queries over node, i.e. the
+// node's attributes are a subset of the view's.
+func (v View) Covers(node []Attr) bool { return Subset(node, v.Attrs) }
+
+// Reordered returns a copy of the view with its attributes in the given
+// order, which must be a permutation of the view's attributes.
+func (v View) Reordered(order []Attr) (View, error) {
+	if CanonKey(order) != v.Key() {
+		return View{}, fmt.Errorf("lattice: %v is not a permutation of %s", order, v)
+	}
+	return View{Name: v.Name, Attrs: append([]Attr(nil), order...)}, nil
+}
+
+// CanonKey returns the canonical key of an attribute set: names sorted and
+// comma-joined.
+func CanonKey(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = string(a)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Subset reports whether every attribute of a appears in b.
+func Subset(a, b []Attr) bool {
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Lattice is the data cube lattice over a set of dimension attributes with
+// known domain sizes (numbers of distinct key values).
+type Lattice struct {
+	dims    []Attr
+	domains map[Attr]int64
+}
+
+// New creates a lattice over dims. domains gives the number of distinct
+// values of each dimension attribute and must cover every dim.
+func New(dims []Attr, domains map[Attr]int64) (*Lattice, error) {
+	for _, d := range dims {
+		if domains[d] <= 0 {
+			return nil, fmt.Errorf("lattice: missing or non-positive domain for %q", d)
+		}
+	}
+	return &Lattice{dims: append([]Attr(nil), dims...), domains: domains}, nil
+}
+
+// Dims returns the lattice dimensions in declaration order.
+func (l *Lattice) Dims() []Attr { return append([]Attr(nil), l.dims...) }
+
+// Domain returns the domain size of attr (0 if unknown).
+func (l *Lattice) Domain(attr Attr) int64 { return l.domains[attr] }
+
+// Nodes enumerates every lattice node (attribute subset) in decreasing
+// arity, each in dimension declaration order. For d dims it returns 2^d
+// nodes, the last being the empty "none" node.
+func (l *Lattice) Nodes() [][]Attr {
+	d := len(l.dims)
+	var nodes [][]Attr
+	for mask := 0; mask < 1<<d; mask++ {
+		var node []Attr
+		for i := 0; i < d; i++ {
+			if mask&(1<<i) != 0 {
+				node = append(node, l.dims[i])
+			}
+		}
+		nodes = append(nodes, node)
+	}
+	sort.SliceStable(nodes, func(i, j int) bool { return len(nodes[i]) > len(nodes[j]) })
+	return nodes
+}
+
+// EstimateSize estimates the number of tuples in the aggregate view over
+// node given fact table cardinality n, using Yao's formula for the number
+// of distinct combinations hit by n uniform draws from the node's key
+// space.
+func (l *Lattice) EstimateSize(node []Attr, n int64) int64 {
+	if len(node) == 0 {
+		return 1
+	}
+	space := 1.0
+	for _, a := range node {
+		space *= float64(l.domains[a])
+		if space > 1e18 {
+			return n
+		}
+	}
+	if space <= 0 {
+		return n
+	}
+	est := space * (1 - math.Exp(-float64(n)/space))
+	if est > float64(n) {
+		return n
+	}
+	if est < 1 {
+		return 1
+	}
+	return int64(est)
+}
+
+// Step is one step of a computation plan: compute View from Parent, or from
+// the fact table when FromFact is true.
+type Step struct {
+	View     View
+	Parent   View
+	FromFact bool
+}
+
+// Plan orders the selected views for computation so that each is derived
+// from its smallest already-computed ancestor (the dependency graph of the
+// paper's Figure 10). sizes maps view Key to (estimated or exact) tuple
+// counts; factSize is the fact table cardinality.
+func Plan(selected []View, sizes map[string]int64, factSize int64) []Step {
+	ordered := append([]View(nil), selected...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arity() > ordered[j].Arity() })
+	var steps []Step
+	for i, v := range ordered {
+		best := -1
+		var bestSize int64 = math.MaxInt64
+		for j := 0; j < i; j++ {
+			p := ordered[j]
+			if !Subset(v.Attrs, p.Attrs) {
+				continue
+			}
+			sz, ok := sizes[p.Key()]
+			if !ok {
+				sz = factSize
+			}
+			if sz < bestSize {
+				bestSize = sz
+				best = j
+			}
+		}
+		if best < 0 {
+			steps = append(steps, Step{View: v, FromFact: true})
+		} else {
+			steps = append(steps, Step{View: v, Parent: ordered[best]})
+		}
+	}
+	return steps
+}

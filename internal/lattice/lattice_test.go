@@ -1,0 +1,199 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testLattice(t *testing.T) *Lattice {
+	t.Helper()
+	l, err := New([]Attr{"partkey", "suppkey", "custkey"},
+		map[Attr]int64{"partkey": 200, "suppkey": 10, "custkey": 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestViewKeyCanonical(t *testing.T) {
+	a := NewView("V1", "partkey", "suppkey")
+	b := NewView("V2", "suppkey", "partkey")
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	if a.OrderKey() == b.OrderKey() {
+		t.Fatal("order keys should differ")
+	}
+	if NewView("").Key() != "none" {
+		t.Fatal("empty view key")
+	}
+}
+
+func TestViewCoversAndHas(t *testing.T) {
+	v := NewView("", "a", "b", "c")
+	if !v.Covers([]Attr{"b"}) || !v.Covers([]Attr{"a", "c"}) || !v.Covers(nil) {
+		t.Fatal("Covers broken")
+	}
+	if v.Covers([]Attr{"d"}) {
+		t.Fatal("covers unknown attr")
+	}
+	if !v.Has("b") || v.Has("z") {
+		t.Fatal("Has broken")
+	}
+}
+
+func TestViewReordered(t *testing.T) {
+	v := NewView("V", "a", "b", "c")
+	r, err := v.Reordered([]Attr{"c", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OrderKey() != "c,a,b" || r.Key() != v.Key() {
+		t.Fatalf("reordered = %s", r)
+	}
+	if _, err := v.Reordered([]Attr{"a", "b"}); err == nil {
+		t.Fatal("accepted non-permutation")
+	}
+	if _, err := v.Reordered([]Attr{"a", "b", "d"}); err == nil {
+		t.Fatal("accepted wrong attrs")
+	}
+}
+
+func TestNodes(t *testing.T) {
+	l := testLattice(t)
+	nodes := l.Nodes()
+	if len(nodes) != 8 {
+		t.Fatalf("3-dim lattice has %d nodes, want 8", len(nodes))
+	}
+	if len(nodes[0]) != 3 {
+		t.Fatal("nodes not in decreasing arity")
+	}
+	if len(nodes[7]) != 0 {
+		t.Fatal("last node should be none")
+	}
+	// Count by arity: 1,3,3,1.
+	counts := map[int]int{}
+	for _, n := range nodes {
+		counts[len(n)]++
+	}
+	if counts[3] != 1 || counts[2] != 3 || counts[1] != 3 || counts[0] != 1 {
+		t.Fatalf("arity counts = %v", counts)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	if !Subset([]Attr{"a"}, []Attr{"b", "a"}) {
+		t.Fatal("subset false negative")
+	}
+	if Subset([]Attr{"a", "c"}, []Attr{"a", "b"}) {
+		t.Fatal("subset false positive")
+	}
+	if !Subset(nil, nil) {
+		t.Fatal("empty set is subset of everything")
+	}
+}
+
+func TestEstimateSize(t *testing.T) {
+	l := testLattice(t)
+	// Tiny domain saturates.
+	if got := l.EstimateSize([]Attr{"suppkey"}, 100000); got != 10 {
+		t.Fatalf("suppkey estimate = %d, want 10", got)
+	}
+	// Huge space stays near n.
+	got := l.EstimateSize([]Attr{"partkey", "suppkey", "custkey"}, 1000)
+	if got < 950 || got > 1000 {
+		t.Fatalf("sparse estimate = %d, want ~1000", got)
+	}
+	if l.EstimateSize(nil, 5000) != 1 {
+		t.Fatal("none view estimate must be 1")
+	}
+	// Monotone in n.
+	if l.EstimateSize([]Attr{"custkey"}, 10) > l.EstimateSize([]Attr{"custkey"}, 1000) {
+		t.Fatal("estimate not monotone")
+	}
+}
+
+func TestEstimateBoundsQuick(t *testing.T) {
+	l := testLattice(t)
+	f := func(n uint32) bool {
+		nn := int64(n%1000000) + 1
+		for _, node := range l.Nodes() {
+			est := l.EstimateSize(node, nn)
+			if est < 1 || est > nn {
+				return false
+			}
+			space := int64(1)
+			for _, a := range node {
+				space *= l.Domain(a)
+			}
+			if len(node) > 0 && est > space {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanSmallestParent(t *testing.T) {
+	views := []View{
+		NewView("", "partkey", "suppkey", "custkey"),
+		NewView("", "partkey", "suppkey"),
+		NewView("", "partkey"),
+		NewView("", "custkey"),
+		NewView(""),
+	}
+	sizes := map[string]int64{
+		views[0].Key(): 6000,
+		views[1].Key(): 800,
+		views[2].Key(): 200,
+		views[3].Key(): 150,
+	}
+	steps := Plan(views, sizes, 100000)
+	if len(steps) != 5 {
+		t.Fatalf("%d steps", len(steps))
+	}
+	if !steps[0].FromFact {
+		t.Fatal("top view must come from fact")
+	}
+	byKey := map[string]Step{}
+	for _, s := range steps {
+		byKey[s.View.Key()] = s
+	}
+	// {partkey} should derive from {partkey,suppkey} (800) not the top (6000).
+	if p := byKey[views[2].Key()]; p.FromFact || p.Parent.Key() != views[1].Key() {
+		t.Fatalf("partkey parent = %+v", p)
+	}
+	// {custkey} can only derive from the top view.
+	if p := byKey[views[3].Key()]; p.FromFact || p.Parent.Key() != views[0].Key() {
+		t.Fatalf("custkey parent = %+v", p)
+	}
+	// none derives from the smallest view: {custkey} (150).
+	if p := byKey["none"]; p.FromFact || p.Parent.Key() != views[3].Key() {
+		t.Fatalf("none parent = %+v", p)
+	}
+}
+
+func TestPlanHierarchyFromFact(t *testing.T) {
+	views := []View{
+		NewView("", "partkey", "suppkey"),
+		NewView("", "brand"), // not derivable from partkey views
+	}
+	steps := Plan(views, map[string]int64{}, 1000)
+	for _, s := range steps {
+		if s.View.Key() == "brand" && !s.FromFact {
+			t.Fatal("hierarchy view must come from fact")
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]Attr{"a"}, map[Attr]int64{}); err == nil {
+		t.Fatal("missing domain accepted")
+	}
+	if _, err := New([]Attr{"a"}, map[Attr]int64{"a": -1}); err == nil {
+		t.Fatal("negative domain accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package lattice
+
+import "fmt"
+
+// Agg identifies an aggregate function applied to the fact measure. The
+// paper's experiments use SUM; footnote 3 notes the Cubetree point payload
+// extends to multiple aggregation functions, which this type realizes.
+type Agg uint8
+
+const (
+	// AggSum accumulates the measure total.
+	AggSum Agg = iota
+	// AggCount accumulates the contributing fact-row count (with AggSum it
+	// yields AVG).
+	AggCount
+	// AggMin tracks the minimum measure value.
+	AggMin
+	// AggMax tracks the maximum measure value.
+	AggMax
+)
+
+// String names the aggregate function.
+func (a Agg) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(a))
+	}
+}
+
+// Schema is the ordered list of measures stored per aggregate point. Every
+// schema starts with SUM and COUNT (so AVG is always derivable and deltas
+// always merge); MIN and MAX may follow.
+type Schema []Agg
+
+// DefaultSchema is the paper's payload: SUM plus COUNT.
+func DefaultSchema() Schema { return Schema{AggSum, AggCount} }
+
+// NewSchema builds a schema from extra measures appended to SUM and COUNT.
+func NewSchema(extra ...Agg) (Schema, error) {
+	s := DefaultSchema()
+	for _, a := range extra {
+		switch a {
+		case AggMin, AggMax:
+			s = append(s, a)
+		case AggSum, AggCount:
+			return nil, fmt.Errorf("lattice: %v is already part of every schema", a)
+		default:
+			return nil, fmt.Errorf("lattice: unknown aggregate %v", a)
+		}
+	}
+	return s, nil
+}
+
+// Validate checks the SUM/COUNT prefix invariant.
+func (s Schema) Validate() error {
+	if len(s) < 2 || s[0] != AggSum || s[1] != AggCount {
+		return fmt.Errorf("lattice: schema must begin with sum,count (got %v)", s)
+	}
+	for _, a := range s[2:] {
+		if a != AggMin && a != AggMax {
+			return fmt.Errorf("lattice: invalid extra measure %v", a)
+		}
+	}
+	return nil
+}
+
+// Extras returns the measures beyond SUM and COUNT.
+func (s Schema) Extras() []Agg {
+	if len(s) <= 2 {
+		return nil
+	}
+	return append([]Agg(nil), s[2:]...)
+}
+
+// Len returns the number of stored measures.
+func (s Schema) Len() int { return len(s) }
+
+// Init fills dst (len Len) with the measure vector of a single fact row
+// whose measure value is m.
+func (s Schema) Init(dst []int64, m int64) {
+	for i, a := range s {
+		switch a {
+		case AggSum:
+			dst[i] = m
+		case AggCount:
+			dst[i] = 1
+		case AggMin, AggMax:
+			dst[i] = m
+		}
+	}
+}
+
+// Fold combines src into dst componentwise according to the schema. It is
+// associative and commutative for insert-only increments, which is what
+// makes merge-packing correct.
+func (s Schema) Fold(dst, src []int64) {
+	for i, a := range s {
+		switch a {
+		case AggSum, AggCount:
+			dst[i] += src[i]
+		case AggMin:
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		case AggMax:
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}
+}
+
+// Equal reports whether two schemas are identical.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Strings renders the schema for catalogs.
+func (s Schema) Strings() []string {
+	out := make([]string, len(s))
+	for i, a := range s {
+		out[i] = a.String()
+	}
+	return out
+}
+
+// ParseSchema inverts Strings.
+func ParseSchema(names []string) (Schema, error) {
+	if len(names) == 0 {
+		return DefaultSchema(), nil
+	}
+	s := make(Schema, len(names))
+	for i, n := range names {
+		switch n {
+		case "sum":
+			s[i] = AggSum
+		case "count":
+			s[i] = AggCount
+		case "min":
+			s[i] = AggMin
+		case "max":
+			s[i] = AggMax
+		default:
+			return nil, fmt.Errorf("lattice: unknown aggregate %q", n)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

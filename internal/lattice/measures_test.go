@@ -1,0 +1,122 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema(AggMin, AggMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 || s[0] != AggSum || s[1] != AggCount || s[2] != AggMin || s[3] != AggMax {
+		t.Fatalf("schema = %v", s)
+	}
+	if _, err := NewSchema(AggSum); err == nil {
+		t.Fatal("duplicate sum accepted")
+	}
+	if _, err := NewSchema(Agg(99)); err == nil {
+		t.Fatal("unknown agg accepted")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := (Schema{AggCount, AggSum}).Validate(); err == nil {
+		t.Fatal("swapped prefix accepted")
+	}
+	if err := (Schema{AggSum}).Validate(); err == nil {
+		t.Fatal("short schema accepted")
+	}
+	if err := (Schema{AggSum, AggCount, AggCount}).Validate(); err == nil {
+		t.Fatal("count as extra accepted")
+	}
+	if err := DefaultSchema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaInitFold(t *testing.T) {
+	s, _ := NewSchema(AggMin, AggMax)
+	a := make([]int64, 4)
+	b := make([]int64, 4)
+	s.Init(a, 10)
+	s.Init(b, 3)
+	s.Fold(a, b)
+	if a[0] != 13 || a[1] != 2 || a[2] != 3 || a[3] != 10 {
+		t.Fatalf("folded = %v", a)
+	}
+}
+
+func TestSchemaFoldPropertiesQuick(t *testing.T) {
+	s, _ := NewSchema(AggMin, AggMax)
+	// Fold must be commutative and associative over single-row vectors.
+	f := func(xs []int16) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		// forward fold
+		fwd := make([]int64, 4)
+		s.Init(fwd, int64(xs[0]))
+		tmp := make([]int64, 4)
+		for _, x := range xs[1:] {
+			s.Init(tmp, int64(x))
+			s.Fold(fwd, tmp)
+		}
+		// reverse fold
+		rev := make([]int64, 4)
+		s.Init(rev, int64(xs[len(xs)-1]))
+		for i := len(xs) - 2; i >= 0; i-- {
+			s.Init(tmp, int64(xs[i]))
+			s.Fold(rev, tmp)
+		}
+		for i := range fwd {
+			if fwd[i] != rev[i] {
+				return false
+			}
+		}
+		// sanity: count equals len, min <= max
+		return fwd[1] == int64(len(xs)) && fwd[2] <= fwd[3]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaStringsRoundTrip(t *testing.T) {
+	s, _ := NewSchema(AggMax)
+	parsed, err := ParseSchema(s.Strings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Equal(s) {
+		t.Fatalf("round trip: %v vs %v", parsed, s)
+	}
+	if _, err := ParseSchema([]string{"sum", "count", "median"}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	// Empty means default.
+	d, err := ParseSchema(nil)
+	if err != nil || !d.Equal(DefaultSchema()) {
+		t.Fatalf("empty parse = %v, %v", d, err)
+	}
+}
+
+func TestSchemaExtras(t *testing.T) {
+	if DefaultSchema().Extras() != nil {
+		t.Fatal("default has extras")
+	}
+	s, _ := NewSchema(AggMin)
+	ex := s.Extras()
+	if len(ex) != 1 || ex[0] != AggMin {
+		t.Fatalf("extras = %v", ex)
+	}
+}
+
+func TestAggString(t *testing.T) {
+	for a, want := range map[Agg]string{AggSum: "sum", AggCount: "count", AggMin: "min", AggMax: "max"} {
+		if a.String() != want {
+			t.Fatalf("%d -> %s", a, a.String())
+		}
+	}
+}

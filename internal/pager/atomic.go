@@ -1,0 +1,43 @@
+package pager
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path via a temporary file and rename, so a
+// crash mid-write never leaves a truncated catalog behind. It lives here
+// because every storage component that persists a catalog already depends
+// on this package.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("pager: atomic write: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("pager: atomic write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("pager: atomic write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("pager: atomic write: %w", err)
+	}
+	if err := os.Chmod(name, perm); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("pager: atomic write: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("pager: atomic write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package pager
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestPoolConcurrentReaders hammers one pool from several goroutines; page
+// contents must stay intact and pins balanced. Run with -race.
+func TestPoolConcurrentReaders(t *testing.T) {
+	f, err := Create(filepath.Join(t.TempDir(), "c.pg"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := NewPool(f, 8)
+
+	const pages = 32
+	for i := 0; i < pages; i++ {
+		fr, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data()[0] = byte(i)
+		fr.Data()[PageSize-1] = byte(i ^ 0x5A)
+		p.Unpin(fr, true)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := PageID((g*31 + i*7) % pages)
+				fr, err := p.Fetch(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if fr.Data()[0] != byte(id) || fr.Data()[PageSize-1] != byte(int(id)^0x5A) {
+					p.Unpin(fr, false)
+					errs <- errCorrupt
+					return
+				}
+				p.Unpin(fr, false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errCorrupt = &corruptError{}
+
+type corruptError struct{}
+
+func (*corruptError) Error() string { return "page content corrupted under concurrency" }

@@ -1,0 +1,275 @@
+package pager
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func newTestFile(t *testing.T, stats *Stats) *File {
+	t.Helper()
+	f, err := Create(filepath.Join(t.TempDir(), "test.pg"), stats)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestFileAllocateReadWrite(t *testing.T) {
+	f := newTestFile(t, nil)
+	if f.NumPages() != 0 {
+		t.Fatalf("new file has %d pages", f.NumPages())
+	}
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if id != 0 {
+		t.Fatalf("first page id = %d, want 0", id)
+	}
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := f.WritePage(id, buf); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	got := make([]byte, PageSize)
+	if err := f.ReadPage(id, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	for i := range got {
+		if got[i] != buf[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], buf[i])
+		}
+	}
+}
+
+func TestFileReadOutOfRange(t *testing.T) {
+	f := newTestFile(t, nil)
+	buf := make([]byte, PageSize)
+	if err := f.ReadPage(3, buf); err == nil {
+		t.Fatal("expected error reading unallocated page")
+	}
+}
+
+func TestFileUnwrittenPageReadsZero(t *testing.T) {
+	f := newTestFile(t, nil)
+	id, _ := f.Allocate()
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if err := f.ReadPage(id, buf); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	for i := range buf {
+		if buf[i] != 0 {
+			t.Fatalf("unwritten page byte %d = %d, want 0", i, buf[i])
+		}
+	}
+}
+
+func TestSequentialDetection(t *testing.T) {
+	stats := &Stats{}
+	f := newTestFile(t, stats)
+	buf := make([]byte, PageSize)
+	for i := 0; i < 10; i++ {
+		id, _ := f.Allocate()
+		if err := f.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First write random, the other nine sequential.
+	if got := stats.SeqWrites(); got != 9 {
+		t.Errorf("SeqWrites = %d, want 9", got)
+	}
+	if got := stats.RandWrites(); got != 1 {
+		t.Errorf("RandWrites = %d, want 1", got)
+	}
+	// Sequential read pass.
+	for i := 0; i < 10; i++ {
+		f.ReadPage(PageID(i), buf)
+	}
+	if got := stats.SeqReads(); got != 9 {
+		t.Errorf("SeqReads = %d, want 9", got)
+	}
+	// A backwards read is random.
+	f.ReadPage(0, buf)
+	if got := stats.RandReads(); got != 2 {
+		t.Errorf("RandReads = %d, want 2", got)
+	}
+}
+
+func TestOpenExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.pg")
+	f, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	buf[17] = 42
+	for i := 0; i < 3; i++ {
+		id, _ := f.Allocate()
+		f.WritePage(id, buf)
+	}
+	f.Close()
+
+	g, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.NumPages() != 3 {
+		t.Fatalf("NumPages = %d, want 3", g.NumPages())
+	}
+	got := make([]byte, PageSize)
+	if err := g.ReadPage(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[17] != 42 {
+		t.Fatalf("byte 17 = %d, want 42", got[17])
+	}
+}
+
+func TestStatsSnapshotSub(t *testing.T) {
+	s := &Stats{}
+	s.AddSequentialReads(5)
+	a := s.Snapshot()
+	s.AddSequentialReads(3)
+	s.AddSequentialWrites(2)
+	d := s.Snapshot().Sub(a)
+	if d.SeqReads != 3 || d.SeqWrites != 2 {
+		t.Fatalf("diff = %+v", d)
+	}
+	if d.Pages() != 5 {
+		t.Fatalf("Pages = %d, want 5", d.Pages())
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	snap := StatsSnapshot{SeqReads: 10, RandReads: 2, SeqWrites: 5, RandWrites: 1}
+	m := CostModel{SeqRead: time.Millisecond, RandRead: 10 * time.Millisecond,
+		SeqWrite: 2 * time.Millisecond, RandWrite: 20 * time.Millisecond}
+	want := 10*time.Millisecond + 20*time.Millisecond + 10*time.Millisecond + 20*time.Millisecond
+	if got := m.Cost(snap); got != want {
+		t.Fatalf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestPoolFetchHitMiss(t *testing.T) {
+	stats := &Stats{}
+	f := newTestFile(t, stats)
+	p := NewPool(f, 4)
+	fr, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Data()[0] = 99
+	p.Unpin(fr, true)
+
+	fr2, err := p.Fetch(fr.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Data()[0] != 99 {
+		t.Fatalf("data lost on pooled fetch")
+	}
+	p.Unpin(fr2, false)
+	if stats.PoolHits() != 1 {
+		t.Fatalf("PoolHits = %d, want 1", stats.PoolHits())
+	}
+}
+
+func TestPoolEvictionWritesBack(t *testing.T) {
+	f := newTestFile(t, nil)
+	p := NewPool(f, 2)
+	// Create three pages through a pool of two frames; the first must be
+	// evicted and written back.
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		fr, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data()[0] = byte(i + 1)
+		ids = append(ids, fr.ID())
+		p.Unpin(fr, true)
+	}
+	for i, id := range ids {
+		fr, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Data()[0] != byte(i+1) {
+			t.Fatalf("page %d data = %d, want %d", id, fr.Data()[0], i+1)
+		}
+		p.Unpin(fr, false)
+	}
+}
+
+func TestPoolExhausted(t *testing.T) {
+	f := newTestFile(t, nil)
+	p := NewPool(f, 2)
+	a, _ := p.NewPage()
+	b, _ := p.NewPage()
+	if _, err := p.NewPage(); err == nil {
+		t.Fatal("expected pool exhaustion with all frames pinned")
+	}
+	p.Unpin(a, false)
+	p.Unpin(b, false)
+	if _, err := p.NewPage(); err != nil {
+		t.Fatalf("NewPage after unpin: %v", err)
+	}
+}
+
+func TestPoolFlush(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "y.pg")
+	f, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(f, 8)
+	fr, _ := p.NewPage()
+	fr.Data()[100] = 7
+	p.Unpin(fr, true)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	buf := make([]byte, PageSize)
+	if err := g.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[100] != 7 {
+		t.Fatal("dirty page not flushed on Close")
+	}
+}
+
+func TestPoolRepin(t *testing.T) {
+	f := newTestFile(t, nil)
+	p := NewPool(f, 2)
+	fr, _ := p.NewPage()
+	fr2, err := p.Fetch(fr.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2 != fr {
+		t.Fatal("re-fetch returned a different frame")
+	}
+	p.Unpin(fr, true)
+	p.Unpin(fr2, false)
+	// Frame is now unpinned once fully released; pool can evict it.
+	b, _ := p.NewPage()
+	c, _ := p.NewPage()
+	p.Unpin(b, false)
+	p.Unpin(c, false)
+}

@@ -1,0 +1,199 @@
+package pager
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrPoolExhausted is returned when every frame in the pool is pinned and a
+// new page is requested.
+var ErrPoolExhausted = errors.New("pager: buffer pool exhausted (all frames pinned)")
+
+// Frame is a pinned in-memory copy of one page. Callers read and modify
+// Data and must Unpin the frame when done, declaring whether they dirtied it.
+type Frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// ID returns the page id held by the frame.
+func (fr *Frame) ID() PageID { return fr.id }
+
+// Data returns the page bytes (length PageSize). The slice is valid only
+// while the frame is pinned.
+func (fr *Frame) Data() []byte { return fr.data }
+
+// Pool is an LRU buffer pool over one File. The pool is the only component
+// that issues page reads and writes for its file, so buffer hits cost no
+// counted I/O — reproducing the paper's observation that fewer, smaller trees
+// raise the buffer hit ratio.
+//
+// All methods are safe for concurrent use, but a single Frame must not be
+// used from multiple goroutines simultaneously.
+type Pool struct {
+	mu       sync.Mutex
+	file     *File
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // front = most recently used; unpinned frames only
+}
+
+// NewPool creates a buffer pool of the given capacity (in pages) over file.
+// Capacity must be at least 1.
+func NewPool(file *File, capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		file:     file,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// File returns the underlying page file.
+func (p *Pool) File() *File { return p.file }
+
+// Capacity returns the pool capacity in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Fetch pins page id into the pool, reading it from disk on a miss.
+func (p *Pool) Fetch(id PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if fr, ok := p.frames[id]; ok {
+		p.file.stats.recordPool(true)
+		p.pinLocked(fr)
+		return fr, nil
+	}
+	p.file.stats.recordPool(false)
+	fr, err := p.freeFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.file.ReadPage(id, fr.data); err != nil {
+		p.recycleLocked(fr)
+		return nil, err
+	}
+	fr.id = id
+	fr.pins = 1
+	fr.dirty = false
+	p.frames[id] = fr
+	return fr, nil
+}
+
+// NewPage allocates a fresh page in the file and returns it pinned and
+// zeroed. The frame is marked dirty so it will reach disk.
+func (p *Pool) NewPage() (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	id, err := p.file.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	fr, err := p.freeFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	for i := range fr.data {
+		fr.data[i] = 0
+	}
+	fr.id = id
+	fr.pins = 1
+	fr.dirty = true
+	p.frames[id] = fr
+	return fr, nil
+}
+
+// Unpin releases one pin on fr. If dirty is true the frame is marked for
+// write-back before eviction.
+func (p *Pool) Unpin(fr *Frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr.pins <= 0 {
+		panic(fmt.Sprintf("pager: unpin of unpinned page %d", fr.id))
+	}
+	fr.dirty = fr.dirty || dirty
+	fr.pins--
+	if fr.pins == 0 {
+		fr.elem = p.lru.PushFront(fr)
+	}
+}
+
+// Flush writes every dirty frame back to disk. Pinned frames are flushed
+// too but stay resident.
+func (p *Pool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Write in ascending page order to give the disk sequential runs, as a
+	// real database's background writer would.
+	ids := make([]PageID, 0, len(p.frames))
+	for id := range p.frames {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fr := p.frames[id]
+		if !fr.dirty {
+			continue
+		}
+		if err := p.file.WritePage(fr.id, fr.data); err != nil {
+			return err
+		}
+		fr.dirty = false
+	}
+	return nil
+}
+
+// Close flushes the pool and closes the underlying file.
+func (p *Pool) Close() error {
+	if err := p.Flush(); err != nil {
+		p.file.Close()
+		return err
+	}
+	return p.file.Close()
+}
+
+func (p *Pool) pinLocked(fr *Frame) {
+	if fr.pins == 0 && fr.elem != nil {
+		p.lru.Remove(fr.elem)
+		fr.elem = nil
+	}
+	fr.pins++
+}
+
+// freeFrameLocked returns an unused frame, evicting the least recently used
+// unpinned page if the pool is full.
+func (p *Pool) freeFrameLocked() (*Frame, error) {
+	if len(p.frames) < p.capacity {
+		return &Frame{data: make([]byte, PageSize)}, nil
+	}
+	elem := p.lru.Back()
+	if elem == nil {
+		return nil, ErrPoolExhausted
+	}
+	fr := elem.Value.(*Frame)
+	p.lru.Remove(elem)
+	fr.elem = nil
+	delete(p.frames, fr.id)
+	if fr.dirty {
+		if err := p.file.WritePage(fr.id, fr.data); err != nil {
+			return nil, err
+		}
+		fr.dirty = false
+	}
+	return fr, nil
+}
+
+// recycleLocked drops a frame obtained from freeFrameLocked that ended up
+// unused (e.g. its read failed); the map never knew about it.
+func (p *Pool) recycleLocked(fr *Frame) {}

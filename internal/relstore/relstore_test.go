@@ -1,0 +1,380 @@
+package relstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cubetree/internal/cube"
+	"cubetree/internal/lattice"
+	"cubetree/internal/pager"
+	"cubetree/internal/workload"
+)
+
+func v(attrs ...lattice.Attr) lattice.View { return lattice.View{Attrs: attrs} }
+
+type memRows struct {
+	cols    []lattice.Attr
+	rows    [][]int64
+	measure []int64
+	i       int
+}
+
+func (m *memRows) Next() bool { m.i++; return m.i <= len(m.rows) }
+func (m *memRows) Value(attr lattice.Attr) (int64, error) {
+	for j, c := range m.cols {
+		if c == attr {
+			return m.rows[m.i-1][j], nil
+		}
+	}
+	return 0, fmt.Errorf("no column %q", attr)
+}
+func (m *memRows) Measure() int64 { return m.measure[m.i-1] }
+
+func testFacts() *memRows {
+	return &memRows{
+		cols: []lattice.Attr{"partkey", "suppkey", "custkey"},
+		rows: [][]int64{
+			{1, 1, 1}, {1, 1, 1}, {2, 1, 1}, {2, 2, 3}, {3, 1, 3}, {1, 2, 2},
+			{4, 2, 1}, {4, 1, 2}, {2, 2, 2}, {1, 2, 3},
+		},
+		measure: []int64{5, 7, 3, 4, 9, 2, 8, 1, 6, 10},
+	}
+}
+
+var testViews = []lattice.View{
+	v("partkey", "suppkey", "custkey"),
+	v("partkey", "suppkey"),
+	v("custkey"),
+	v(),
+}
+
+var testDomains = map[lattice.Attr]int64{"partkey": 4, "suppkey": 2, "custkey": 3}
+
+func buildConfig(t *testing.T, withIndexes bool) (*Config, map[string]*cube.ViewData) {
+	t.Helper()
+	data, err := cube.Compute(t.TempDir(), testFacts(), testViews, cube.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Create(filepath.Join(t.TempDir(), "conv"), Options{Domains: testDomains})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for _, view := range testViews {
+		if err := c.LoadView(data[view.Key()]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if withIndexes {
+		for _, order := range [][]lattice.Attr{
+			{"custkey", "suppkey", "partkey"},
+			{"partkey", "custkey", "suppkey"},
+			{"suppkey", "partkey", "custkey"},
+		} {
+			if err := c.BuildIndex(order); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return c, data
+}
+
+func TestLoadAndScanQuery(t *testing.T) {
+	c, data := buildConfig(t, false)
+	mv, ok := c.View("custkey,partkey,suppkey")
+	if !ok {
+		t.Fatal("top view missing")
+	}
+	if mv.heap.Count() != data["custkey,partkey,suppkey"].Rows {
+		t.Fatalf("heap rows = %d", mv.heap.Count())
+	}
+	rows, err := c.Execute(workload.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Sum != 55 || rows[0].Count != 10 {
+		t.Fatalf("none = %+v", rows)
+	}
+	rows, err = c.Execute(workload.Query{
+		Node:  []lattice.Attr{"custkey"},
+		Fixed: []workload.Pred{{Attr: "custkey", Value: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Sum != 23 {
+		t.Fatalf("custkey=3 = %+v", rows)
+	}
+}
+
+func TestDuplicateLoadRejected(t *testing.T) {
+	c, data := buildConfig(t, false)
+	if err := c.LoadView(data["custkey"]); err == nil {
+		t.Fatal("duplicate load accepted")
+	}
+}
+
+// bigFacts returns a deterministic fact table large enough that an index
+// probe genuinely beats a table scan, as at the paper's scale.
+func bigFacts(n int) *memRows {
+	m := &memRows{cols: []lattice.Attr{"partkey", "suppkey", "custkey"}}
+	state := uint64(12345)
+	next := func(mod int64) int64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int64(state>>33)%mod + 1
+	}
+	for i := 0; i < n; i++ {
+		m.rows = append(m.rows, []int64{next(2000), next(100), next(5000)})
+		m.measure = append(m.measure, next(50))
+	}
+	return m
+}
+
+var bigDomains = map[lattice.Attr]int64{"partkey": 2000, "suppkey": 100, "custkey": 5000}
+
+func TestIndexPlanAndExecution(t *testing.T) {
+	data, err := cube.Compute(t.TempDir(), bigFacts(20000), testViews, cube.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Create(filepath.Join(t.TempDir(), "conv"), Options{Domains: bigDomains})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for _, view := range testViews {
+		if err := c.LoadView(data[view.Key()]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.BuildIndex([]lattice.Attr{"custkey", "suppkey", "partkey"}); err != nil {
+		t.Fatal(err)
+	}
+	q := workload.Query{
+		Node:  []lattice.Attr{"partkey", "suppkey", "custkey"},
+		Fixed: []workload.Pred{{Attr: "custkey", Value: 1}},
+	}
+	plan, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Index == nil || plan.Index.Order[0] != "custkey" {
+		t.Fatalf("planner did not pick the custkey-leading index: %+v", plan)
+	}
+	// Index execution agrees with a forced scan.
+	indexed, err := c.executeIndex(plan.MatView, plan.Index, plan.PrefixLen, plan.RangeExtended, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanned, err := c.executeScan(plan.MatView, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !workload.EqualRows(indexed, scanned) {
+		t.Fatal("index and scan disagree")
+	}
+	if len(indexed) == 0 {
+		t.Fatal("no results")
+	}
+}
+
+func TestIndexAndScanAgree(t *testing.T) {
+	ci, _ := buildConfig(t, true)
+	cs, _ := buildConfig(t, false)
+	gen := workload.NewGenerator(3, testDomains)
+	nodes := [][]lattice.Attr{
+		{"partkey", "suppkey", "custkey"},
+		{"partkey", "suppkey"},
+		{"custkey"},
+	}
+	for _, node := range nodes {
+		for i := 0; i < 25; i++ {
+			q := gen.ForNode(node)
+			a, err := ci.Execute(q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			b, err := cs.Execute(q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			if !workload.EqualRows(a, b) {
+				t.Fatalf("%s: indexed %+v vs scan %+v", q, a, b)
+			}
+		}
+	}
+}
+
+func TestApplyDeltaUpdatesAndInserts(t *testing.T) {
+	c, _ := buildConfig(t, true)
+	for _, view := range testViews {
+		if err := c.BuildPrimary(view.Key()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deltaFacts := &memRows{
+		cols:    []lattice.Attr{"partkey", "suppkey", "custkey"},
+		rows:    [][]int64{{1, 1, 1}, {4, 2, 3}},
+		measure: []int64{5, 1},
+	}
+	perView, err := cube.Compute(t.TempDir(), deltaFacts, testViews, cube.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, view := range testViews {
+		rep, err := c.ApplyDelta(perView[view.Key()], Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TimedOut {
+			t.Fatal("unexpected timeout")
+		}
+		if view.Arity() == 3 && (rep.Updated != 1 || rep.Inserted != 1) {
+			t.Fatalf("top view report = %+v", rep)
+		}
+		if view.Arity() == 0 && rep.Updated != 1 {
+			t.Fatalf("none view report = %+v", rep)
+		}
+	}
+	rows, err := c.Execute(workload.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Sum != 61 || rows[0].Count != 12 {
+		t.Fatalf("total after delta = %+v", rows)
+	}
+	// Updated point.
+	rows, _ = c.Execute(workload.Query{
+		Node: []lattice.Attr{"partkey", "suppkey", "custkey"},
+		Fixed: []workload.Pred{
+			{Attr: "partkey", Value: 1}, {Attr: "suppkey", Value: 1}, {Attr: "custkey", Value: 1},
+		},
+	})
+	if len(rows) != 1 || rows[0].Sum != 17 {
+		t.Fatalf("(1,1,1) = %+v", rows)
+	}
+	// Inserted point is also visible through the indexes.
+	rows, _ = c.Execute(workload.Query{
+		Node:  []lattice.Attr{"partkey", "suppkey", "custkey"},
+		Fixed: []workload.Pred{{Attr: "custkey", Value: 3}},
+	})
+	var total int64
+	for _, r := range rows {
+		total += r.Sum
+	}
+	if total != 24 { // 4 + 9 + 10 + 1
+		t.Fatalf("custkey=3 total = %d (%+v)", total, rows)
+	}
+}
+
+func TestApplyDeltaRequiresPrimary(t *testing.T) {
+	c, _ := buildConfig(t, false)
+	vd, err := cube.WriteTuples(t.TempDir(), v("custkey"), [][]int64{{1, 1, 1}}, cube.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ApplyDelta(vd, Budget{}); err == nil {
+		t.Fatal("delta without primary index accepted")
+	}
+}
+
+func TestApplyDeltaBudgetTimesOut(t *testing.T) {
+	// A tiny buffer pool forces real page traffic so the modelled deadline
+	// can actually expire.
+	data, err := cube.Compute(t.TempDir(), testFacts(), testViews, cube.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Create(filepath.Join(t.TempDir(), "conv"), Options{Domains: testDomains, PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for _, view := range testViews {
+		if err := c.LoadView(data[view.Key()]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.BuildPrimary("custkey,partkey,suppkey"); err != nil {
+		t.Fatal(err)
+	}
+	// A big delta with an impossible budget must time out.
+	var tuples [][]int64
+	for i := int64(1); i <= 2000; i++ {
+		tuples = append(tuples, []int64{i + 10, 1, 1, 1, 1})
+	}
+	vd, err := cube.WriteTuples(t.TempDir(), testViews[0], tuples, cube.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.ApplyDelta(vd, Budget{
+		Model:      pager.Disk1998,
+		Deadline:   time.Millisecond,
+		CheckEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TimedOut {
+		t.Fatal("expected timeout")
+	}
+	if rep.Applied >= 2000 {
+		t.Fatalf("applied all %d tuples despite budget", rep.Applied)
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	c, _ := buildConfig(t, true)
+	if c.TableBytes() <= 0 || c.IndexBytes() <= 0 {
+		t.Fatalf("bytes: tables=%d indexes=%d", c.TableBytes(), c.IndexBytes())
+	}
+	if c.TotalBytes() != c.TableBytes()+c.IndexBytes() {
+		t.Fatal("byte accounting inconsistent")
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	c, _ := buildConfig(t, true)
+	if err := c.BuildPrimary("custkey,partkey,suppkey"); err != nil {
+		t.Fatal(err)
+	}
+	dir := c.Dir()
+	q := workload.Query{
+		Node:  []lattice.Attr{"partkey", "suppkey"},
+		Fixed: []workload.Pred{{Attr: "partkey", Value: 1}},
+	}
+	want, err := c.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got, err := c2.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !workload.EqualRows(got, want) {
+		t.Fatalf("reopened results differ")
+	}
+	mv, _ := c2.View("custkey,partkey,suppkey")
+	if mv.primary == nil || len(mv.indexes) != 3 {
+		t.Fatalf("reopened structures missing: primary=%v indexes=%d", mv.primary != nil, len(mv.indexes))
+	}
+}
+
+func TestBuildIndexRequiresView(t *testing.T) {
+	c, _ := buildConfig(t, false)
+	if err := c.BuildIndex([]lattice.Attr{"partkey", "custkey"}); err == nil {
+		t.Fatal("index on unmaterialized view accepted")
+	}
+}

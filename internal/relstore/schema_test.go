@@ -1,0 +1,107 @@
+package relstore
+
+import (
+	"path/filepath"
+	"testing"
+
+	"cubetree/internal/cube"
+	"cubetree/internal/lattice"
+	"cubetree/internal/workload"
+)
+
+// TestExtendedSchemaRoundTrip: a conventional configuration with MIN/MAX
+// extras loads, answers, survives reopen, and folds extras through
+// per-tuple maintenance.
+func TestExtendedSchemaRoundTrip(t *testing.T) {
+	schema, err := lattice.NewSchema(lattice.AggMin, lattice.AggMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := cube.Compute(t.TempDir(), testFacts(), testViews, cube.Options{Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "conv")
+	c, err := Create(dir, Options{Domains: testDomains, Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, view := range testViews {
+		if err := c.LoadView(data[view.Key()]); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.BuildPrimary(view.Key()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q := workload.Query{}
+	rows, err := c.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0].Extra) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// testFacts quantities are 5,7,3,4,9,2,8,1,6,10 -> min 1, max 10.
+	if rows[0].Extra[0] != 1 || rows[0].Extra[1] != 10 {
+		t.Fatalf("extras = %v", rows[0].Extra)
+	}
+
+	// Delta folds min/max in place.
+	delta, err := cube.Compute(t.TempDir(), &memRows{
+		cols:    []lattice.Attr{"partkey", "suppkey", "custkey"},
+		rows:    [][]int64{{1, 1, 1}},
+		measure: []int64{100},
+	}, testViews, cube.Options{Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, view := range testViews {
+		if _, err := c.ApplyDelta(delta[view.Key()], Budget{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err = c.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Extra[1] != 100 {
+		t.Fatalf("max after delta = %v", rows[0].Extra)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen restores the schema.
+	c2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	rows, err = c2.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0].Extra) != 2 || rows[0].Extra[1] != 100 {
+		t.Fatalf("reopened extras = %v", rows[0].Extra)
+	}
+}
+
+// TestSchemaMismatchRejected: loading or updating with the wrong schema is
+// an error, never silent corruption.
+func TestSchemaMismatchRejected(t *testing.T) {
+	schema, _ := lattice.NewSchema(lattice.AggMin)
+	dataDefault, err := cube.Compute(t.TempDir(), testFacts(), testViews, cube.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Create(filepath.Join(t.TempDir(), "conv"), Options{Domains: testDomains, Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.LoadView(dataDefault["custkey"]); err == nil {
+		t.Fatal("default-schema view loaded into min-schema config")
+	}
+}

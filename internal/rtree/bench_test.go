@@ -1,0 +1,125 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"cubetree/internal/pager"
+)
+
+func benchPoints(n int) [][]int64 {
+	r := rand.New(rand.NewSource(9))
+	seen := map[[3]int64]bool{}
+	pts := make([][]int64, 0, n)
+	for len(pts) < n {
+		p := [3]int64{r.Int63n(2000) + 1, r.Int63n(2000) + 1, r.Int63n(2000) + 1}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		pts = append(pts, []int64{p[0], p[1], p[2]})
+	}
+	sort.Slice(pts, func(i, j int) bool { return PackLess(pts[i], pts[j]) })
+	return pts
+}
+
+func benchBuild(b *testing.B, pts [][]int64) *Tree {
+	b.Helper()
+	f, err := pager.Create(filepath.Join(b.TempDir(), "r.ct"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := pager.NewPool(f, 1024)
+	b.Cleanup(func() { pool.Close() })
+	bld, err := NewBuilder(pool, 3, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bld.BeginRun(3)
+	for _, p := range pts {
+		if err := bld.Add(p, []int64{1, 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bld.EndRun()
+	tree, err := bld.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree
+}
+
+func BenchmarkPack(b *testing.B) {
+	pts := benchPoints(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := benchBuild(b, pts)
+		if tree.Count() != int64(len(pts)) {
+			b.Fatal("count mismatch")
+		}
+	}
+	b.SetBytes(int64(len(pts)) * 40)
+}
+
+func BenchmarkPointSearch(b *testing.B) {
+	pts := benchPoints(100000)
+	tree := benchBuild(b, pts)
+	r := rand.New(rand.NewSource(10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pts[r.Intn(len(pts))]
+		found := 0
+		tree.Search(p, p, func([]int64, []int64) error { found++; return nil })
+		if found != 1 {
+			b.Fatalf("point %v found %d times", p, found)
+		}
+	}
+}
+
+func BenchmarkSliceSearch(b *testing.B) {
+	pts := benchPoints(100000)
+	tree := benchBuild(b, pts)
+	r := rand.New(rand.NewSource(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fix the last (major) coordinate: a contiguous band of leaves.
+		z := r.Int63n(2000) + 1
+		tree.Search([]int64{1, 1, z}, []int64{math.MaxInt64, math.MaxInt64, z},
+			func([]int64, []int64) error { return nil })
+	}
+}
+
+func BenchmarkMergePack(b *testing.B) {
+	pts := benchPoints(100000)
+	old := benchBuild(b, pts)
+	// 10% delta.
+	delta := &SlicePoints{}
+	for i := 0; i < len(pts); i += 10 {
+		delta.Coords = append(delta.Coords, pts[i])
+		delta.Measures = append(delta.Measures, []int64{1, 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f, _ := pager.Create(filepath.Join(b.TempDir(), "m.ct"), nil)
+		pool := pager.NewPool(f, 1024)
+		bld, _ := NewBuilder(pool, 3, Options{})
+		d := &SlicePoints{Coords: delta.Coords, Measures: delta.Measures}
+		b.StartTimer()
+		bld.BeginRun(3)
+		if err := MergeRun(bld, 3, old.RunIterator(old.Runs()[0]), d, nil); err != nil {
+			b.Fatal(err)
+		}
+		bld.EndRun()
+		if _, err := bld.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		pool.Close()
+		b.StartTimer()
+	}
+	b.SetBytes(int64(len(pts)) * 40)
+}

@@ -1,0 +1,108 @@
+package rtree
+
+import (
+	"errors"
+
+	"cubetree/internal/pager"
+)
+
+// ErrDone signals the normal end of a PointIterator.
+var ErrDone = errors.New("rtree: iterator exhausted")
+
+// Done reports whether err marks the normal end of a PointIterator.
+func Done(err error) bool { return err == ErrDone }
+
+// PointIterator yields points in pack order. Next returns an error for
+// which Done reports true after the last point.
+type PointIterator interface {
+	// Next returns the next point's full-dimensional coordinates and its
+	// measures. The slices are reused between calls.
+	Next() (coords []int64, measures []int64, err error)
+	Close() error
+}
+
+// RunIterator streams the points of one view run with sequential page
+// reads. The run's leaves are physically contiguous, so this is the linear
+// scan the merge-pack update relies on.
+func (t *Tree) RunIterator(run RunInfo) PointIterator {
+	return &runIterator{
+		t:        t,
+		next:     run.FirstLeaf,
+		last:     run.LastLeaf,
+		coords:   make([]int64, t.dim),
+		measures: make([]int64, t.measures),
+	}
+}
+
+type runIterator struct {
+	t        *Tree
+	next     pager.PageID
+	last     pager.PageID
+	fr       *pager.Frame
+	idx      int
+	coords   []int64
+	measures []int64
+	err      error
+}
+
+func (it *runIterator) Next() ([]int64, []int64, error) {
+	if it.err != nil {
+		return nil, nil, it.err
+	}
+	for {
+		if it.fr == nil {
+			if it.next > it.last {
+				it.err = ErrDone
+				return nil, nil, it.err
+			}
+			fr, err := it.t.pool.Fetch(it.next)
+			if err != nil {
+				it.err = err
+				return nil, nil, err
+			}
+			it.fr = fr
+			it.idx = 0
+			it.next++
+		}
+		b := it.fr.Data()
+		if it.idx < nodeCount(b) {
+			it.t.leafPoint(b, it.idx, it.coords, it.measures)
+			it.idx++
+			return it.coords, it.measures, nil
+		}
+		it.t.pool.Unpin(it.fr, false)
+		it.fr = nil
+	}
+}
+
+func (it *runIterator) Close() error {
+	if it.fr != nil {
+		it.t.pool.Unpin(it.fr, false)
+		it.fr = nil
+	}
+	if it.err == nil || it.err == ErrDone {
+		return nil
+	}
+	return it.err
+}
+
+// SlicePoints is an in-memory PointIterator over pre-sorted points, used for
+// deltas and tests.
+type SlicePoints struct {
+	Coords   [][]int64 // full-dimensional coordinates in pack order
+	Measures [][]int64
+	i        int
+}
+
+// Next implements PointIterator.
+func (s *SlicePoints) Next() ([]int64, []int64, error) {
+	if s.i >= len(s.Coords) {
+		return nil, nil, ErrDone
+	}
+	c, m := s.Coords[s.i], s.Measures[s.i]
+	s.i++
+	return c, m, nil
+}
+
+// Close implements PointIterator.
+func (s *SlicePoints) Close() error { return nil }

@@ -1,0 +1,124 @@
+package rtree
+
+import "fmt"
+
+// Combine folds the measures of two points with equal coordinates. The
+// default, AddMeasures, sums componentwise — correct for SUM and COUNT
+// payloads under insert-only increments.
+type Combine func(dst, src []int64)
+
+// AddMeasures adds src into dst componentwise.
+func AddMeasures(dst, src []int64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// MergeRun merges two pack-ordered point streams of the same view into the
+// builder's current run, combining measures on coordinate collisions. It is
+// the heart of the paper's bulk incremental update: the old tree's run and
+// the sorted delta are both read sequentially, and the output is packed
+// sequentially, so the whole refresh is linear in the data with zero random
+// I/O.
+//
+// The builder must have an open run of matching arity. Streams a and b must
+// be in strict pack order (duplicates within one stream are not allowed;
+// pre-aggregate deltas first).
+func MergeRun(b *Builder, arity int, old, delta PointIterator, combine Combine) error {
+	if combine == nil {
+		combine = AddMeasures
+	}
+	type cursor struct {
+		it       PointIterator
+		coords   []int64
+		measures []int64
+		done     bool
+	}
+	advance := func(c *cursor) error {
+		coords, measures, err := c.it.Next()
+		if err != nil {
+			if Done(err) {
+				c.done = true
+				return nil
+			}
+			return err
+		}
+		if c.coords == nil {
+			c.coords = make([]int64, len(coords))
+			c.measures = make([]int64, len(measures))
+		}
+		copy(c.coords, coords)
+		copy(c.measures, measures)
+		return nil
+	}
+	a := &cursor{it: old}
+	d := &cursor{it: delta}
+	if err := advance(a); err != nil {
+		return err
+	}
+	if err := advance(d); err != nil {
+		return err
+	}
+	emit := func(coords, measures []int64) error {
+		if len(coords) < arity {
+			return fmt.Errorf("rtree: merge point narrower (%d) than run arity %d", len(coords), arity)
+		}
+		return b.Add(coords[:arity], measures)
+	}
+	for !a.done || !d.done {
+		switch {
+		case a.done:
+			if err := emit(d.coords, d.measures); err != nil {
+				return err
+			}
+			if err := advance(d); err != nil {
+				return err
+			}
+		case d.done:
+			if err := emit(a.coords, a.measures); err != nil {
+				return err
+			}
+			if err := advance(a); err != nil {
+				return err
+			}
+		case equalCoords(a.coords, d.coords):
+			combine(a.measures, d.measures)
+			if err := emit(a.coords, a.measures); err != nil {
+				return err
+			}
+			if err := advance(a); err != nil {
+				return err
+			}
+			if err := advance(d); err != nil {
+				return err
+			}
+		case packLess(a.coords, d.coords):
+			if err := emit(a.coords, a.measures); err != nil {
+				return err
+			}
+			if err := advance(a); err != nil {
+				return err
+			}
+		default:
+			if err := emit(d.coords, d.measures); err != nil {
+				return err
+			}
+			if err := advance(d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func equalCoords(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,237 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// buildFromMap packs points into a fresh tree.
+func buildFromMap(t *testing.T, data map[[2]int64]int64, fanout int) *Tree {
+	t.Helper()
+	pts := make([][]int64, 0, len(data))
+	for k := range data {
+		pts = append(pts, []int64{k[0], k[1]})
+	}
+	sort.Slice(pts, func(i, j int) bool { return PackLess(pts[i], pts[j]) })
+	pool := newPool(t, 256)
+	b, err := NewBuilder(pool, 2, Options{Fanout: fanout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BeginRun(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := b.Add(p, []int64{data[[2]int64{p[0], p[1]}], 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.EndRun(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// slicePointsFromMap builds a delta iterator from a map.
+func slicePointsFromMap(data map[[2]int64]int64) *SlicePoints {
+	pts := make([][]int64, 0, len(data))
+	for k := range data {
+		pts = append(pts, []int64{k[0], k[1]})
+	}
+	sort.Slice(pts, func(i, j int) bool { return PackLess(pts[i], pts[j]) })
+	sp := &SlicePoints{}
+	for _, p := range pts {
+		sp.Coords = append(sp.Coords, p)
+		sp.Measures = append(sp.Measures, []int64{data[[2]int64{p[0], p[1]}], 1})
+	}
+	return sp
+}
+
+// dumpTree reads every point of a tree's single run back into a map.
+func dumpTree(t *testing.T, tree *Tree) map[[2]int64]int64 {
+	t.Helper()
+	out := map[[2]int64]int64{}
+	runs := tree.Runs()
+	for _, run := range runs {
+		it := tree.RunIterator(run)
+		for {
+			coords, measures, err := it.Next()
+			if Done(err) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[[2]int64{coords[0], coords[1]}] += measures[0]
+		}
+		it.Close()
+	}
+	return out
+}
+
+func TestMergeRunBasic(t *testing.T) {
+	oldData := map[[2]int64]int64{{1, 1}: 10, {2, 1}: 20, {1, 3}: 30}
+	delta := map[[2]int64]int64{{2, 1}: 5, {3, 2}: 7}
+	old := buildFromMap(t, oldData, 3)
+
+	pool := newPool(t, 256)
+	b, _ := NewBuilder(pool, 2, Options{Fanout: 3})
+	b.BeginRun(2)
+	err := MergeRun(b, 2, old.RunIterator(old.Runs()[0]), slicePointsFromMap(delta), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.EndRun()
+	merged, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := dumpTree(t, merged)
+	want := map[[2]int64]int64{{1, 1}: 10, {2, 1}: 25, {1, 3}: 30, {3, 2}: 7}
+	if len(got) != len(want) {
+		t.Fatalf("merged has %d points, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("point %v = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestMergeRunEmptyDelta(t *testing.T) {
+	oldData := map[[2]int64]int64{{1, 1}: 1, {5, 9}: 2}
+	old := buildFromMap(t, oldData, 0)
+	pool := newPool(t, 64)
+	b, _ := NewBuilder(pool, 2, Options{})
+	b.BeginRun(2)
+	if err := MergeRun(b, 2, old.RunIterator(old.Runs()[0]), &SlicePoints{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b.EndRun()
+	merged, _ := b.Finish()
+	got := dumpTree(t, merged)
+	if len(got) != 2 || got[[2]int64{1, 1}] != 1 {
+		t.Fatalf("identity merge broken: %v", got)
+	}
+}
+
+func TestMergeRunEmptyOld(t *testing.T) {
+	delta := map[[2]int64]int64{{4, 4}: 44}
+	pool := newPool(t, 64)
+	b, _ := NewBuilder(pool, 2, Options{})
+	b.BeginRun(2)
+	if err := MergeRun(b, 2, &SlicePoints{}, slicePointsFromMap(delta), nil); err != nil {
+		t.Fatal(err)
+	}
+	b.EndRun()
+	merged, _ := b.Finish()
+	got := dumpTree(t, merged)
+	if got[[2]int64{4, 4}] != 44 {
+		t.Fatalf("merge into empty broken: %v", got)
+	}
+}
+
+// TestMergeEquivalenceQuick: merge(load(A), B) == load(A+B) pointwise.
+func TestMergeEquivalenceQuick(t *testing.T) {
+	f := func(rawA, rawB []uint16) bool {
+		a := map[[2]int64]int64{}
+		for i, r := range rawA {
+			a[[2]int64{int64(r%30) + 1, int64(r/30%30) + 1}] += int64(i + 1)
+		}
+		bm := map[[2]int64]int64{}
+		for i, r := range rawB {
+			bm[[2]int64{int64(r%30) + 1, int64(r/30%30) + 1}] += int64(i + 2)
+		}
+		old := buildFromMap(t, a, 4)
+		pool := newPool(t, 256)
+		bld, _ := NewBuilder(pool, 2, Options{Fanout: 4})
+		bld.BeginRun(2)
+		if err := MergeRun(bld, 2, old.RunIterator(old.Runs()[0]), slicePointsFromMap(bm), nil); err != nil {
+			return false
+		}
+		bld.EndRun()
+		merged, err := bld.Finish()
+		if err != nil {
+			return false
+		}
+		if merged.Validate() != nil {
+			return false
+		}
+		want := map[[2]int64]int64{}
+		for k, v := range a {
+			want[k] += v
+		}
+		for k, v := range bm {
+			want[k] += v
+		}
+		got := dumpTree(t, merged)
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeLargeSequential(t *testing.T) {
+	// Build 10k points, merge 1k delta (half collisions), verify sums via
+	// search.
+	r := rand.New(rand.NewSource(99))
+	a := map[[2]int64]int64{}
+	for len(a) < 10000 {
+		a[[2]int64{r.Int63n(300) + 1, r.Int63n(300) + 1}] = r.Int63n(1000)
+	}
+	old := buildFromMap(t, a, 0)
+	d := map[[2]int64]int64{}
+	for k := range a {
+		if len(d) >= 500 {
+			break
+		}
+		d[k] = 7
+	}
+	for len(d) < 1000 {
+		d[[2]int64{r.Int63n(300) + 301, r.Int63n(300) + 1}] = 3
+	}
+	pool := newPool(t, 512)
+	b, _ := NewBuilder(pool, 2, Options{})
+	b.BeginRun(2)
+	if err := MergeRun(b, 2, old.RunIterator(old.Runs()[0]), slicePointsFromMap(d), nil); err != nil {
+		t.Fatal(err)
+	}
+	b.EndRun()
+	merged, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantTotal, gotTotal int64
+	for _, v := range a {
+		wantTotal += v
+	}
+	for _, v := range d {
+		wantTotal += v
+	}
+	merged.Search([]int64{1, 1}, []int64{math.MaxInt64, math.MaxInt64}, func(_, m []int64) error {
+		gotTotal += m[0]
+		return nil
+	})
+	if gotTotal != wantTotal {
+		t.Fatalf("total after merge = %d, want %d", gotTotal, wantTotal)
+	}
+}

@@ -1,0 +1,445 @@
+// Package rtree implements the packed and compressed R-trees underlying
+// Cubetrees (Roussopoulos & Leifker 1985; Roussopoulos, Kotidis &
+// Roussopoulos 1997).
+//
+// Unlike a dynamic R-tree, a packed R-tree is bulk-loaded from points sorted
+// in "pack order" — by the last coordinate, then the next-to-last, and so on
+// — filling every leaf to capacity with purely sequential writes. Views of
+// arity k < dim are embedded by treating their missing coordinates as zero,
+// and because packing keeps each view's points in a contiguous run of
+// leaves, those zero coordinates are never stored: a leaf records the arity
+// of its view and stores only the k useful coordinates per point. This
+// compression plus full leaves is what makes the Cubetree organization
+// smaller than even an unindexed relational representation of the same
+// views.
+//
+// Each point carries a fixed number of int64 measures (by convention
+// measure 0 is SUM and measure 1 is COUNT, from which AVG is derived),
+// implementing the paper's footnote that the scheme extends to multiple
+// aggregation functions per point.
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cubetree/internal/enc"
+	"cubetree/internal/pager"
+)
+
+const (
+	metaPage = 0
+	magic    = 0x43554254 // "CUBT"
+
+	kindInternal = 0
+	kindLeaf     = 1
+
+	nodeHeaderSize = 8 // kind u8, arity/level u8, count u16, pad u32
+
+	// maxRuns bounds the number of view runs recorded on the meta page.
+	maxRuns = 128
+)
+
+// RunInfo describes one view's contiguous run of leaves inside a tree.
+type RunInfo struct {
+	// Arity is the number of stored coordinates per point in the run.
+	Arity int
+	// FirstLeaf and LastLeaf delimit the run's leaf pages (inclusive).
+	// FirstLeaf > LastLeaf means the run is empty.
+	FirstLeaf pager.PageID
+	LastLeaf  pager.PageID
+	// Points is the number of points in the run.
+	Points int64
+}
+
+// Tree is a packed R-tree. It is immutable once built; updates produce a new
+// tree via merge-packing (see Merge).
+type Tree struct {
+	pool     *pager.Pool
+	dim      int
+	measures int
+	root     pager.PageID
+	height   int // 1 = root is a leaf
+	count    int64
+	leafLo   pager.PageID // first leaf page (they are contiguous)
+	leafHi   pager.PageID // last leaf page
+	runs     []RunInfo
+	fanout   int // test override, 0 = page capacity
+}
+
+// Dim returns the dimensionality of the tree's point space.
+func (t *Tree) Dim() int { return t.dim }
+
+// Measures returns the number of measures stored per point.
+func (t *Tree) Measures() int { return t.measures }
+
+// Count returns the total number of points.
+func (t *Tree) Count() int64 { return t.count }
+
+// Height returns the tree height (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Runs returns the view runs recorded at build time, in leaf order.
+func (t *Tree) Runs() []RunInfo { return append([]RunInfo(nil), t.runs...) }
+
+// Pages returns the total number of pages in the tree's file.
+func (t *Tree) Pages() uint32 { return t.pool.File().NumPages() }
+
+// LeafPages returns the number of leaf pages.
+func (t *Tree) LeafPages() uint32 {
+	if t.leafHi < t.leafLo {
+		return 0
+	}
+	return uint32(t.leafHi - t.leafLo + 1)
+}
+
+// Bytes returns the on-disk size of the tree.
+func (t *Tree) Bytes() int64 { return t.pool.File().Size() }
+
+// Pool exposes the tree's buffer pool (used by the forest for flushing).
+func (t *Tree) Pool() *pager.Pool { return t.pool }
+
+// Close persists metadata and flushes the pool.
+func (t *Tree) Close() error {
+	if err := t.syncMeta(); err != nil {
+		return err
+	}
+	return t.pool.Flush()
+}
+
+// Open loads a packed tree previously built on pool's file.
+func Open(pool *pager.Pool) (*Tree, error) {
+	fr, err := pool.Fetch(metaPage)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(fr, false)
+	b := fr.Data()
+	if binary.LittleEndian.Uint32(b[0:]) != magic {
+		return nil, fmt.Errorf("rtree: bad magic")
+	}
+	t := &Tree{
+		pool:     pool,
+		dim:      int(binary.LittleEndian.Uint32(b[4:])),
+		measures: int(binary.LittleEndian.Uint32(b[8:])),
+		root:     pager.PageID(binary.LittleEndian.Uint32(b[12:])),
+		height:   int(binary.LittleEndian.Uint32(b[16:])),
+		count:    int64(binary.LittleEndian.Uint64(b[20:])),
+		leafLo:   pager.PageID(binary.LittleEndian.Uint32(b[28:])),
+		leafHi:   pager.PageID(binary.LittleEndian.Uint32(b[32:])),
+		fanout:   int(binary.LittleEndian.Uint32(b[36:])),
+	}
+	n := int(binary.LittleEndian.Uint32(b[40:]))
+	off := 44
+	for i := 0; i < n; i++ {
+		t.runs = append(t.runs, RunInfo{
+			Arity:     int(b[off]),
+			FirstLeaf: pager.PageID(binary.LittleEndian.Uint32(b[off+1:])),
+			LastLeaf:  pager.PageID(binary.LittleEndian.Uint32(b[off+5:])),
+			Points:    int64(binary.LittleEndian.Uint64(b[off+9:])),
+		})
+		off += 17
+	}
+	return t, nil
+}
+
+func (t *Tree) syncMeta() error {
+	fr, err := t.pool.Fetch(metaPage)
+	if err != nil {
+		return err
+	}
+	b := fr.Data()
+	binary.LittleEndian.PutUint32(b[0:], magic)
+	binary.LittleEndian.PutUint32(b[4:], uint32(t.dim))
+	binary.LittleEndian.PutUint32(b[8:], uint32(t.measures))
+	binary.LittleEndian.PutUint32(b[12:], uint32(t.root))
+	binary.LittleEndian.PutUint32(b[16:], uint32(t.height))
+	binary.LittleEndian.PutUint64(b[20:], uint64(t.count))
+	binary.LittleEndian.PutUint32(b[28:], uint32(t.leafLo))
+	binary.LittleEndian.PutUint32(b[32:], uint32(t.leafHi))
+	binary.LittleEndian.PutUint32(b[36:], uint32(t.fanout))
+	if len(t.runs) > maxRuns {
+		t.pool.Unpin(fr, false)
+		return fmt.Errorf("rtree: too many runs (%d)", len(t.runs))
+	}
+	binary.LittleEndian.PutUint32(b[40:], uint32(len(t.runs)))
+	off := 44
+	for _, r := range t.runs {
+		b[off] = byte(r.Arity)
+		binary.LittleEndian.PutUint32(b[off+1:], uint32(r.FirstLeaf))
+		binary.LittleEndian.PutUint32(b[off+5:], uint32(r.LastLeaf))
+		binary.LittleEndian.PutUint64(b[off+9:], uint64(r.Points))
+		off += 17
+	}
+	t.pool.Unpin(fr, true)
+	return nil
+}
+
+// --- node layout ------------------------------------------------------------
+
+func initNode(b []byte, kind, aux byte) {
+	for i := 0; i < nodeHeaderSize; i++ {
+		b[i] = 0
+	}
+	b[0] = kind
+	b[1] = aux
+}
+
+func nodeKind(b []byte) byte       { return b[0] }
+func nodeAux(b []byte) byte        { return b[1] } // arity for leaves, level for internal
+func nodeCount(b []byte) int       { return int(binary.LittleEndian.Uint16(b[2:])) }
+func setNodeCount(b []byte, n int) { binary.LittleEndian.PutUint16(b[2:], uint16(n)) }
+
+// leafEntrySize is the bytes per point on a leaf of the given arity.
+func (t *Tree) leafEntrySize(arity int) int { return enc.TupleSize(arity + t.measures) }
+
+// leafCap returns the point capacity of a leaf of the given arity.
+func (t *Tree) leafCap(arity int) int {
+	c := (pager.PageSize - nodeHeaderSize) / t.leafEntrySize(arity)
+	if t.fanout > 1 && c > t.fanout {
+		c = t.fanout
+	}
+	return c
+}
+
+// innerEntrySize is the bytes per child entry of an internal node: an MBR of
+// dim (lo,hi) pairs plus a child page id.
+func (t *Tree) innerEntrySize() int { return t.dim*16 + 4 }
+
+// innerCap returns the child capacity of an internal node.
+func (t *Tree) innerCap() int {
+	c := (pager.PageSize - nodeHeaderSize) / t.innerEntrySize()
+	if t.fanout > 1 && c > t.fanout {
+		c = t.fanout
+	}
+	return c
+}
+
+// leafPoint decodes entry i of leaf b into coords (len dim, zero padded) and
+// measures (len measures). Both must be caller-provided slices.
+func (t *Tree) leafPoint(b []byte, i int, coords, measures []int64) {
+	arity := int(nodeAux(b))
+	es := t.leafEntrySize(arity)
+	off := nodeHeaderSize + i*es
+	for j := 0; j < arity; j++ {
+		coords[j] = enc.Field(b[off:], j)
+	}
+	for j := arity; j < t.dim; j++ {
+		coords[j] = 0
+	}
+	for j := 0; j < t.measures; j++ {
+		measures[j] = enc.Field(b[off:], arity+j)
+	}
+}
+
+// innerEntry decodes entry i of internal node b.
+func (t *Tree) innerEntry(b []byte, i int, lo, hi []int64) pager.PageID {
+	es := t.innerEntrySize()
+	off := nodeHeaderSize + i*es
+	for j := 0; j < t.dim; j++ {
+		lo[j] = enc.Field(b[off:], 2*j)
+		hi[j] = enc.Field(b[off:], 2*j+1)
+	}
+	return pager.PageID(binary.LittleEndian.Uint32(b[off+t.dim*16:]))
+}
+
+func (t *Tree) setInnerEntry(b []byte, i int, lo, hi []int64, child pager.PageID) {
+	es := t.innerEntrySize()
+	off := nodeHeaderSize + i*es
+	for j := 0; j < t.dim; j++ {
+		enc.PutField(b[off:], 2*j, lo[j])
+		enc.PutField(b[off:], 2*j+1, hi[j])
+	}
+	binary.LittleEndian.PutUint32(b[off+t.dim*16:], uint32(child))
+}
+
+// --- search -----------------------------------------------------------------
+
+// Visit is called for every point matched by a search. coords has the
+// tree's full dimensionality with zero padding; measures holds the point's
+// aggregate payload. Both slices are reused between calls.
+type Visit func(coords []int64, measures []int64) error
+
+// Search visits every point p with lo[j] <= p[j] <= hi[j] for all j.
+func (t *Tree) Search(lo, hi []int64, fn Visit) error {
+	if len(lo) != t.dim || len(hi) != t.dim {
+		return fmt.Errorf("rtree: search rectangle dim %d/%d, want %d", len(lo), len(hi), t.dim)
+	}
+	if t.count == 0 {
+		return nil
+	}
+	coords := make([]int64, t.dim)
+	measures := make([]int64, t.measures)
+	elo := make([]int64, t.dim)
+	ehi := make([]int64, t.dim)
+	return t.search(t.root, t.height, lo, hi, coords, measures, elo, ehi, fn)
+}
+
+func (t *Tree) search(pid pager.PageID, level int, lo, hi, coords, measures, elo, ehi []int64, fn Visit) error {
+	fr, err := t.pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	b := fr.Data()
+	n := nodeCount(b)
+	if level == 1 {
+		if nodeKind(b) != kindLeaf {
+			t.pool.Unpin(fr, false)
+			return fmt.Errorf("rtree: corrupt node %d: expected leaf", pid)
+		}
+		for i := 0; i < n; i++ {
+			t.leafPoint(b, i, coords, measures)
+			if pointInRect(coords, lo, hi) {
+				if err := fn(coords, measures); err != nil {
+					t.pool.Unpin(fr, false)
+					return err
+				}
+			}
+		}
+		t.pool.Unpin(fr, false)
+		return nil
+	}
+	if nodeKind(b) != kindInternal {
+		t.pool.Unpin(fr, false)
+		return fmt.Errorf("rtree: corrupt node %d: expected internal", pid)
+	}
+	// Collect matching children before recursing so the parent page is not
+	// pinned during the whole subtree walk.
+	var children []pager.PageID
+	for i := 0; i < n; i++ {
+		child := t.innerEntry(b, i, elo, ehi)
+		if rectsIntersect(elo, ehi, lo, hi) {
+			children = append(children, child)
+		}
+	}
+	t.pool.Unpin(fr, false)
+	for _, c := range children {
+		if err := t.search(c, level-1, lo, hi, coords, measures, elo, ehi, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pointInRect(p, lo, hi []int64) bool {
+	for j := range p {
+		if p[j] < lo[j] || p[j] > hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func rectsIntersect(alo, ahi, blo, bhi []int64) bool {
+	for j := range alo {
+		if ahi[j] < blo[j] || bhi[j] < alo[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks packing invariants: every leaf in [leafLo, leafHi], leaves
+// sorted in pack order within each run, full MBR containment, and the meta
+// point count. Tests call it after every build and merge.
+func (t *Tree) Validate() error {
+	if t.count == 0 {
+		return nil
+	}
+	// MBR containment and level structure.
+	var walk func(pid pager.PageID, level int, lo, hi []int64) error
+	walk = func(pid pager.PageID, level int, lo, hi []int64) error {
+		fr, err := t.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		defer t.pool.Unpin(fr, false)
+		b := fr.Data()
+		n := nodeCount(b)
+		if level == 1 {
+			if nodeKind(b) != kindLeaf {
+				return fmt.Errorf("rtree: node %d at leaf level is internal", pid)
+			}
+			if pid < t.leafLo || pid > t.leafHi {
+				return fmt.Errorf("rtree: leaf %d outside leaf range [%d,%d]", pid, t.leafLo, t.leafHi)
+			}
+			coords := make([]int64, t.dim)
+			meas := make([]int64, t.measures)
+			for i := 0; i < n; i++ {
+				t.leafPoint(b, i, coords, meas)
+				if lo != nil && !pointInRect(coords, lo, hi) {
+					return fmt.Errorf("rtree: leaf %d point %v escapes parent MBR", pid, coords)
+				}
+			}
+			return nil
+		}
+		if nodeKind(b) != kindInternal {
+			return fmt.Errorf("rtree: node %d at level %d is a leaf", pid, level)
+		}
+		elo := make([]int64, t.dim)
+		ehi := make([]int64, t.dim)
+		for i := 0; i < n; i++ {
+			child := t.innerEntry(b, i, elo, ehi)
+			if lo != nil && !rectContains(lo, hi, elo, ehi) {
+				return fmt.Errorf("rtree: node %d entry %d MBR escapes parent", pid, i)
+			}
+			if err := walk(child, level-1, append([]int64(nil), elo...), append([]int64(nil), ehi...)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, t.height, nil, nil); err != nil {
+		return err
+	}
+	// Run ordering and count.
+	var total int64
+	for _, run := range t.runs {
+		prev := make([]int64, t.dim)
+		first := true
+		it := t.RunIterator(run)
+		for {
+			coords, _, err := it.Next()
+			if err != nil {
+				if err == ErrDone {
+					break
+				}
+				return err
+			}
+			if !first && !packLess(prev, coords) {
+				return fmt.Errorf("rtree: run (arity %d) out of pack order: %v !< %v", run.Arity, prev, coords)
+			}
+			copy(prev, coords)
+			first = false
+			total++
+		}
+		it.Close()
+	}
+	if total != t.count {
+		return fmt.Errorf("rtree: count mismatch: meta %d, runs %d", t.count, total)
+	}
+	return nil
+}
+
+func rectContains(plo, phi, clo, chi []int64) bool {
+	for j := range plo {
+		if clo[j] < plo[j] || chi[j] > phi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// packLess reports whether a precedes b in pack order (last coordinate
+// major, as the paper sorts R{x,y} points by y then x).
+func packLess(a, b []int64) bool {
+	for j := len(a) - 1; j >= 0; j-- {
+		if a[j] != b[j] {
+			return a[j] < b[j]
+		}
+	}
+	return false
+}
+
+// PackLess exposes the pack order for callers preparing sorted input.
+func PackLess(a, b []int64) bool { return packLess(a, b) }

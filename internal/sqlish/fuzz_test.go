@@ -1,0 +1,34 @@
+package sqlish
+
+import "testing"
+
+// FuzzParse hammers the parser with arbitrary inputs: it must never panic,
+// and successful parses must produce queries that validate.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT partkey, sum(quantity) FROM sales GROUP BY partkey",
+		"select sum(q) from f where a = 1 and b between 2 and 9",
+		"SELECT count(*), avg(q), min(q), max(q) FROM t",
+		"SELECT",
+		"SELECT sum(q) FROM",
+		"select a, b, sum(q) from t group by a, b",
+		"select sum(q) from t where a = -5",
+		"((((",
+		"SELECT sum(q) FROM t WHERE a = 99999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if err := st.Query.Validate(); err != nil {
+			t.Fatalf("parsed statement fails validation: %v (input %q)", err, input)
+		}
+		if len(st.Columns) == 0 {
+			t.Fatalf("parsed statement has no columns (input %q)", input)
+		}
+	})
+}

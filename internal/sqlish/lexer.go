@@ -1,0 +1,108 @@
+// Package sqlish translates a restricted SQL dialect into slice queries,
+// mirroring the paper's Cubetree Datablade, which exposed the forest to
+// Informix users through "a clean and transparent SQL interface". The
+// grammar covers exactly the paper's query model:
+//
+//	SELECT <attr | agg(measure)> [, ...]
+//	FROM <anything>
+//	[WHERE attr = N [AND attr BETWEEN lo AND hi] ...]
+//	[GROUP BY attr [, ...]]
+//
+// with aggregates SUM, COUNT, AVG, MIN and MAX. The translation produces a
+// workload.Query plus the projection needed to format results.
+package sqlish
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexer token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokComma
+	tokLParen
+	tokRParen
+	tokStar
+	tokEq
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits the input into tokens. Keywords are returned as tokIdent and
+// matched case-insensitively by the parser.
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (l *lexer) errf(pos int, format string, args ...interface{}) error {
+	return fmt.Errorf("sqlish: %s at offset %d", fmt.Sprintf(format, args...), pos)
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		l.pos++
+		for l.pos < len(l.input) && l.input[l.pos] >= '0' && l.input[l.pos] <= '9' {
+			l.pos++
+		}
+		if l.pos == start+1 && c == '-' {
+			return token{}, l.errf(start, "dangling '-'")
+		}
+		return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}, nil
+	case isIdentStart(c):
+		l.pos++
+		for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.input[start:l.pos], pos: start}, nil
+	default:
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}
+
+// isKeyword matches tok against a keyword, case-insensitively.
+func isKeyword(tok token, kw string) bool {
+	return tok.kind == tokIdent && strings.EqualFold(tok.text, kw)
+}

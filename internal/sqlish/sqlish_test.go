@@ -1,0 +1,194 @@
+package sqlish
+
+import (
+	"strings"
+	"testing"
+
+	"cubetree/internal/lattice"
+	"cubetree/internal/workload"
+)
+
+func mustParse(t *testing.T, sql string) *Statement {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return st
+}
+
+func TestParseBasicGroupBy(t *testing.T) {
+	st := mustParse(t, "SELECT partkey, sum(quantity) FROM sales GROUP BY partkey")
+	if st.Table != "sales" {
+		t.Fatalf("table = %q", st.Table)
+	}
+	if len(st.Query.Node) != 1 || st.Query.Node[0] != "partkey" {
+		t.Fatalf("node = %v", st.Query.Node)
+	}
+	if len(st.Columns) != 2 || st.Columns[0].Attr != "partkey" || st.Columns[1].Agg != lattice.AggSum {
+		t.Fatalf("columns = %+v", st.Columns)
+	}
+}
+
+func TestParseWhereEquality(t *testing.T) {
+	st := mustParse(t, "select suppkey, sum(quantity) from f where partkey = 17 group by suppkey")
+	// partkey joins the node implicitly.
+	if len(st.Query.Node) != 2 {
+		t.Fatalf("node = %v", st.Query.Node)
+	}
+	v, ok := st.Query.FixedValue("partkey")
+	if !ok || v != 17 {
+		t.Fatalf("fixed = %v", st.Query.Fixed)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	st := mustParse(t, "SELECT sum(quantity) FROM f WHERE partkey BETWEEN 10 AND 20 AND suppkey = 3")
+	r, ok := st.Query.RangeFor("partkey")
+	if !ok || r.Lo != 10 || r.Hi != 20 {
+		t.Fatalf("range = %+v", st.Query.Ranges)
+	}
+	if _, ok := st.Query.FixedValue("suppkey"); !ok {
+		t.Fatalf("fixed = %+v", st.Query.Fixed)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	st := mustParse(t, "SELECT count(*), avg(quantity), min(quantity), max(quantity), sum(quantity) FROM f")
+	kinds := []struct {
+		isAvg bool
+		agg   lattice.Agg
+	}{
+		{false, lattice.AggCount}, {true, 0}, {false, lattice.AggMin},
+		{false, lattice.AggMax}, {false, lattice.AggSum},
+	}
+	for i, k := range kinds {
+		c := st.Columns[i]
+		if c.IsAvg != k.isAvg || (!k.isAvg && c.Agg != k.agg) {
+			t.Fatalf("column %d = %+v", i, c)
+		}
+	}
+	if len(st.Query.Node) != 0 {
+		t.Fatalf("super-aggregate node = %v", st.Query.Node)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	mustParse(t, "SeLeCt SUM(q) FrOm t WhErE a = 1 GrOuP bY a")
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT FROM t",
+		"SELECT sum(q) t",
+		"SELECT partkey FROM t",                  // non-aggregated without agg column
+		"SELECT partkey, sum(q) FROM t",          // partkey not grouped
+		"SELECT median(q) FROM t",                // unknown aggregate
+		"SELECT sum(q) FROM t WHERE a 5",         // missing operator
+		"SELECT sum(q) FROM t WHERE a BETWEEN 5", // incomplete between
+		"SELECT sum(q) FROM t WHERE a BETWEEN 9 AND 1",           // empty range
+		"SELECT sum(q) FROM t WHERE a = 1 AND a BETWEEN 1 AND 2", // eq+range same attr
+		"SELECT sum(q) FROM t GROUP BY",                          // missing attr
+		"SELECT sum(q) FROM t extra",                             // trailing tokens
+		"SELECT sum(q FROM t",                                    // missing paren
+		"SELECT sum(q) FROM t WHERE a = $",                       // bad token
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	st := mustParse(t, "SELECT partkey, sum(quantity), avg(quantity) FROM f GROUP BY partkey")
+	rows := []workload.Row{
+		{Group: []int64{1}, Sum: 10, Count: 4},
+		{Group: []int64{2}, Sum: 9, Count: 3},
+	}
+	headers, cells, err := st.Format(rows, lattice.DefaultSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(headers, "|") != "partkey|sum(quantity)|avg(quantity)" {
+		t.Fatalf("headers = %v", headers)
+	}
+	if cells[0][0] != "1" || cells[0][1] != "10" || cells[0][2] != "2.50" {
+		t.Fatalf("row 0 = %v", cells[0])
+	}
+}
+
+func TestFormatExtras(t *testing.T) {
+	st := mustParse(t, "SELECT min(q), max(q) FROM f")
+	schema, _ := lattice.NewSchema(lattice.AggMin, lattice.AggMax)
+	rows := []workload.Row{{Group: nil, Sum: 5, Count: 2, Extra: []int64{1, 4}}}
+	_, cells, err := st.Format(rows, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0][0] != "1" || cells[0][1] != "4" {
+		t.Fatalf("cells = %v", cells)
+	}
+	// Without the extras stored, formatting MIN must fail with a clear
+	// error.
+	if _, _, err := st.Format(rows, lattice.DefaultSchema()); err == nil {
+		t.Fatal("min over default schema accepted")
+	}
+}
+
+func TestParseHaving(t *testing.T) {
+	// The paper's Section 3.3 example: answering Q1 through the top view
+	// with a HAVING predicate.
+	st := mustParse(t,
+		"select suppkey, sum(sum_quantity) from v_partkey_suppkey_custkey group by partkey, suppkey having partkey = 7")
+	v, ok := st.Query.FixedValue("partkey")
+	if !ok || v != 7 {
+		t.Fatalf("having predicate missing: %+v", st.Query)
+	}
+	if len(st.Query.Node) != 2 {
+		t.Fatalf("node = %v", st.Query.Node)
+	}
+	// WHERE and HAVING can combine.
+	st = mustParse(t, "select sum(q) from f where a = 1 group by a having b between 1 and 3")
+	if _, ok := st.Query.RangeFor("b"); !ok {
+		t.Fatalf("having range missing: %+v", st.Query)
+	}
+}
+
+func TestParseLimit(t *testing.T) {
+	st := mustParse(t, "select a, sum(q) from f group by a limit 2")
+	if !st.HasLimit || st.Limit != 2 {
+		t.Fatalf("limit = %+v", st)
+	}
+	rows := []workload.Row{
+		{Group: []int64{1}, Sum: 1, Count: 1},
+		{Group: []int64{2}, Sum: 2, Count: 1},
+		{Group: []int64{3}, Sum: 3, Count: 1},
+	}
+	_, cells, err := st.Format(rows, lattice.DefaultSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("limit not applied: %d rows", len(cells))
+	}
+	if _, err := Parse("select sum(q) from f limit -1"); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+	if _, err := Parse("select sum(q) from f limit"); err == nil {
+		t.Fatal("missing limit value accepted")
+	}
+}
+
+func TestParsedQueryExecutesShape(t *testing.T) {
+	// The produced query validates and carries the right node order:
+	// grouped attrs first, then implicit predicate attrs.
+	st := mustParse(t, "SELECT custkey, sum(q) FROM f WHERE partkey = 2 GROUP BY custkey")
+	if err := st.Query.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Query.Node[0] != "custkey" || st.Query.Node[1] != "partkey" {
+		t.Fatalf("node order = %v", st.Query.Node)
+	}
+}

@@ -1,0 +1,126 @@
+package tpcd
+
+import "fmt"
+
+// Dimension rows, generated deterministically from keys in the style of
+// DBGEN. They give the star schema its descriptive side for examples and
+// hierarchy (drill-down / roll-up) queries; the grouping codes (brand,
+// type, container, nation) are the same deterministic functions the fact
+// iterator exposes, so a view grouped by "brand" joins consistently.
+
+// Part is one row of the part dimension.
+type Part struct {
+	PartKey   int64
+	Name      string
+	Brand     int64 // 1..NumBrands
+	BrandName string
+	Type      int64 // 1..NumTypes
+	TypeName  string
+	Size      int64 // 1..50
+	Container string
+}
+
+// NumContainers is the domain of the part container attribute.
+const NumContainers = 40
+
+var containerNames = [...]string{
+	"SM CASE", "SM BOX", "SM BAG", "SM JAR", "SM PKG", "SM PACK", "SM CAN", "SM DRUM",
+	"LG CASE", "LG BOX", "LG BAG", "LG JAR", "LG PKG", "LG PACK", "LG CAN", "LG DRUM",
+	"MED CASE", "MED BOX", "MED BAG", "MED JAR", "MED PKG", "MED PACK", "MED CAN", "MED DRUM",
+	"JUMBO CASE", "JUMBO BOX", "JUMBO BAG", "JUMBO JAR", "JUMBO PKG", "JUMBO PACK", "JUMBO CAN", "JUMBO DRUM",
+	"WRAP CASE", "WRAP BOX", "WRAP BAG", "WRAP JAR", "WRAP PKG", "WRAP PACK", "WRAP CAN", "WRAP DRUM",
+}
+
+var typeSyllables1 = [...]string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var typeSyllables2 = [...]string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var typeSyllables3 = [...]string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+// TypeName renders a type code as DBGEN's three-syllable type string.
+func TypeName(code int64) string {
+	c := code - 1
+	return typeSyllables1[c%6] + " " + typeSyllables2[(c/6)%5] + " " + typeSyllables3[(c/30)%5]
+}
+
+// BrandName renders a brand code as DBGEN's Brand#MN string.
+func BrandName(code int64) string {
+	c := code - 1
+	return fmt.Sprintf("Brand#%d%d", c/5+1, c%5+1)
+}
+
+// PartRow returns part dimension row k (1-based).
+func (d *Dataset) PartRow(k int64) Part {
+	brand := BrandOf(k)
+	typ := TypeOf(k)
+	return Part{
+		PartKey:   k,
+		Name:      fmt.Sprintf("part %d", k),
+		Brand:     brand,
+		BrandName: BrandName(brand),
+		Type:      typ,
+		TypeName:  TypeName(typ),
+		Size:      int64(mix(uint64(k)^0x51a3)%50) + 1,
+		Container: containerNames[mix(uint64(k)^0xc0fe)%NumContainers],
+	}
+}
+
+// Supplier is one row of the supplier dimension.
+type Supplier struct {
+	SuppKey int64
+	Name    string
+	Nation  int64 // 1..25
+	Phone   string
+}
+
+// SupplierRow returns supplier dimension row k (1-based).
+func (d *Dataset) SupplierRow(k int64) Supplier {
+	nation := NationOf(k)
+	return Supplier{
+		SuppKey: k,
+		Name:    fmt.Sprintf("Supplier#%09d", k),
+		Nation:  nation,
+		Phone:   phone(nation, uint64(k)^0xf00d),
+	}
+}
+
+// Customer is one row of the customer dimension.
+type Customer struct {
+	CustKey int64
+	Name    string
+	Nation  int64 // 1..25
+	Phone   string
+	Segment string
+}
+
+// NumNations and NumSegments follow TPC-D's domains.
+const (
+	NumNations  = 25
+	NumSegments = 5
+)
+
+var segmentNames = [...]string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+// NationOf returns the nation code (1..NumNations) of a supplier or
+// customer key, a deterministic function usable as a hierarchy attribute.
+func NationOf(key int64) int64 { return int64(mix(uint64(key)^0x4a71)%NumNations) + 1 }
+
+// SegmentOf returns the market segment code (1..NumSegments) of a customer.
+func SegmentOf(key int64) int64 { return int64(mix(uint64(key)^0x9d2c)%NumSegments) + 1 }
+
+// CustomerRow returns customer dimension row k (1-based).
+func (d *Dataset) CustomerRow(k int64) Customer {
+	nation := NationOf(k)
+	return Customer{
+		CustKey: k,
+		Name:    fmt.Sprintf("Customer#%09d", k),
+		Nation:  nation,
+		Phone:   phone(nation, uint64(k)^0xbeef),
+		Segment: segmentNames[SegmentOf(k)-1],
+	}
+}
+
+// phone builds a TPC-D style phone number with the nation as country code.
+func phone(nation int64, salt uint64) string {
+	h := mix(salt)
+	return fmt.Sprintf("%d-%03d-%03d-%04d", nation+10,
+		h%900+100, (h/1000)%900+100, (h/1000000)%10000)
+}

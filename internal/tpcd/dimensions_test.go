@@ -1,0 +1,98 @@
+package tpcd
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartRowDeterministicAndConsistent(t *testing.T) {
+	d := New(Params{SF: 0.001, Seed: 1})
+	for k := int64(1); k <= 100; k++ {
+		a, b := d.PartRow(k), d.PartRow(k)
+		if a != b {
+			t.Fatalf("part row %d not deterministic", k)
+		}
+		// Codes must agree with the fact-side hierarchy functions.
+		if a.Brand != BrandOf(k) || a.Type != TypeOf(k) {
+			t.Fatalf("part %d codes inconsistent with BrandOf/TypeOf", k)
+		}
+		if a.Size < 1 || a.Size > 50 {
+			t.Fatalf("part %d size %d", k, a.Size)
+		}
+		if a.Container == "" || a.BrandName == "" || a.TypeName == "" {
+			t.Fatalf("part %d has empty strings: %+v", k, a)
+		}
+	}
+}
+
+func TestBrandAndTypeNames(t *testing.T) {
+	if got := BrandName(1); got != "Brand#11" {
+		t.Fatalf("BrandName(1) = %q", got)
+	}
+	if got := BrandName(NumBrands); got != "Brand#55" {
+		t.Fatalf("BrandName(%d) = %q", NumBrands, got)
+	}
+	seen := map[string]bool{}
+	for c := int64(1); c <= NumTypes; c++ {
+		n := TypeName(c)
+		if len(strings.Fields(n)) != 3 {
+			t.Fatalf("type name %q not three syllables", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) != NumTypes {
+		t.Fatalf("only %d distinct type names of %d", len(seen), NumTypes)
+	}
+}
+
+func TestSupplierAndCustomerRows(t *testing.T) {
+	d := New(Params{SF: 0.001, Seed: 1})
+	s := d.SupplierRow(7)
+	if s.Nation != NationOf(7) || s.Nation < 1 || s.Nation > NumNations {
+		t.Fatalf("supplier nation %d", s.Nation)
+	}
+	if !strings.HasPrefix(s.Name, "Supplier#") {
+		t.Fatalf("supplier name %q", s.Name)
+	}
+	c := d.CustomerRow(7)
+	if c.Segment == "" || c.Nation < 1 || c.Nation > NumNations {
+		t.Fatalf("customer row %+v", c)
+	}
+	// Phone numbers carry the nation as country code.
+	if !strings.HasPrefix(s.Phone, "1") && !strings.HasPrefix(s.Phone, "2") && !strings.HasPrefix(s.Phone, "3") {
+		t.Fatalf("phone %q", s.Phone)
+	}
+}
+
+func TestHierarchyCodesQuick(t *testing.T) {
+	f := func(k uint32) bool {
+		key := int64(k%1000000) + 1
+		n := NationOf(key)
+		s := SegmentOf(key)
+		return n >= 1 && n <= NumNations && s >= 1 && s <= NumSegments &&
+			n == NationOf(key) && s == SegmentOf(key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyAttrsOnFactStream(t *testing.T) {
+	d := New(Params{SF: 0.001, Seed: 2})
+	it := d.FactRows()
+	it.Next()
+	f := it.Fact()
+	sn, err := it.Value(AttrSuppNation)
+	if err != nil || sn != NationOf(f.SuppKey) {
+		t.Fatalf("suppnation = %d, %v", sn, err)
+	}
+	cn, err := it.Value(AttrCustNation)
+	if err != nil || cn != NationOf(f.CustKey) {
+		t.Fatalf("custnation = %d, %v", cn, err)
+	}
+	seg, err := it.Value(AttrSegment)
+	if err != nil || seg != SegmentOf(f.CustKey) {
+		t.Fatalf("segment = %d, %v", seg, err)
+	}
+}

@@ -1,0 +1,238 @@
+// Package tpcd generates a deterministic, scale-free imitation of the TPC-D
+// benchmark's DBGEN output restricted to the schema the paper uses: a fact
+// table with part, supplier and customer foreign keys and a quantity
+// measure, plus the dimension attributes (brand, type, container, nation,
+// month, year) needed for hierarchy views like the paper's V2 ("group by
+// part.type").
+//
+// Cardinalities follow TPC-D's 1 GB ratios — 200,000 parts, 10,000
+// suppliers, 150,000 customers and 6,001,215 lineitems at scale factor 1 —
+// and the part/supplier correlation follows DBGEN's PARTSUPP rule (each
+// part is supplied by exactly four suppliers at deterministic offsets).
+// That correlation matters: it makes the {partkey,suppkey} view an order of
+// magnitude smaller than the fact table, which is why the paper's greedy
+// selection materializes it while skipping {partkey,custkey} and
+// {suppkey,custkey}.
+package tpcd
+
+import (
+	"fmt"
+
+	"cubetree/internal/lattice"
+)
+
+// Attribute names shared with the lattice and experiments.
+const (
+	AttrPart       lattice.Attr = "partkey"
+	AttrSupplier   lattice.Attr = "suppkey"
+	AttrCustomer   lattice.Attr = "custkey"
+	AttrBrand      lattice.Attr = "brand"
+	AttrType       lattice.Attr = "type"
+	AttrMonth      lattice.Attr = "month"
+	AttrYear       lattice.Attr = "year"
+	AttrSuppNation lattice.Attr = "suppnation"
+	AttrCustNation lattice.Attr = "custnation"
+	AttrSegment    lattice.Attr = "segment"
+)
+
+// TPC-D 1 GB base cardinalities.
+const (
+	baseParts     = 200000
+	baseSuppliers = 10000
+	baseCustomers = 150000
+	baseFacts     = 6001215
+
+	// suppliersPerPart follows DBGEN's PARTSUPP degree.
+	suppliersPerPart = 4
+
+	// NumBrands and NumTypes follow TPC-D's part attribute domains.
+	NumBrands = 25
+	NumTypes  = 150
+
+	// Years covered by order dates (TPC-D spans 1992-1998).
+	FirstYear = 1992
+	NumYears  = 7
+)
+
+// Params configures a dataset.
+type Params struct {
+	// SF is the scale factor relative to the TPC-D 1 GB database. The
+	// experiments run at small fractions (e.g. 0.01).
+	SF float64
+	// Seed selects the deterministic random stream.
+	Seed uint64
+}
+
+// Dataset describes one generated database instance.
+type Dataset struct {
+	Params
+	Parts     int64
+	Suppliers int64
+	Customers int64
+	Facts     int64
+}
+
+// New derives the dataset cardinalities for p. Minimums keep tiny scale
+// factors usable in tests.
+func New(p Params) *Dataset {
+	if p.SF <= 0 {
+		p.SF = 0.001
+	}
+	d := &Dataset{
+		Params:    p,
+		Parts:     scaled(baseParts, p.SF, 20),
+		Suppliers: scaled(baseSuppliers, p.SF, 5),
+		Customers: scaled(baseCustomers, p.SF, 20),
+		Facts:     scaled(baseFacts, p.SF, 100),
+	}
+	return d
+}
+
+func scaled(base int64, sf float64, min int64) int64 {
+	n := int64(float64(base) * sf)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// Domains returns the domain sizes of every attribute this generator can
+// emit, for lattice construction.
+func (d *Dataset) Domains() map[lattice.Attr]int64 {
+	return map[lattice.Attr]int64{
+		AttrPart:       d.Parts,
+		AttrSupplier:   d.Suppliers,
+		AttrCustomer:   d.Customers,
+		AttrBrand:      NumBrands,
+		AttrType:       NumTypes,
+		AttrMonth:      12,
+		AttrYear:       NumYears,
+		AttrSuppNation: NumNations,
+		AttrCustNation: NumNations,
+		AttrSegment:    NumSegments,
+	}
+}
+
+// Fact is one fact table row. Key values are 1-based, as the Cubetree
+// mapping requires strictly positive coordinates.
+type Fact struct {
+	PartKey  int64
+	SuppKey  int64
+	CustKey  int64
+	Month    int64 // 1..12
+	Year     int64 // 1..NumYears (offset from FirstYear)
+	Quantity int64 // 1..50
+}
+
+// SupplierFor returns supplier i (0..3) of part, following DBGEN's PARTSUPP
+// formula.
+func (d *Dataset) SupplierFor(part, i int64) int64 {
+	s := d.Suppliers
+	return (part+i*(s/suppliersPerPart+(part-1)/s))%s + 1
+}
+
+// BrandOf returns the brand code (1..NumBrands) of a part, a deterministic
+// function so that hierarchy views can be derived from partkey.
+func BrandOf(part int64) int64 { return int64(mix(uint64(part)^0xb7a2d)%NumBrands) + 1 }
+
+// TypeOf returns the type code (1..NumTypes) of a part.
+func TypeOf(part int64) int64 { return int64(mix(uint64(part)^0x7e9c1)%NumTypes) + 1 }
+
+// Iterator streams fact rows deterministically.
+type Iterator struct {
+	d     *Dataset
+	rng   rng
+	i     int64
+	n     int64
+	fact  Fact
+	valid bool
+}
+
+// FactRows returns an iterator over all Facts of the dataset. Iterators
+// with the same parameters yield identical streams.
+func (d *Dataset) FactRows() *Iterator {
+	return &Iterator{d: d, rng: newRNG(d.Seed ^ 0x9e3779b97f4a7c15), n: d.Facts}
+}
+
+// Increment returns an iterator over an update batch of frac*|F| new fact
+// rows (the paper uses 10%), drawn from the same key domains but a distinct
+// random stream per generation number.
+func (d *Dataset) Increment(frac float64, generation uint64) *Iterator {
+	n := int64(float64(d.Facts) * frac)
+	if n < 1 {
+		n = 1
+	}
+	return &Iterator{d: d, rng: newRNG(d.Seed ^ (0x6a09e667f3bcc909 + generation*0x3243f6a8885a308d)), n: n}
+}
+
+// Remaining returns how many rows the iterator has left.
+func (it *Iterator) Remaining() int64 { return it.n - it.i }
+
+// Next advances the iterator, reporting whether a row is available.
+func (it *Iterator) Next() bool {
+	if it.i >= it.n {
+		it.valid = false
+		return false
+	}
+	it.i++
+	part := int64(it.rng.next()%uint64(it.d.Parts)) + 1
+	sup := it.d.SupplierFor(part, int64(it.rng.next()%suppliersPerPart))
+	cust := int64(it.rng.next()%uint64(it.d.Customers)) + 1
+	month := int64(it.rng.next()%12) + 1
+	year := int64(it.rng.next()%NumYears) + 1
+	qty := int64(it.rng.next()%50) + 1
+	it.fact = Fact{PartKey: part, SuppKey: sup, CustKey: cust, Month: month, Year: year, Quantity: qty}
+	it.valid = true
+	return true
+}
+
+// Fact returns the current row; valid after a true Next.
+func (it *Iterator) Fact() Fact { return it.fact }
+
+// Value returns the value of the named attribute on the current row,
+// including hierarchy attributes derived from partkey.
+func (it *Iterator) Value(attr lattice.Attr) (int64, error) {
+	if !it.valid {
+		return 0, fmt.Errorf("tpcd: Value before Next")
+	}
+	switch attr {
+	case AttrPart:
+		return it.fact.PartKey, nil
+	case AttrSupplier:
+		return it.fact.SuppKey, nil
+	case AttrCustomer:
+		return it.fact.CustKey, nil
+	case AttrBrand:
+		return BrandOf(it.fact.PartKey), nil
+	case AttrType:
+		return TypeOf(it.fact.PartKey), nil
+	case AttrMonth:
+		return it.fact.Month, nil
+	case AttrYear:
+		return it.fact.Year, nil
+	case AttrSuppNation:
+		return NationOf(it.fact.SuppKey), nil
+	case AttrCustNation:
+		return NationOf(it.fact.CustKey), nil
+	case AttrSegment:
+		return SegmentOf(it.fact.CustKey), nil
+	default:
+		return 0, fmt.Errorf("tpcd: unknown attribute %q", attr)
+	}
+}
+
+// rng is splitmix64: tiny, fast and deterministic across platforms.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) rng { return rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix(r.state)
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

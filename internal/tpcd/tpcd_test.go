@@ -1,0 +1,180 @@
+package tpcd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cubetree/internal/lattice"
+)
+
+func TestDeterminism(t *testing.T) {
+	d := New(Params{SF: 0.001, Seed: 42})
+	a, b := d.FactRows(), d.FactRows()
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("streams desynchronized")
+		}
+		if a.Fact() != b.Fact() {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a.Fact(), b.Fact())
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a := New(Params{SF: 0.001, Seed: 1}).FactRows()
+	b := New(Params{SF: 0.001, Seed: 2}).FactRows()
+	same := true
+	for i := 0; i < 100; i++ {
+		a.Next()
+		b.Next()
+		if a.Fact() != b.Fact() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestCardinalityAndRanges(t *testing.T) {
+	d := New(Params{SF: 0.01, Seed: 7})
+	if d.Facts != 60012 {
+		t.Fatalf("Facts = %d, want 60012", d.Facts)
+	}
+	if d.Parts != 2000 || d.Suppliers != 100 || d.Customers != 1500 {
+		t.Fatalf("dims = %d/%d/%d", d.Parts, d.Suppliers, d.Customers)
+	}
+	it := d.FactRows()
+	n := int64(0)
+	for it.Next() {
+		f := it.Fact()
+		if f.PartKey < 1 || f.PartKey > d.Parts {
+			t.Fatalf("partkey %d out of range", f.PartKey)
+		}
+		if f.SuppKey < 1 || f.SuppKey > d.Suppliers {
+			t.Fatalf("suppkey %d out of range", f.SuppKey)
+		}
+		if f.CustKey < 1 || f.CustKey > d.Customers {
+			t.Fatalf("custkey %d out of range", f.CustKey)
+		}
+		if f.Quantity < 1 || f.Quantity > 50 {
+			t.Fatalf("quantity %d out of range", f.Quantity)
+		}
+		if f.Month < 1 || f.Month > 12 || f.Year < 1 || f.Year > NumYears {
+			t.Fatalf("date out of range: %+v", f)
+		}
+		n++
+	}
+	if n != d.Facts {
+		t.Fatalf("iterated %d rows, want %d", n, d.Facts)
+	}
+}
+
+func TestPartSuppCorrelation(t *testing.T) {
+	// Each part must pair with at most suppliersPerPart suppliers, making
+	// |{part,supp}| ~ 4x parts rather than ~|F| — the property that drives
+	// the paper's view selection.
+	d := New(Params{SF: 0.01, Seed: 3})
+	pairs := map[[2]int64]bool{}
+	perPart := map[int64]map[int64]bool{}
+	it := d.FactRows()
+	for it.Next() {
+		f := it.Fact()
+		pairs[[2]int64{f.PartKey, f.SuppKey}] = true
+		if perPart[f.PartKey] == nil {
+			perPart[f.PartKey] = map[int64]bool{}
+		}
+		perPart[f.PartKey][f.SuppKey] = true
+	}
+	for p, sups := range perPart {
+		if len(sups) > 4 {
+			t.Fatalf("part %d has %d suppliers", p, len(sups))
+		}
+	}
+	if int64(len(pairs)) > 4*d.Parts {
+		t.Fatalf("|ps| = %d > 4*parts = %d", len(pairs), 4*d.Parts)
+	}
+	if int64(len(pairs)) < d.Parts {
+		t.Fatalf("|ps| = %d suspiciously small", len(pairs))
+	}
+}
+
+func TestIncrementDisjointStream(t *testing.T) {
+	d := New(Params{SF: 0.005, Seed: 9})
+	inc := d.Increment(0.1, 1)
+	want := int64(float64(d.Facts) * 0.1)
+	var n int64
+	for inc.Next() {
+		f := inc.Fact()
+		if f.PartKey < 1 || f.PartKey > d.Parts {
+			t.Fatalf("increment key out of range")
+		}
+		n++
+	}
+	if n != want {
+		t.Fatalf("increment rows = %d, want %d", n, want)
+	}
+	// Different generations differ.
+	a, b := d.Increment(0.1, 1), d.Increment(0.1, 2)
+	a.Next()
+	b.Next()
+	if a.Fact() == b.Fact() {
+		t.Fatal("increment generations identical")
+	}
+}
+
+func TestHierarchyFunctionsStable(t *testing.T) {
+	f := func(part uint32) bool {
+		p := int64(part%1000000) + 1
+		b1, b2 := BrandOf(p), BrandOf(p)
+		ty := TypeOf(p)
+		return b1 == b2 && b1 >= 1 && b1 <= NumBrands && ty >= 1 && ty <= NumTypes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueAccessor(t *testing.T) {
+	d := New(Params{SF: 0.001, Seed: 5})
+	it := d.FactRows()
+	if _, err := it.Value(AttrPart); err == nil {
+		t.Fatal("Value before Next accepted")
+	}
+	it.Next()
+	f := it.Fact()
+	cases := map[lattice.Attr]int64{
+		AttrPart:     f.PartKey,
+		AttrSupplier: f.SuppKey,
+		AttrCustomer: f.CustKey,
+		AttrBrand:    BrandOf(f.PartKey),
+		AttrType:     TypeOf(f.PartKey),
+		AttrMonth:    f.Month,
+		AttrYear:     f.Year,
+	}
+	for a, want := range cases {
+		got, err := it.Value(a)
+		if err != nil || got != want {
+			t.Fatalf("Value(%s) = %d, %v; want %d", a, got, err, want)
+		}
+	}
+	if _, err := it.Value("bogus"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestDomains(t *testing.T) {
+	d := New(Params{SF: 0.01})
+	dom := d.Domains()
+	if dom[AttrPart] != d.Parts || dom[AttrBrand] != NumBrands || dom[AttrMonth] != 12 {
+		t.Fatalf("domains = %v", dom)
+	}
+}
+
+func TestMinimumScale(t *testing.T) {
+	d := New(Params{SF: 0})
+	if d.Facts < 100 || d.Parts < 20 {
+		t.Fatalf("minimum scale too small: %+v", d)
+	}
+}

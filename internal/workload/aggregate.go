@@ -1,0 +1,76 @@
+package workload
+
+import "cubetree/internal/lattice"
+
+// Aggregator folds per-point measure vectors into result rows according to
+// a measure schema. Both storage configurations use it so that query
+// results are canonical and directly comparable.
+type Aggregator struct {
+	width  int
+	schema lattice.Schema
+	groups map[string]*aggCell
+	keyBuf []byte
+}
+
+type aggCell struct {
+	group    []int64
+	measures []int64
+}
+
+// NewAggregator creates an aggregator for groups of the given width with
+// the default SUM/COUNT schema.
+func NewAggregator(width int) *Aggregator {
+	return NewSchemaAggregator(width, lattice.DefaultSchema())
+}
+
+// NewSchemaAggregator creates an aggregator folding measures per schema.
+func NewSchemaAggregator(width int, schema lattice.Schema) *Aggregator {
+	return &Aggregator{
+		width:  width,
+		schema: schema,
+		groups: make(map[string]*aggCell),
+		keyBuf: make([]byte, 0, width*8),
+	}
+}
+
+// Add folds one SUM/COUNT observation (only valid with the default
+// schema; use AddMeasures otherwise).
+func (a *Aggregator) Add(group []int64, sum, count int64) {
+	a.AddMeasures(group, []int64{sum, count})
+}
+
+// AddMeasures folds one observation's full measure vector, which must
+// match the aggregator's schema length.
+func (a *Aggregator) AddMeasures(group []int64, measures []int64) {
+	a.keyBuf = a.keyBuf[:0]
+	for _, v := range group {
+		a.keyBuf = append(a.keyBuf,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	k := string(a.keyBuf)
+	cell := a.groups[k]
+	if cell == nil {
+		cell = &aggCell{
+			group:    append([]int64(nil), group...),
+			measures: append([]int64(nil), measures...),
+		}
+		a.groups[k] = cell
+		return
+	}
+	a.schema.Fold(cell.measures, measures)
+}
+
+// Rows returns the aggregated rows in canonical sorted order.
+func (a *Aggregator) Rows() []Row {
+	rows := make([]Row, 0, len(a.groups))
+	for _, c := range a.groups {
+		row := Row{Group: c.group, Sum: c.measures[0], Count: c.measures[1]}
+		if len(c.measures) > 2 {
+			row.Extra = c.measures[2:]
+		}
+		rows = append(rows, row)
+	}
+	SortRows(rows)
+	return rows
+}

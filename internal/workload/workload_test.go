@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cubetree/internal/lattice"
+)
+
+var testDomains = map[lattice.Attr]int64{"partkey": 100, "suppkey": 10, "custkey": 50}
+
+func TestQueryValidate(t *testing.T) {
+	q := Query{Node: []lattice.Attr{"partkey", "custkey"},
+		Fixed: []Pred{{Attr: "custkey", Value: 3}}}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Query{Node: []lattice.Attr{"partkey"}, Fixed: []Pred{{Attr: "suppkey", Value: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("predicate outside node accepted")
+	}
+}
+
+func TestFixedValue(t *testing.T) {
+	q := Query{Node: []lattice.Attr{"a", "b"}, Fixed: []Pred{{Attr: "b", Value: 9}}}
+	if v, ok := q.FixedValue("b"); !ok || v != 9 {
+		t.Fatal("FixedValue broken")
+	}
+	if _, ok := q.FixedValue("a"); ok {
+		t.Fatal("unfixed attr reported fixed")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Query{Node: []lattice.Attr{"partkey", "custkey"},
+		Fixed: []Pred{{Attr: "custkey", Value: 42}}}
+	want := "Q{partkey,custkey | custkey=42}"
+	if got := q.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestGeneratorDeterministicAndValid(t *testing.T) {
+	node := []lattice.Attr{"partkey", "suppkey", "custkey"}
+	a := NewGenerator(5, testDomains)
+	b := NewGenerator(5, testDomains)
+	for i := 0; i < 200; i++ {
+		qa, qb := a.ForNode(node), b.ForNode(node)
+		if qa.String() != qb.String() {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+		if err := qa.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(qa.Fixed) == 0 {
+			t.Fatal("generator produced a no-predicate query")
+		}
+		for _, p := range qa.Fixed {
+			if p.Value < 1 || p.Value > testDomains[p.Attr] {
+				t.Fatalf("predicate value %d out of domain", p.Value)
+			}
+		}
+	}
+}
+
+func TestGeneratorCoversAllTypes(t *testing.T) {
+	node := []lattice.Attr{"partkey", "suppkey", "custkey"}
+	g := NewGenerator(1, testDomains)
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		q := g.ForNode(node)
+		mask := 0
+		for bit, a := range node {
+			if _, ok := q.FixedValue(a); ok {
+				mask |= 1 << bit
+			}
+		}
+		seen[mask] = true
+	}
+	// All 7 non-empty subsets should appear in 500 draws.
+	if len(seen) != 7 {
+		t.Fatalf("saw %d of 7 query types", len(seen))
+	}
+}
+
+func TestGeneratorNoneNode(t *testing.T) {
+	g := NewGenerator(2, testDomains)
+	q := g.ForNode(nil)
+	if len(q.Fixed) != 0 || len(q.Node) != 0 {
+		t.Fatalf("none query = %v", q)
+	}
+}
+
+func TestQueryTypesCount(t *testing.T) {
+	// The paper's 27 types: sum of 2^|node| over the 8 lattice nodes.
+	dims := []lattice.Attr{"partkey", "suppkey", "custkey"}
+	lat, _ := lattice.New(dims, testDomains)
+	total := 0
+	for _, node := range lat.Nodes() {
+		total += len(QueryTypes(node))
+	}
+	if total != 27 {
+		t.Fatalf("total slice query types = %d, want 27", total)
+	}
+}
+
+func TestSortAndEqualRows(t *testing.T) {
+	rows := []Row{
+		{Group: []int64{2, 1}, Sum: 5, Count: 1},
+		{Group: []int64{1, 9}, Sum: 3, Count: 1},
+		{Group: []int64{1, 2}, Sum: 4, Count: 2},
+	}
+	SortRows(rows)
+	if rows[0].Group[0] != 1 || rows[0].Group[1] != 2 {
+		t.Fatalf("sort broken: %+v", rows)
+	}
+	same := []Row{
+		{Group: []int64{1, 2}, Sum: 4, Count: 2},
+		{Group: []int64{1, 9}, Sum: 3, Count: 1},
+		{Group: []int64{2, 1}, Sum: 5, Count: 1},
+	}
+	if !EqualRows(rows, same) {
+		t.Fatal("EqualRows false negative")
+	}
+	same[0].Sum = 99
+	if EqualRows(rows, same) {
+		t.Fatal("EqualRows false positive")
+	}
+}
+
+func TestRowAvg(t *testing.T) {
+	r := Row{Sum: 10, Count: 4}
+	if r.Avg() != 2.5 {
+		t.Fatalf("Avg = %v", r.Avg())
+	}
+	if (Row{}).Avg() != 0 {
+		t.Fatal("zero-count Avg should be 0")
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	a := NewAggregator(2)
+	a.Add([]int64{1, 2}, 10, 1)
+	a.Add([]int64{1, 2}, 5, 2)
+	a.Add([]int64{3, 4}, 7, 1)
+	rows := a.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Sum != 15 || rows[0].Count != 3 {
+		t.Fatalf("group (1,2) = %+v", rows[0])
+	}
+}
+
+func TestAggregatorMatchesMapQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		a := NewAggregator(1)
+		want := map[int64]int64{}
+		for _, r := range raw {
+			g := int64(r % 7)
+			a.Add([]int64{g}, int64(r), 1)
+			want[g] += int64(r)
+		}
+		rows := a.Rows()
+		if len(rows) != len(want) {
+			return false
+		}
+		for _, row := range rows {
+			if want[row.Group[0]] != row.Sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	q := Query{Node: []lattice.Attr{"a", "b"},
+		Ranges: []Range{{Attr: "b", Lo: 2, Hi: 5}}}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Query{Node: []lattice.Attr{"a"}, Ranges: []Range{{Attr: "z", Lo: 1, Hi: 2}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("range outside node accepted")
+	}
+	empty := Query{Node: []lattice.Attr{"a"}, Ranges: []Range{{Attr: "a", Lo: 5, Hi: 2}}}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	dup := Query{Node: []lattice.Attr{"a"},
+		Fixed:  []Pred{{Attr: "a", Value: 1}},
+		Ranges: []Range{{Attr: "a", Lo: 1, Hi: 2}}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("equality+range on same attr accepted")
+	}
+}
+
+func TestRangeFor(t *testing.T) {
+	q := Query{Node: []lattice.Attr{"a"}, Ranges: []Range{{Attr: "a", Lo: 1, Hi: 9}}}
+	r, ok := q.RangeFor("a")
+	if !ok || r.Lo != 1 || r.Hi != 9 {
+		t.Fatalf("RangeFor = %+v, %v", r, ok)
+	}
+	if _, ok := q.RangeFor("b"); ok {
+		t.Fatal("unknown attr reported ranged")
+	}
+}
+
+func TestRangeQueryString(t *testing.T) {
+	q := Query{Node: []lattice.Attr{"a", "b"},
+		Fixed:  []Pred{{Attr: "a", Value: 3}},
+		Ranges: []Range{{Attr: "b", Lo: 1, Hi: 5}}}
+	want := "Q{a,b | a=3,b in [1,5]}"
+	if got := q.String(); got != want {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestForNodeRangesQuick(t *testing.T) {
+	g := NewGenerator(9, testDomains)
+	node := []lattice.Attr{"partkey", "suppkey", "custkey"}
+	f := func(w uint8) bool {
+		width := float64(w%100+1) / 100
+		q := g.ForNodeRanges(node, width)
+		if err := q.Validate(); err != nil {
+			return false
+		}
+		if len(q.Ranges) == 0 {
+			return false
+		}
+		for _, r := range q.Ranges {
+			dom := testDomains[r.Attr]
+			if r.Lo < 1 || r.Hi > dom || r.Lo > r.Hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaAggregatorExtras(t *testing.T) {
+	schema, err := lattice.NewSchema(lattice.AggMin, lattice.AggMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewSchemaAggregator(1, schema)
+	a.AddMeasures([]int64{1}, []int64{10, 1, 10, 10})
+	a.AddMeasures([]int64{1}, []int64{3, 1, 3, 3})
+	rows := a.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Sum != 13 || r.Count != 2 || len(r.Extra) != 2 || r.Extra[0] != 3 || r.Extra[1] != 10 {
+		t.Fatalf("row = %+v", r)
+	}
+}
+
+func TestEqualRowsExtras(t *testing.T) {
+	a := []Row{{Group: []int64{1}, Sum: 1, Count: 1, Extra: []int64{5}}}
+	b := []Row{{Group: []int64{1}, Sum: 1, Count: 1, Extra: []int64{5}}}
+	if !EqualRows(a, b) {
+		t.Fatal("equal rows with extras reported different")
+	}
+	b[0].Extra[0] = 6
+	if EqualRows(a, b) {
+		t.Fatal("differing extras reported equal")
+	}
+	b[0].Extra = nil
+	if EqualRows(a, b) {
+		t.Fatal("missing extras reported equal")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	g := NewGenerator(7, testDomains)
+	qs := g.Batch([]lattice.Attr{"partkey"}, 10)
+	if len(qs) != 10 {
+		t.Fatalf("Batch = %d", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Fixed) != 1 {
+			t.Fatalf("1-attr node query must fix its attribute: %v", q)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package cubetree
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cubetree/internal/core"
+	"cubetree/internal/cube"
+	"cubetree/internal/lattice"
+	"cubetree/internal/pager"
+)
+
+// Warehouse is a set of materialized aggregate views stored as a forest of
+// Cubetrees. It is built once with Materialize, queried concurrently with
+// Query, and refreshed in bulk with Update, which merge-packs a sorted
+// delta into a fresh forest generation and atomically switches over —
+// exactly the paper's Figure 15 refresh cycle.
+type Warehouse struct {
+	cfg    Config
+	views  []View
+	schema lattice.Schema
+
+	// mu guards forest and generation: queries take the read lock, and
+	// Update holds the write lock only for the generation switch, so
+	// queries keep flowing against the old forest while the new one is
+	// merge-packed — the paper's zero-query-downtime refresh.
+	mu         sync.RWMutex
+	forest     *core.Forest
+	generation int
+}
+
+// Schema returns the measure schema stored per aggregate point: SUM,
+// COUNT, then Config.ExtraMeasures in order.
+func (w *Warehouse) Schema() []Agg { return append([]Agg(nil), w.schema...) }
+
+// warehouse.json records the warehouse-level catalog.
+const warehouseCatalog = "warehouse.json"
+
+type warehouseJSON struct {
+	Generation int              `json:"generation"`
+	Views      []viewJSON       `json:"views"`
+	Replicas   [][]string       `json:"replicas,omitempty"`
+	Domains    map[string]int64 `json:"domains,omitempty"`
+	Schema     []string         `json:"schema,omitempty"`
+	PoolPages  int              `json:"pool_pages,omitempty"`
+}
+
+type viewJSON struct {
+	Name  string   `json:"name,omitempty"`
+	Attrs []string `json:"attrs"`
+}
+
+// Materialize computes the given views from one pass over rows (plus
+// derivations between views, each computed from its smallest parent) and
+// bulk-loads them into a Cubetree forest under cfg.Dir. The view set is
+// mapped to the minimal forest by the paper's SelectMapping algorithm.
+func Materialize(cfg Config, views []View, rows RowIter) (*Warehouse, error) {
+	if len(views) == 0 {
+		return nil, fmt.Errorf("cubetree: no views to materialize")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("cubetree: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &Warehouse{cfg: cfg, views: append([]View(nil), views...), generation: 1}
+	schema, err := lattice.NewSchema(cfg.ExtraMeasures...)
+	if err != nil {
+		return nil, err
+	}
+	w.schema = schema
+
+	scratch := filepath.Join(cfg.Dir, "scratch")
+	data, err := cube.Compute(scratch, rows, w.views, cube.Options{
+		MemLimit:    cfg.MemLimit,
+		Stats:       cfg.Stats,
+		Schema:      schema,
+		Hierarchies: cfg.Hierarchies,
+		Workers:     cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer removeAll(data, scratch)
+
+	sources, err := w.sources(data, scratch)
+	if err != nil {
+		return nil, err
+	}
+	forest, err := core.Build(w.genDir(), sources, core.BuildOptions{
+		PoolPages: cfg.PoolPages,
+		Domains:   cfg.Domains,
+		Stats:     cfg.Stats,
+		Workers:   cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.forest = forest
+	if err := w.writeCatalog(); err != nil {
+		forest.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// sources assembles the forest build inputs: every view's data plus the
+// configured replica sort orders.
+func (w *Warehouse) sources(data map[string]*cube.ViewData, scratch string) ([]*cube.ViewData, error) {
+	sources := make([]*cube.ViewData, 0, len(w.views)+len(w.cfg.Replicas))
+	for _, view := range w.views {
+		vd, ok := data[view.Key()]
+		if !ok {
+			return nil, fmt.Errorf("cubetree: view %s not computed", view)
+		}
+		sources = append(sources, vd)
+	}
+	for _, order := range w.cfg.Replicas {
+		base, ok := data[lattice.CanonKey(order)]
+		if !ok {
+			return nil, fmt.Errorf("cubetree: replica %v does not match a selected view", order)
+		}
+		rep, err := cube.Reorder(scratch, base, order, cube.Options{Stats: w.cfg.Stats})
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, rep)
+	}
+	return sources, nil
+}
+
+func (w *Warehouse) genDir() string {
+	return filepath.Join(w.cfg.Dir, fmt.Sprintf("gen-%06d", w.generation))
+}
+
+func (w *Warehouse) writeCatalog() error {
+	cat := warehouseJSON{
+		Generation: w.generation,
+		Domains:    map[string]int64{},
+		Schema:     w.schema.Strings(),
+		PoolPages:  w.cfg.PoolPages,
+	}
+	for a, d := range w.cfg.Domains {
+		cat.Domains[string(a)] = d
+	}
+	for _, v := range w.views {
+		vj := viewJSON{Name: v.Name}
+		for _, a := range v.Attrs {
+			vj.Attrs = append(vj.Attrs, string(a))
+		}
+		cat.Views = append(cat.Views, vj)
+	}
+	for _, order := range w.cfg.Replicas {
+		var oo []string
+		for _, a := range order {
+			oo = append(oo, string(a))
+		}
+		cat.Replicas = append(cat.Replicas, oo)
+	}
+	data, err := json.MarshalIndent(cat, "", "  ")
+	if err != nil {
+		return err
+	}
+	return pager.WriteFileAtomic(filepath.Join(w.cfg.Dir, warehouseCatalog), data, 0o644)
+}
+
+// Open loads an existing warehouse from dir. stats may be nil.
+func Open(dir string, stats *Stats) (*Warehouse, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, warehouseCatalog))
+	if err != nil {
+		return nil, fmt.Errorf("cubetree: open warehouse: %w", err)
+	}
+	var cat warehouseJSON
+	if err := json.Unmarshal(raw, &cat); err != nil {
+		return nil, fmt.Errorf("cubetree: parse warehouse catalog: %w", err)
+	}
+	cfg := Config{Dir: dir, PoolPages: cat.PoolPages, Stats: stats,
+		Domains: map[Attr]int64{}}
+	for a, d := range cat.Domains {
+		cfg.Domains[Attr(a)] = d
+	}
+	for _, oo := range cat.Replicas {
+		order := make([]Attr, len(oo))
+		for i, a := range oo {
+			order[i] = Attr(a)
+		}
+		cfg.Replicas = append(cfg.Replicas, order)
+	}
+	schema, err := lattice.ParseSchema(cat.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("cubetree: %w", err)
+	}
+	cfg.ExtraMeasures = schema.Extras()
+	w := &Warehouse{cfg: cfg, schema: schema, generation: cat.Generation}
+	for _, vj := range cat.Views {
+		attrs := make([]Attr, len(vj.Attrs))
+		for i, a := range vj.Attrs {
+			attrs[i] = Attr(a)
+		}
+		w.views = append(w.views, View{Name: vj.Name, Attrs: attrs})
+	}
+	forest, err := core.Open(w.genDir(), stats)
+	if err != nil {
+		return nil, err
+	}
+	w.forest = forest
+	return w, nil
+}
+
+// Views returns the warehouse's view definitions.
+func (w *Warehouse) Views() []View { return append([]View(nil), w.views...) }
+
+// UseHierarchies re-declares attribute hierarchies after Open (hierarchy
+// mapping functions are not persisted in the catalog). It affects only the
+// efficiency of subsequent Updates, never results.
+func (w *Warehouse) UseHierarchies(hs ...Hierarchy) {
+	w.cfg.Hierarchies = append([]Hierarchy(nil), hs...)
+}
+
+// Domains returns the attribute domain sizes recorded at materialization.
+func (w *Warehouse) Domains() map[Attr]int64 {
+	out := make(map[Attr]int64, len(w.cfg.Domains))
+	for a, d := range w.cfg.Domains {
+		out[a] = d
+	}
+	return out
+}
+
+// Generation returns the current forest generation (1 after Materialize,
+// +1 per Update).
+func (w *Warehouse) Generation() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.generation
+}
+
+// Query answers a slice query from the best-placed view or replica. It is
+// safe for concurrent use, including while an Update is in progress.
+func (w *Warehouse) Query(q Query) ([]Row, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.forest.Execute(q)
+}
+
+// Update applies an increment: the delta of every view is computed from
+// rows with the same sort pipeline used at load, then merge-packed with the
+// current forest into a new generation. On success the warehouse switches
+// to the new generation and removes the old one. Queries may run
+// concurrently with an Update (they see the old generation until the
+// switch); concurrent Updates are not supported.
+func (w *Warehouse) Update(rows RowIter) error {
+	scratch := filepath.Join(w.cfg.Dir, "scratch")
+	perView, err := cube.Compute(scratch, rows, w.views, cube.Options{
+		MemLimit:    w.cfg.MemLimit,
+		Stats:       w.cfg.Stats,
+		Schema:      w.schema,
+		Hierarchies: w.cfg.Hierarchies,
+		Workers:     w.cfg.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer removeAll(perView, scratch)
+
+	w.mu.RLock()
+	oldForest, oldGen := w.forest, w.generation
+	w.mu.RUnlock()
+
+	deltas, err := oldForest.DeltasFor(scratch, perView)
+	if err != nil {
+		return err
+	}
+	newGen := oldGen + 1
+	next, err := oldForest.MergeUpdate(
+		filepath.Join(w.cfg.Dir, fmt.Sprintf("gen-%06d", newGen)),
+		deltas, core.BuildOptions{
+			PoolPages: w.cfg.PoolPages,
+			Domains:   w.cfg.Domains,
+			Stats:     w.cfg.Stats,
+		})
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.forest = next
+	w.generation = newGen
+	w.mu.Unlock()
+	if err := w.writeCatalog(); err != nil {
+		return err
+	}
+	oldForest.Remove()
+	return nil
+}
+
+// Stat summarizes the warehouse's physical layout.
+type Stat struct {
+	// Trees is the number of Cubetrees in the forest.
+	Trees int
+	// Views counts placements, including replicas.
+	Views int
+	// Points is the number of stored aggregate tuples.
+	Points int64
+	// Bytes is the total on-disk size.
+	Bytes int64
+	// LeafFraction is the share of pages that are compressed leaves.
+	LeafFraction float64
+}
+
+// Stat reports the warehouse's physical layout.
+func (w *Warehouse) Stat() Stat {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	s := Stat{
+		Trees:  w.forest.Trees(),
+		Views:  len(w.forest.Placements()),
+		Points: w.forest.Points(),
+		Bytes:  w.forest.TotalBytes(),
+	}
+	if tp := w.forest.TotalPages(); tp > 0 {
+		s.LeafFraction = float64(w.forest.LeafPages()) / float64(tp)
+	}
+	return s
+}
+
+// Close flushes and closes the forest.
+func (w *Warehouse) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.forest.Close()
+}
+
+// Verify checks the structural invariants of the whole forest (packing
+// order, MBR containment, counts, catalog consistency). It reads every
+// page, so it is intended for integrity checks, not hot paths.
+func (w *Warehouse) Verify() error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.forest.Validate()
+}
+
+// Remove closes the warehouse and deletes its directory.
+func (w *Warehouse) Remove() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.forest.Close()
+	return os.RemoveAll(w.cfg.Dir)
+}
+
+// removeAll deletes computed view data and the scratch directory.
+func removeAll(data map[string]*cube.ViewData, scratch string) {
+	for _, vd := range data {
+		vd.Remove()
+	}
+	os.RemoveAll(scratch)
+}
