@@ -1,0 +1,160 @@
+// Command ctcheck is an offline integrity scrubber for Cubetree warehouses:
+//
+//	ctcheck -dir ./wh
+//
+// It walks every page of every tree file of the committed generation,
+// verifies the per-page checksums, and then re-validates the forest's
+// structural and catalog invariants (packing order, MBR containment, point
+// totals). It never modifies the warehouse. The exit status is 0 when the
+// warehouse is intact and 1 when any damage was found, so it can gate
+// backups and restarts in scripts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cubetree/internal/core"
+	"cubetree/internal/pager"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "warehouse directory, or a single forest directory (required)")
+		verbose = flag.Bool("v", false, "report every file scrubbed, not just damage")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "ctcheck: -dir is required")
+		os.Exit(2)
+	}
+
+	forestDir, err := resolveForestDir(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	stats := &pager.Stats{}
+	damaged := scrubForest(forestDir, stats, *verbose)
+	damaged = checkInvariants(forestDir, stats, *verbose) || damaged
+
+	fmt.Printf("%d pages scrubbed, %d checksum failures\n",
+		stats.PagesScrubbed(), stats.ChecksumFailures())
+	if damaged {
+		fmt.Println("DAMAGED")
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+}
+
+// resolveForestDir maps the -dir argument to the forest directory to check:
+// a warehouse directory is followed to its committed generation (warning
+// about any crash debris on the way), while a directory holding forest.json
+// is checked as-is.
+func resolveForestDir(dir string) (string, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "warehouse.json"))
+	if os.IsNotExist(err) {
+		if _, err := os.Stat(filepath.Join(dir, "forest.json")); err != nil {
+			return "", fmt.Errorf("%s holds neither warehouse.json nor forest.json", dir)
+		}
+		return dir, nil
+	}
+	if err != nil {
+		return "", err
+	}
+	var cat struct {
+		Generation int `json:"generation"`
+	}
+	if err := json.Unmarshal(raw, &cat); err != nil {
+		return "", fmt.Errorf("parse warehouse.json: %w", err)
+	}
+	keep := fmt.Sprintf("gen-%06d", cat.Generation)
+	// Orphans are not damage — a crash can leave them and Open sweeps them —
+	// but an operator running a scrubber wants to know.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case name == keep || name == "warehouse.json":
+		case e.IsDir() && (name == "scratch" || strings.HasPrefix(name, "gen-")):
+			fmt.Printf("warning: orphan directory %s (crash debris; removed on next Open)\n", name)
+		case !e.IsDir() && strings.Contains(name, ".tmp-"):
+			fmt.Printf("warning: orphan temp file %s\n", name)
+		}
+	}
+	return filepath.Join(dir, keep), nil
+}
+
+// scrubForest reads every page of every tree file named by the forest
+// catalog, verifying checksums. It keeps going past damage so one bad page
+// does not hide another, and reports whether any was found.
+func scrubForest(dir string, stats *pager.Stats, verbose bool) bool {
+	raw, err := os.ReadFile(filepath.Join(dir, "forest.json"))
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return true
+	}
+	var cat struct {
+		Trees []string `json:"trees"`
+	}
+	if err := json.Unmarshal(raw, &cat); err != nil {
+		fmt.Printf("error: parse forest.json: %v\n", err)
+		return true
+	}
+	damaged := false
+	for _, name := range cat.Trees {
+		path := filepath.Join(dir, name)
+		f, err := pager.Open(path, stats)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			damaged = true
+			continue
+		}
+		if !f.Checksummed() {
+			fmt.Printf("note: %s predates page checksums; contents cannot be verified\n", name)
+		}
+		bad := 0
+		buf := make([]byte, pager.PageSize)
+		for id := pager.PageID(0); id < pager.PageID(f.NumPages()); id++ {
+			if err := f.ReadPage(id, buf); err != nil {
+				fmt.Printf("error: %v\n", err)
+				bad++
+			}
+		}
+		stats.AddPagesScrubbed(uint64(f.NumPages()))
+		if bad > 0 {
+			damaged = true
+			fmt.Printf("%s: %d damaged pages of %d\n", name, bad, f.NumPages())
+		} else if verbose {
+			fmt.Printf("%s: %d pages clean\n", name, f.NumPages())
+		}
+		f.Close()
+	}
+	return damaged
+}
+
+// checkInvariants opens the forest read-only and runs the full structural
+// validation: every placement's run exists with matching arity, point totals
+// add up, and every tree satisfies packing order and MBR containment.
+func checkInvariants(dir string, stats *pager.Stats, verbose bool) bool {
+	f, err := core.Open(dir, stats)
+	if err != nil {
+		fmt.Printf("error: open forest: %v\n", err)
+		return true
+	}
+	defer f.Close()
+	if err := f.Validate(); err != nil {
+		fmt.Printf("error: %v\n", err)
+		return true
+	}
+	if verbose {
+		fmt.Printf("catalog: %d trees, %d placements, %d points\n",
+			f.Trees(), len(f.Placements()), f.Points())
+	}
+	return false
+}

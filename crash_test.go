@@ -1,0 +1,281 @@
+package cubetree_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"cubetree"
+	"cubetree/internal/pager"
+)
+
+// Crash-point harness: enumerate every injectable I/O operation performed by
+// a refresh, then re-run it once per point with a simulated crash (the
+// operation and everything after it fails), abandon the handle, re-open the
+// warehouse, and assert it serves exactly the old or the new generation —
+// never a mix, never a panic.
+
+func increment() *sliceRows {
+	return &sliceRows{
+		cols:    []cubetree.Attr{"partkey", "suppkey", "custkey"},
+		rows:    [][]int64{{1, 1, 1}, {3, 2, 2}},
+		measure: []int64{10, 1},
+	}
+}
+
+// countFaultPoints runs fn under a pure-counting injector and returns how
+// many injectable operations it performed.
+func countFaultPoints(t *testing.T, fn func() error) int64 {
+	t.Helper()
+	fi := pager.NewFaultInjector(pager.FaultCrash, -1, false)
+	pager.SetFaultInjector(fi)
+	defer pager.SetFaultInjector(nil)
+	if err := fn(); err != nil {
+		t.Fatalf("enumeration run failed: %v", err)
+	}
+	return fi.Points()
+}
+
+// queryState returns (total sum, total count, sum at point (1,1,1)).
+func queryState(t *testing.T, w *cubetree.Warehouse) (int64, int64, int64) {
+	t.Helper()
+	rows, err := w.Query(cubetree.Query{})
+	if err != nil {
+		t.Fatalf("total query: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("total query rows = %+v", rows)
+	}
+	sum, count := rows[0].Sum, rows[0].Count
+	rows, err = w.Query(cubetree.Query{
+		Node: []cubetree.Attr{"partkey", "suppkey", "custkey"},
+		Fixed: []cubetree.Pred{
+			{Attr: "partkey", Value: 1}, {Attr: "suppkey", Value: 1}, {Attr: "custkey", Value: 1},
+		},
+	})
+	if err != nil {
+		t.Fatalf("point query: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("point query rows = %+v", rows)
+	}
+	return sum, count, rows[0].Sum
+}
+
+// assertGeneration asserts the warehouse serves exactly the pre-update state
+// (generation 1: sum 30, count 6, point 12) or the post-update state
+// (generation 2: sum 41, count 8, point 22), matching its Generation().
+func assertGeneration(t *testing.T, w *cubetree.Warehouse, context string) int {
+	t.Helper()
+	sum, count, point := queryState(t, w)
+	gen := w.Generation()
+	switch {
+	case gen == 1 && sum == 30 && count == 6 && point == 12:
+	case gen == 2 && sum == 41 && count == 8 && point == 22:
+	default:
+		t.Fatalf("%s: inconsistent state: generation %d, sum %d, count %d, point %d",
+			context, gen, sum, count, point)
+	}
+	return gen
+}
+
+// assertCleanDir asserts the warehouse directory holds exactly the catalog
+// and the served generation — the recovery sweep removed all debris.
+func assertCleanDir(t *testing.T, dir string, gen int, context string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	want := []string{fmt.Sprintf("gen-%06d", gen), "warehouse.json"}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("%s: directory = %v, want %v", context, names, want)
+	}
+}
+
+func TestUpdateCrashAtEveryPoint(t *testing.T) {
+	// Enumerate the injectable operations of one successful update.
+	cfg := testConfig(t)
+	w, err := cubetree.Materialize(cfg, testViews(), facts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := countFaultPoints(t, func() error { return w.Update(increment()) })
+	w.Close()
+	if n < 10 {
+		t.Fatalf("update hit only %d fault points; injection hooks missing?", n)
+	}
+
+	for _, torn := range []bool{false, true} {
+		for k := int64(0); k < n; k++ {
+			context := fmt.Sprintf("torn=%v crash at point %d/%d", torn, k, n)
+			cfg := testConfig(t)
+			w, err := cubetree.Materialize(cfg, testViews(), facts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fi := pager.NewFaultInjector(pager.FaultCrash, k, torn)
+			pager.SetFaultInjector(fi)
+			updateErr := w.Update(increment())
+			w.Close() // abandon the handle: all I/O is already dead
+			pager.SetFaultInjector(nil)
+			if !fi.Tripped() {
+				t.Fatalf("%s: injector never tripped (ops: %v)", context, fi.Ops())
+			}
+
+			stats := &cubetree.Stats{}
+			w2, err := cubetree.Open(cfg.Dir, stats)
+			if err != nil {
+				t.Fatalf("%s: reopen failed: %v", context, err)
+			}
+			gen := assertGeneration(t, w2, context)
+			if updateErr == nil && gen != 2 {
+				// The update reported success, so the commit must be durable.
+				t.Fatalf("%s: update returned nil but reopened generation %d", context, gen)
+			}
+			assertCleanDir(t, cfg.Dir, gen, context)
+			if err := w2.Verify(); err != nil {
+				t.Fatalf("%s: verify after recovery: %v", context, err)
+			}
+			// The recovered warehouse must accept the increment (again if it
+			// had committed, the measures just keep folding).
+			if gen == 1 {
+				if err := w2.Update(increment()); err != nil {
+					t.Fatalf("%s: retry update failed: %v", context, err)
+				}
+				if got := assertGeneration(t, w2, context+" after retry"); got != 2 {
+					t.Fatalf("%s: retry left generation %d", context, got)
+				}
+			}
+			w2.Close()
+		}
+	}
+}
+
+func TestMaterializeCrashAtEveryPoint(t *testing.T) {
+	n := countFaultPoints(t, func() error {
+		w, err := cubetree.Materialize(testConfig(t), testViews(), facts())
+		if err != nil {
+			return err
+		}
+		return w.Close()
+	})
+	if n < 5 {
+		t.Fatalf("materialize hit only %d fault points", n)
+	}
+
+	for k := int64(0); k < n; k++ {
+		context := fmt.Sprintf("crash at point %d/%d", k, n)
+		cfg := testConfig(t)
+		fi := pager.NewFaultInjector(pager.FaultCrash, k, true)
+		pager.SetFaultInjector(fi)
+		w, err := cubetree.Materialize(cfg, testViews(), facts())
+		if err == nil {
+			w.Close()
+		}
+		pager.SetFaultInjector(nil)
+
+		// Either the crash struck before the catalog committed — then the
+		// directory holds no warehouse and a fresh Materialize must succeed
+		// over the debris — or it struck after, and Open serves generation 1.
+		w2, err := cubetree.Open(cfg.Dir, nil)
+		if err != nil {
+			w2, err = cubetree.Materialize(cfg, testViews(), facts())
+			if err != nil {
+				t.Fatalf("%s: re-materialize over debris failed: %v", context, err)
+			}
+		}
+		sum, count, point := queryState(t, w2)
+		if sum != 30 || count != 6 || point != 12 {
+			t.Fatalf("%s: recovered totals sum %d count %d point %d", context, sum, count, point)
+		}
+		if err := w2.Verify(); err != nil {
+			t.Fatalf("%s: verify: %v", context, err)
+		}
+		w2.Close()
+	}
+}
+
+func TestUpdateSurvivesTransientFaults(t *testing.T) {
+	cfg := testConfig(t)
+	w, err := cubetree.Materialize(cfg, testViews(), facts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := countFaultPoints(t, func() error { return w.Update(increment()) })
+	w.Close()
+
+	for k := int64(0); k < n; k++ {
+		context := fmt.Sprintf("transient fault at point %d/%d", k, n)
+		cfg := testConfig(t)
+		w, err := cubetree.Materialize(cfg, testViews(), facts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi := pager.NewFaultInjector(pager.FaultTransient, k, false)
+		pager.SetFaultInjector(fi)
+		updateErr := w.Update(increment())
+		pager.SetFaultInjector(nil)
+
+		if updateErr != nil {
+			// The failed update must leave the old generation serving, and a
+			// retry must go through.
+			if got := assertGeneration(t, w, context); got != 1 {
+				t.Fatalf("%s: failed update switched to generation %d", context, got)
+			}
+			if err := w.Update(increment()); err != nil {
+				t.Fatalf("%s: retry failed: %v", context, err)
+			}
+		}
+		if got := assertGeneration(t, w, context+" final"); got != 2 {
+			t.Fatalf("%s: final generation %d", context, got)
+		}
+		w.Close()
+	}
+}
+
+func TestOpenSweepsOrphans(t *testing.T) {
+	cfg := testConfig(t)
+	w, err := cubetree.Materialize(cfg, testViews(), facts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant debris of every kind a crash can leave behind.
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, "scratch"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cfg.Dir, "scratch", "run0.bin"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, "gen-000099"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cfg.Dir, "warehouse.json.tmp-123"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := &cubetree.Stats{}
+	w2, err := cubetree.Open(cfg.Dir, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	assertCleanDir(t, cfg.Dir, 1, "after sweep")
+	if got := stats.StaleRemoved(); got != 3 {
+		t.Fatalf("StaleRemoved = %d, want 3", got)
+	}
+	sum, count, _ := queryState(t, w2)
+	if sum != 30 || count != 6 {
+		t.Fatalf("post-sweep totals = %d/%d", sum, count)
+	}
+}

@@ -108,8 +108,12 @@ func Open(pool *pager.Pool) (*Tree, error) {
 }
 
 func (t *Tree) computeCaps() {
-	t.leafCap = (pager.PageSize - nodeHeaderSize) / (t.keySize + 8)
-	t.innerCap = (pager.PageSize - nodeHeaderSize) / (t.keySize + 4)
+	// The pager reserves a checksum trailer on new-format files; nodes
+	// carry entry counts, so legacy files (full-page capacity) stay
+	// readable through the same code.
+	payload := t.pool.File().PayloadSize()
+	t.leafCap = (payload - nodeHeaderSize) / (t.keySize + 8)
+	t.innerCap = (payload - nodeHeaderSize) / (t.keySize + 4)
 	if t.capOverride > 1 {
 		if t.leafCap > t.capOverride {
 			t.leafCap = t.capOverride

@@ -169,6 +169,12 @@ func Build(dir string, sources []*cube.ViewData, opts BuildOptions) (*Forest, er
 		if err := tree.Close(); err != nil { // flush sequentially to disk
 			return fail(err)
 		}
+		// Fsync before the catalog can reference this tree: the catalog
+		// rename is the commit point, so everything it names must already
+		// be durable.
+		if err := pf.Sync(); err != nil {
+			return fail(err)
+		}
 		results[t].tree = tree
 		results[t].pool = pool
 		return nil
@@ -452,9 +458,10 @@ func (f *Forest) Close() error {
 	return first
 }
 
-// Remove closes the forest and deletes its files.
+// Remove closes the forest and deletes its files. The removal goes through
+// the pager's fault-injection layer so crash tests see interrupted cleanups.
 func (f *Forest) Remove() error {
 	dir := f.dir
 	f.Close()
-	return os.RemoveAll(dir)
+	return pager.RemoveAll(dir)
 }

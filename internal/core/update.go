@@ -118,6 +118,12 @@ func (f *Forest) MergeUpdate(newDir string, deltas map[string]*cube.ViewData, op
 			nf.Close()
 			return nil, err
 		}
+		// Durable before the new generation's catalog can name it.
+		if err := pf.Sync(); err != nil {
+			pool.Close()
+			nf.Close()
+			return nil, err
+		}
 		nf.trees = append(nf.trees, tree)
 		nf.pools = append(nf.pools, pool)
 	}

@@ -41,7 +41,10 @@ type File struct {
 
 // Create initializes a heap file for tuples of width bytes on pool.
 func Create(pool *pager.Pool, width int) (*File, error) {
-	if width <= 0 || width > pager.PageSize-pageHeaderSize {
+	// The page checksum trailer (absent on legacy files) is reserved by
+	// the pager; tuples per page are computed from the remaining payload.
+	payload := pool.File().PayloadSize()
+	if width <= 0 || width > payload-pageHeaderSize {
 		return nil, fmt.Errorf("heapfile: invalid tuple width %d", width)
 	}
 	fr, err := pool.NewPage()
@@ -55,7 +58,7 @@ func Create(pool *pager.Pool, width int) (*File, error) {
 	h := &File{
 		pool:       pool,
 		tupleWidth: width,
-		perPage:    (pager.PageSize - pageHeaderSize) / width,
+		perPage:    (payload - pageHeaderSize) / width,
 		numTuples:  0,
 		lastPage:   pager.InvalidPage,
 	}
@@ -79,7 +82,7 @@ func Open(pool *pager.Pool) (*File, error) {
 	h := &File{
 		pool:       pool,
 		tupleWidth: width,
-		perPage:    (pager.PageSize - pageHeaderSize) / width,
+		perPage:    (pool.File().PayloadSize() - pageHeaderSize) / width,
 		numTuples:  int64(binary.LittleEndian.Uint64(b[8:])),
 		lastPage:   pager.PageID(binary.LittleEndian.Uint32(b[16:])),
 	}

@@ -7,9 +7,12 @@ import (
 )
 
 // WriteFileAtomic writes data to path via a temporary file and rename, so a
-// crash mid-write never leaves a truncated catalog behind. It lives here
-// because every storage component that persists a catalog already depends
-// on this package.
+// crash mid-write never leaves a truncated catalog behind. The temporary
+// file is fsynced before the rename and the parent directory is fsynced
+// after it — without the latter the rename itself may be lost on a crash,
+// un-committing a generation switch that was already reported durable. It
+// lives here because every storage component that persists a catalog already
+// depends on this package.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
@@ -17,7 +20,17 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		return fmt.Errorf("pager: atomic write: %w", err)
 	}
 	name := tmp.Name()
+	if err := faultPoint(FaultWrite, name); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("pager: atomic write: %w", err)
+	}
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("pager: atomic write: %w", err)
+	}
+	if err := faultPoint(FaultSync, name); err != nil {
 		tmp.Close()
 		os.Remove(name)
 		return fmt.Errorf("pager: atomic write: %w", err)
@@ -35,9 +48,46 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		os.Remove(name)
 		return fmt.Errorf("pager: atomic write: %w", err)
 	}
+	if err := faultPoint(FaultRename, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("pager: atomic write: %w", err)
+	}
 	if err := os.Rename(name, path); err != nil {
 		os.Remove(name)
 		return fmt.Errorf("pager: atomic write: %w", err)
 	}
+	if err := SyncDir(dir); err != nil {
+		return fmt.Errorf("pager: atomic write: %w", err)
+	}
 	return nil
+}
+
+// SyncDir fsyncs a directory so that entry changes inside it (file creation,
+// rename, removal) reach stable storage.
+func SyncDir(dir string) error {
+	if err := faultPoint(FaultSync, dir); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("pager: sync dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("pager: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// RemoveAll removes a directory tree through the fault-injection layer, so
+// crash tests observe interrupted cleanups (a killed process removes
+// nothing). Storage components use it for their cleanup paths.
+func RemoveAll(path string) error {
+	if err := faultPoint(FaultRemove, path); err != nil {
+		return err
+	}
+	return os.RemoveAll(path)
 }

@@ -23,7 +23,7 @@ func TestPoolConcurrentReaders(t *testing.T) {
 			t.Fatal(err)
 		}
 		fr.Data()[0] = byte(i)
-		fr.Data()[PageSize-1] = byte(i ^ 0x5A)
+		fr.Data()[PayloadSize-1] = byte(i ^ 0x5A) // last usable byte; the trailer follows
 		p.Unpin(fr, true)
 	}
 
@@ -40,7 +40,7 @@ func TestPoolConcurrentReaders(t *testing.T) {
 					errs <- err
 					return
 				}
-				if fr.Data()[0] != byte(id) || fr.Data()[PageSize-1] != byte(int(id)^0x5A) {
+				if fr.Data()[0] != byte(id) || fr.Data()[PayloadSize-1] != byte(int(id)^0x5A) {
 					p.Unpin(fr, false)
 					errs <- errCorrupt
 					return

@@ -1,0 +1,194 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Fault injection: every state-changing I/O operation issued through this
+// package (page writes, fsyncs, the atomic-rename catalog swap, directory
+// removals) passes through an optional FaultInjector. Crash-point tests
+// enumerate these operations, then re-run the workload failing at each one
+// in turn to prove that recovery always lands on a consistent state.
+
+// FaultOp classifies the injectable I/O operations.
+type FaultOp int
+
+// The injectable operation classes.
+const (
+	// FaultWrite is one page write (File.WritePage) or the data write of
+	// WriteFileAtomic.
+	FaultWrite FaultOp = iota
+	// FaultSync is an fsync of a file or a directory.
+	FaultSync
+	// FaultRename is the commit rename of WriteFileAtomic.
+	FaultRename
+	// FaultRemove is a directory-tree removal via RemoveAll.
+	FaultRemove
+)
+
+// String names the operation class for fault-point reports.
+func (op FaultOp) String() string {
+	switch op {
+	case FaultWrite:
+		return "write"
+	case FaultSync:
+		return "sync"
+	case FaultRename:
+		return "rename"
+	case FaultRemove:
+		return "remove"
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+var (
+	// ErrInjected is returned by an operation failed in FaultTransient mode.
+	ErrInjected = errors.New("pager: injected I/O fault")
+	// ErrCrashed is returned by every operation after a FaultCrash injector
+	// trips: the simulated process is dead and no further I/O happens.
+	ErrCrashed = errors.New("pager: simulated crash")
+)
+
+// FaultMode selects what happens when the injector reaches its target
+// operation.
+type FaultMode int
+
+const (
+	// FaultCrash simulates a process crash: the target operation fails (or
+	// is torn) and every subsequent pager operation — reads included —
+	// fails with ErrCrashed until the injector is cleared. Cleanup code
+	// therefore cannot run, exactly as after a real kill.
+	FaultCrash FaultMode = iota
+	// FaultTransient fails only the target operation with ErrInjected;
+	// everything else proceeds, exercising in-process error paths.
+	FaultTransient
+)
+
+// tornWriteBytes is how much of a page reaches disk when a tripped write is
+// torn: one 512-byte "sector", leaving the page with a new prefix and stale
+// suffix that the checksum must catch.
+const tornWriteBytes = 512
+
+// FaultInjector fails a chosen pager I/O operation. Install it with
+// SetFaultInjector; a nil injector (the default) costs one atomic load per
+// operation.
+type FaultInjector struct {
+	mode   FaultMode
+	failAt int64
+	torn   bool
+
+	mu      sync.Mutex
+	next    int64
+	tripped bool
+	ops     []string
+}
+
+// NewFaultInjector returns an injector that fails the failAt-th operation
+// (0-based) in the given mode. failAt < 0 never fails, which makes the
+// injector a pure counter for enumerating fault points. torn applies only
+// when the target operation is a page write: a 512-byte prefix of the page
+// reaches disk before the failure.
+func NewFaultInjector(mode FaultMode, failAt int64, torn bool) *FaultInjector {
+	return &FaultInjector{mode: mode, failAt: failAt, torn: torn}
+}
+
+// Points returns how many operations the injector has seen (not counting
+// operations rejected after a crash trip).
+func (fi *FaultInjector) Points() int64 {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.next
+}
+
+// Tripped reports whether the target operation was reached.
+func (fi *FaultInjector) Tripped() bool {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.tripped
+}
+
+// Ops returns a description of every operation seen, in order, for
+// diagnosing a failing crash point.
+func (fi *FaultInjector) Ops() []string {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return append([]string(nil), fi.ops...)
+}
+
+// decide registers one operation and returns whether to tear it (writes
+// only) and the error to fail it with, if any.
+func (fi *FaultInjector) decide(op FaultOp, path string) (torn bool, err error) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.tripped && fi.mode == FaultCrash {
+		return false, ErrCrashed
+	}
+	i := fi.next
+	fi.next++
+	fi.ops = append(fi.ops, fmt.Sprintf("%s %s", op, path))
+	if fi.failAt >= 0 && i == fi.failAt {
+		fi.tripped = true
+		if fi.mode == FaultCrash {
+			return fi.torn, ErrCrashed
+		}
+		return fi.torn, ErrInjected
+	}
+	return false, nil
+}
+
+// dead reports whether a crash-mode injector has tripped.
+func (fi *FaultInjector) dead() bool {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.tripped && fi.mode == FaultCrash
+}
+
+var activeFault atomic.Pointer[FaultInjector]
+
+// SetFaultInjector installs fi as the process-wide injector; nil removes it.
+// Intended for tests, which must not run in parallel while one is installed.
+func SetFaultInjector(fi *FaultInjector) { activeFault.Store(fi) }
+
+// faultPoint registers one injectable operation with the active injector.
+func faultPoint(op FaultOp, path string) error {
+	fi := activeFault.Load()
+	if fi == nil {
+		return nil
+	}
+	_, err := fi.decide(op, path)
+	return err
+}
+
+// faultPageWrite registers a page write, performing the torn prefix write
+// itself when the injector asks for one.
+func faultPageWrite(osf *os.File, off int64, buf []byte) error {
+	fi := activeFault.Load()
+	if fi == nil {
+		return nil
+	}
+	torn, err := fi.decide(FaultWrite, osf.Name())
+	if err == nil {
+		return nil
+	}
+	if torn {
+		osf.WriteAt(buf[:tornWriteBytes], off)
+	}
+	return err
+}
+
+// faultRead fails reads after a simulated crash; reads are never counted as
+// fault points (they change no durable state).
+func faultRead() error {
+	fi := activeFault.Load()
+	if fi == nil {
+		return nil
+	}
+	if fi.dead() {
+		return ErrCrashed
+	}
+	return nil
+}

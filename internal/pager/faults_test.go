@@ -1,0 +1,186 @@
+package pager
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// withInjector installs fi for the duration of fn and always clears it.
+func withInjector(t *testing.T, fi *FaultInjector, fn func()) {
+	t.Helper()
+	SetFaultInjector(fi)
+	defer SetFaultInjector(nil)
+	fn()
+}
+
+// workload performs a small fixed sequence of injectable operations: two
+// page writes, a sync, and an atomic catalog write.
+func workload(dir string) []error {
+	var errs []error
+	f, err := Create(filepath.Join(dir, "w.pg"), nil)
+	if err != nil {
+		return []error{err}
+	}
+	buf := make([]byte, PageSize)
+	for i := 0; i < 2; i++ {
+		id, _ := f.Allocate()
+		buf[0] = byte(i)
+		errs = append(errs, f.WritePage(id, buf))
+	}
+	errs = append(errs, f.Sync())
+	errs = append(errs, f.Close())
+	errs = append(errs, WriteFileAtomic(filepath.Join(dir, "cat.json"), []byte(`{}`), 0o644))
+	return errs
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestFaultInjectorCountsPoints(t *testing.T) {
+	fi := NewFaultInjector(FaultCrash, -1, false)
+	withInjector(t, fi, func() {
+		if err := firstError(workload(t.TempDir())); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 2 page writes + file sync + atomic write (write, sync, rename, dir
+	// sync) = 7 injectable operations.
+	if got := fi.Points(); got != 7 {
+		t.Fatalf("Points = %d (%v), want 7", got, fi.Ops())
+	}
+	if fi.Tripped() {
+		t.Fatal("counting injector tripped")
+	}
+}
+
+func TestFaultCrashLatches(t *testing.T) {
+	// Crash at every enumerated point; all later operations must fail and
+	// exactly one point must trip.
+	for k := int64(0); k < 7; k++ {
+		fi := NewFaultInjector(FaultCrash, k, false)
+		withInjector(t, fi, func() {
+			errs := workload(t.TempDir())
+			if firstError(errs) == nil {
+				t.Fatalf("crash point %d: workload succeeded", k)
+			}
+			// Once dead, nothing later succeeds (Close of the os file is
+			// outside the fault layer and may still return nil).
+			var sawCrash bool
+			for _, err := range errs {
+				if errors.Is(err, ErrCrashed) {
+					sawCrash = true
+				}
+			}
+			if !sawCrash {
+				t.Fatalf("crash point %d: no ErrCrashed in %v", k, errs)
+			}
+		})
+		if !fi.Tripped() {
+			t.Fatalf("crash point %d: never tripped", k)
+		}
+		if fi.Points() != k+1 {
+			t.Fatalf("crash point %d: counted %d ops", k, fi.Points())
+		}
+	}
+}
+
+func TestFaultTransientFailsOnce(t *testing.T) {
+	// A transient failure at op 1 (second page write) fails only that
+	// operation; the rest of the workload proceeds.
+	fi := NewFaultInjector(FaultTransient, 1, false)
+	withInjector(t, fi, func() {
+		errs := workload(t.TempDir())
+		if !errors.Is(errs[1], ErrInjected) {
+			t.Fatalf("op 1 error = %v, want ErrInjected", errs[1])
+		}
+		for i, err := range errs {
+			if i != 1 && err != nil {
+				t.Fatalf("op %d failed after transient fault: %v", i, err)
+			}
+		}
+	})
+	if fi.Points() != 7 {
+		t.Fatalf("Points = %d, want 7", fi.Points())
+	}
+}
+
+func TestFaultTornWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.pg")
+	f, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	id, _ := f.Allocate()
+	buf[0] = 0xAB
+	if err := f.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the overwrite of page 0: new prefix, stale rest.
+	buf[0] = 0xCD
+	fi := NewFaultInjector(FaultCrash, 0, true)
+	withInjector(t, fi, func() {
+		if err := f.WritePage(id, buf); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("torn write error = %v, want ErrCrashed", err)
+		}
+	})
+	f.Close()
+
+	g, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	got := make([]byte, PageSize)
+	err = g.ReadPage(0, got)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("read of torn page = %v, want ErrChecksum", err)
+	}
+	// The torn prefix really reached disk.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != 0xCD {
+		t.Fatalf("torn prefix byte = %#x, want 0xCD", raw[0])
+	}
+}
+
+func TestWriteFileAtomicSurvivesRenameFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cat.json")
+	if err := WriteFileAtomic(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the rename of the second write (op 2: write, sync, rename).
+	fi := NewFaultInjector(FaultTransient, 2, false)
+	withInjector(t, fi, func() {
+		if err := WriteFileAtomic(path, []byte("new"), 0o644); err == nil {
+			t.Fatal("atomic write succeeded through failed rename")
+		}
+	})
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old" {
+		t.Fatalf("content after failed swap = %q, want old", got)
+	}
+	// The temp file was cleaned up in-process.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory entries after failed swap: %v", entries)
+	}
+}

@@ -8,17 +8,48 @@
 // paper's Informix experiments. The accounting layer exists because the
 // paper's 10-1 and 100-1 results are driven by the sequential/random I/O gap
 // of 1998 disks; see CostModel.
+//
+// Durability: files created by this package reserve the last TrailerSize
+// bytes of every page for a CRC32-C checksum stamped on write and verified
+// on read, so a torn write or flipped bit surfaces as ErrChecksum instead of
+// being served as wrong data. Files written before the trailer existed are
+// detected on Open (their page 0 lacks the trailer magic) and are read
+// without verification; see File.PayloadSize.
 package pager
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"sync"
 )
 
 // PageSize is the size in bytes of every page managed by this package.
 const PageSize = 8192
+
+// TrailerSize is the number of bytes reserved at the end of every page of a
+// checksummed file: a CRC32-C over the payload followed by a format magic.
+const TrailerSize = 8
+
+// PayloadSize is the number of page bytes usable by callers on checksummed
+// files. Callers must size their page layouts with File.PayloadSize, which
+// returns the full PageSize for legacy (pre-checksum) files.
+const PayloadSize = PageSize - TrailerSize
+
+// trailerMagic marks a page trailer written by the checksumming pager
+// ("CKS1" little-endian). It doubles as the format version: a future layout
+// change bumps the final byte.
+const trailerMagic = 0x31534B43
+
+// ErrChecksum is returned when a page's stored CRC32-C does not match its
+// contents, indicating a torn write or on-disk corruption.
+var ErrChecksum = errors.New("pager: page checksum mismatch")
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // PageID identifies a page within a File. Pages are numbered from zero in
 // file order, so consecutively numbered pages are physically adjacent.
@@ -45,21 +76,28 @@ type File struct {
 	stats     *Stats
 	lastRead  PageID
 	lastWrite PageID
+
+	// checksummed is fixed at Create/Open: new files carry a CRC32-C
+	// trailer on every page; legacy files are read and written verbatim.
+	checksummed bool
 }
 
 // Create creates (or truncates) a page file at path. I/O performed on the
 // returned File is recorded in stats; a nil stats is replaced with a private
-// Stats so callers may always ignore accounting.
+// Stats so callers may always ignore accounting. Files are always created in
+// the checksummed format.
 func Create(path string, stats *Stats) (*File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pager: create %s: %w", path, err)
 	}
-	return newFile(f, path, 0, stats), nil
+	return newFile(f, path, 0, stats, true), nil
 }
 
 // Open opens an existing page file at path. The file size must be a multiple
-// of PageSize.
+// of PageSize. The format is detected from page 0's trailer: files written by
+// a pre-checksum version of this package lack the trailer magic and are
+// served without verification (and with the full PageSize as payload).
 func Open(path string, stats *Stats) (*File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
@@ -74,21 +112,45 @@ func Open(path string, stats *Stats) (*File, error) {
 		f.Close()
 		return nil, fmt.Errorf("pager: %s size %d is not a multiple of page size", path, info.Size())
 	}
-	return newFile(f, path, uint32(info.Size()/PageSize), stats), nil
+	checksummed := true
+	if info.Size() >= PageSize {
+		var trailer [TrailerSize]byte
+		if _, err := f.ReadAt(trailer[:], PayloadSize); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pager: probe %s: %w", path, err)
+		}
+		checksummed = binary.LittleEndian.Uint32(trailer[4:]) == trailerMagic
+	}
+	return newFile(f, path, uint32(info.Size()/PageSize), stats, checksummed), nil
 }
 
-func newFile(f *os.File, path string, pages uint32, stats *Stats) *File {
+func newFile(f *os.File, path string, pages uint32, stats *Stats, checksummed bool) *File {
 	if stats == nil {
 		stats = &Stats{}
 	}
 	return &File{
-		f:         f,
-		path:      path,
-		numPages:  pages,
-		stats:     stats,
-		lastRead:  InvalidPage,
-		lastWrite: InvalidPage,
+		f:           f,
+		path:        path,
+		numPages:    pages,
+		stats:       stats,
+		lastRead:    InvalidPage,
+		lastWrite:   InvalidPage,
+		checksummed: checksummed,
 	}
+}
+
+// Checksummed reports whether the file carries per-page CRC32-C trailers.
+func (f *File) Checksummed() bool { return f.checksummed }
+
+// PayloadSize returns the number of bytes of each page available to callers:
+// PayloadSize for checksummed files, the full PageSize for legacy files.
+// Page layouts (node capacities, tuples per page) must be computed from this
+// so the two formats stay mutually readable.
+func (f *File) PayloadSize() int {
+	if f.checksummed {
+		return PayloadSize
+	}
+	return PageSize
 }
 
 // Path returns the file system path of the page file.
@@ -119,9 +181,14 @@ func (f *File) Allocate() (PageID, error) {
 }
 
 // ReadPage reads page id into buf, which must be at least PageSize bytes.
+// On checksummed files the page's CRC32-C trailer is verified and a mismatch
+// is returned as an error wrapping ErrChecksum.
 func (f *File) ReadPage(id PageID, buf []byte) error {
 	if len(buf) < PageSize {
 		return fmt.Errorf("pager: read buffer too small (%d bytes)", len(buf))
+	}
+	if err := faultRead(); err != nil {
+		return err
 	}
 	f.mu.Lock()
 	if uint32(id) >= f.numPages {
@@ -141,11 +208,46 @@ func (f *File) ReadPage(id PageID, buf []byte) error {
 		}
 	}
 	f.stats.recordRead(seq)
+	if f.checksummed {
+		if err := verifyPage(buf); err != nil {
+			f.stats.recordChecksum(false)
+			return fmt.Errorf("pager: %s page %d: %w", f.path, id, err)
+		}
+		f.stats.recordChecksum(true)
+	}
 	return nil
 }
 
+// verifyPage checks a checksummed page's trailer. An all-zero page (trailer
+// included) is accepted: it is a page that was allocated but never written.
+func verifyPage(buf []byte) error {
+	stored := binary.LittleEndian.Uint32(buf[PayloadSize:])
+	magic := binary.LittleEndian.Uint32(buf[PayloadSize+4:])
+	if magic != trailerMagic {
+		if magic == 0 && stored == 0 && allZero(buf[:PayloadSize]) {
+			return nil
+		}
+		return fmt.Errorf("%w (missing trailer)", ErrChecksum)
+	}
+	if crc32.Checksum(buf[:PayloadSize], crcTable) != stored {
+		return ErrChecksum
+	}
+	return nil
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // WritePage writes buf (at least PageSize bytes) to page id. The page must
-// have been allocated.
+// have been allocated. On checksummed files the trailer bytes
+// buf[PayloadSize:PageSize] are overwritten in place with the payload's
+// CRC32-C, so the in-memory copy always matches what reached disk.
 func (f *File) WritePage(id PageID, buf []byte) error {
 	if len(buf) < PageSize {
 		return fmt.Errorf("pager: write buffer too small (%d bytes)", len(buf))
@@ -159,6 +261,13 @@ func (f *File) WritePage(id PageID, buf []byte) error {
 	f.lastWrite = id
 	f.mu.Unlock()
 
+	if f.checksummed {
+		binary.LittleEndian.PutUint32(buf[PayloadSize:], crc32.Checksum(buf[:PayloadSize], crcTable))
+		binary.LittleEndian.PutUint32(buf[PayloadSize+4:], trailerMagic)
+	}
+	if err := faultPageWrite(f.f, int64(id)*PageSize, buf[:PageSize]); err != nil {
+		return err
+	}
 	if _, err := f.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
 		return fmt.Errorf("pager: write page %d: %w", id, err)
 	}
@@ -167,7 +276,12 @@ func (f *File) WritePage(id PageID, buf []byte) error {
 }
 
 // Sync flushes file contents to stable storage.
-func (f *File) Sync() error { return f.f.Sync() }
+func (f *File) Sync() error {
+	if err := faultPoint(FaultSync, f.path); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
 
 // Close closes the underlying file.
 func (f *File) Close() error { return f.f.Close() }

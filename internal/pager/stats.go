@@ -18,6 +18,13 @@ type Stats struct {
 	randWrites atomic.Uint64
 	poolHits   atomic.Uint64
 	poolMisses atomic.Uint64
+
+	// Durability observability: checksum verification outcomes, offline
+	// scrub progress, and recovery-sweep removals.
+	checksumOK   atomic.Uint64
+	checksumFail atomic.Uint64
+	scrubbed     atomic.Uint64
+	staleRemoved atomic.Uint64
 }
 
 func (s *Stats) recordRead(sequential bool) {
@@ -52,6 +59,37 @@ func (s *Stats) recordPool(hit bool) {
 	}
 }
 
+func (s *Stats) recordChecksum(ok bool) {
+	if ok {
+		s.checksumOK.Add(1)
+	} else {
+		s.checksumFail.Add(1)
+	}
+}
+
+// AddPagesScrubbed charges n pages verified by an offline scrub (ctcheck).
+func (s *Stats) AddPagesScrubbed(n uint64) { s.scrubbed.Add(n) }
+
+// AddStaleRemoved charges n stale generation/scratch directories (or temp
+// files) deleted by the recovery sweep on open.
+func (s *Stats) AddStaleRemoved(n uint64) { s.staleRemoved.Add(n) }
+
+// ChecksumsVerified returns the number of page checksums that verified
+// correctly on read.
+func (s *Stats) ChecksumsVerified() uint64 { return s.checksumOK.Load() }
+
+// ChecksumFailures returns the number of page reads whose checksum did not
+// match — each one is corruption that would otherwise have been served as
+// wrong query results.
+func (s *Stats) ChecksumFailures() uint64 { return s.checksumFail.Load() }
+
+// PagesScrubbed returns the number of pages verified by offline scrubs.
+func (s *Stats) PagesScrubbed() uint64 { return s.scrubbed.Load() }
+
+// StaleRemoved returns the number of orphan directories and temp files
+// deleted by recovery sweeps.
+func (s *Stats) StaleRemoved() uint64 { return s.staleRemoved.Load() }
+
 // SeqReads returns the number of sequential page reads.
 func (s *Stats) SeqReads() uint64 { return s.seqReads.Load() }
 
@@ -79,12 +117,16 @@ func (s *Stats) PoolMisses() uint64 { return s.poolMisses.Load() }
 // Snapshot returns a point-in-time copy of the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		SeqReads:   s.SeqReads(),
-		RandReads:  s.RandReads(),
-		SeqWrites:  s.SeqWrites(),
-		RandWrites: s.RandWrites(),
-		PoolHits:   s.PoolHits(),
-		PoolMisses: s.PoolMisses(),
+		SeqReads:          s.SeqReads(),
+		RandReads:         s.RandReads(),
+		SeqWrites:         s.SeqWrites(),
+		RandWrites:        s.RandWrites(),
+		PoolHits:          s.PoolHits(),
+		PoolMisses:        s.PoolMisses(),
+		ChecksumsVerified: s.ChecksumsVerified(),
+		ChecksumFailures:  s.ChecksumFailures(),
+		PagesScrubbed:     s.PagesScrubbed(),
+		StaleRemoved:      s.StaleRemoved(),
 	}
 }
 
@@ -96,6 +138,10 @@ func (s *Stats) Reset() {
 	s.randWrites.Store(0)
 	s.poolHits.Store(0)
 	s.poolMisses.Store(0)
+	s.checksumOK.Store(0)
+	s.checksumFail.Store(0)
+	s.scrubbed.Store(0)
+	s.staleRemoved.Store(0)
 }
 
 // StatsSnapshot is an immutable copy of Stats counters.
@@ -106,18 +152,27 @@ type StatsSnapshot struct {
 	RandWrites uint64
 	PoolHits   uint64
 	PoolMisses uint64
+
+	ChecksumsVerified uint64
+	ChecksumFailures  uint64
+	PagesScrubbed     uint64
+	StaleRemoved      uint64
 }
 
 // Sub returns the counter-wise difference s - o, i.e. the I/O performed
 // between the two snapshots.
 func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
-		SeqReads:   s.SeqReads - o.SeqReads,
-		RandReads:  s.RandReads - o.RandReads,
-		SeqWrites:  s.SeqWrites - o.SeqWrites,
-		RandWrites: s.RandWrites - o.RandWrites,
-		PoolHits:   s.PoolHits - o.PoolHits,
-		PoolMisses: s.PoolMisses - o.PoolMisses,
+		SeqReads:          s.SeqReads - o.SeqReads,
+		RandReads:         s.RandReads - o.RandReads,
+		SeqWrites:         s.SeqWrites - o.SeqWrites,
+		RandWrites:        s.RandWrites - o.RandWrites,
+		PoolHits:          s.PoolHits - o.PoolHits,
+		PoolMisses:        s.PoolMisses - o.PoolMisses,
+		ChecksumsVerified: s.ChecksumsVerified - o.ChecksumsVerified,
+		ChecksumFailures:  s.ChecksumFailures - o.ChecksumFailures,
+		PagesScrubbed:     s.PagesScrubbed - o.PagesScrubbed,
+		StaleRemoved:      s.StaleRemoved - o.StaleRemoved,
 	}
 }
 

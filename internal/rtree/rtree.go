@@ -193,9 +193,14 @@ func setNodeCount(b []byte, n int) { binary.LittleEndian.PutUint16(b[2:], uint16
 // leafEntrySize is the bytes per point on a leaf of the given arity.
 func (t *Tree) leafEntrySize(arity int) int { return enc.TupleSize(arity + t.measures) }
 
+// payload is the usable bytes per page: the checksum trailer (absent on
+// legacy files) is reserved by the pager. Reads never depend on capacity —
+// nodes carry their own entry counts — so both formats stay readable.
+func (t *Tree) payload() int { return t.pool.File().PayloadSize() }
+
 // leafCap returns the point capacity of a leaf of the given arity.
 func (t *Tree) leafCap(arity int) int {
-	c := (pager.PageSize - nodeHeaderSize) / t.leafEntrySize(arity)
+	c := (t.payload() - nodeHeaderSize) / t.leafEntrySize(arity)
 	if t.fanout > 1 && c > t.fanout {
 		c = t.fanout
 	}
@@ -208,7 +213,7 @@ func (t *Tree) innerEntrySize() int { return t.dim*16 + 4 }
 
 // innerCap returns the child capacity of an internal node.
 func (t *Tree) innerCap() int {
-	c := (pager.PageSize - nodeHeaderSize) / t.innerEntrySize()
+	c := (t.payload() - nodeHeaderSize) / t.innerEntrySize()
 	if t.fanout > 1 && c > t.fanout {
 		c = t.fanout
 	}

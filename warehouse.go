@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"cubetree/internal/core"
@@ -74,7 +75,12 @@ func Materialize(cfg Config, views []View, rows RowIter) (*Warehouse, error) {
 	}
 	w.schema = schema
 
+	// Clear debris a crashed earlier attempt may have left: Materialize
+	// must succeed over a stale scratch or generation directory.
 	scratch := filepath.Join(cfg.Dir, "scratch")
+	os.RemoveAll(scratch)
+	os.RemoveAll(w.genDir())
+
 	data, err := cube.Compute(scratch, rows, w.views, cube.Options{
 		MemLimit:    cfg.MemLimit,
 		Stats:       cfg.Stats,
@@ -98,11 +104,19 @@ func Materialize(cfg Config, views []View, rows RowIter) (*Warehouse, error) {
 		Workers:   cfg.Workers,
 	})
 	if err != nil {
+		pager.RemoveAll(w.genDir())
 		return nil, err
 	}
 	w.forest = forest
-	if err := w.writeCatalog(); err != nil {
+	if err := w.writeCatalog(w.generation); err != nil {
 		forest.Close()
+		// The rename inside the atomic catalog write may have committed
+		// before the failure (e.g. the directory fsync failed). Only when
+		// the catalog is known gone is the generation safe to delete;
+		// otherwise leave it for Open to serve or sweep.
+		if pager.RemoveAll(filepath.Join(cfg.Dir, warehouseCatalog)) == nil {
+			pager.RemoveAll(w.genDir())
+		}
 		return nil, err
 	}
 	return w, nil
@@ -137,9 +151,9 @@ func (w *Warehouse) genDir() string {
 	return filepath.Join(w.cfg.Dir, fmt.Sprintf("gen-%06d", w.generation))
 }
 
-func (w *Warehouse) writeCatalog() error {
+func (w *Warehouse) writeCatalog(generation int) error {
 	cat := warehouseJSON{
-		Generation: w.generation,
+		Generation: generation,
 		Domains:    map[string]int64{},
 		Schema:     w.schema.Strings(),
 		PoolPages:  w.cfg.PoolPages,
@@ -169,6 +183,13 @@ func (w *Warehouse) writeCatalog() error {
 }
 
 // Open loads an existing warehouse from dir. stats may be nil.
+//
+// Open performs crash recovery before serving: generation and scratch
+// directories not referenced by the catalog — debris of a Materialize or
+// Update killed mid-flight — are deleted, and the referenced generation is
+// verified to exist with well-formed tree headers. Because the catalog swap
+// is atomic, the referenced generation is always complete: Open serves
+// exactly the state of the last committed refresh.
 func Open(dir string, stats *Stats) (*Warehouse, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, warehouseCatalog))
 	if err != nil {
@@ -178,6 +199,7 @@ func Open(dir string, stats *Stats) (*Warehouse, error) {
 	if err := json.Unmarshal(raw, &cat); err != nil {
 		return nil, fmt.Errorf("cubetree: parse warehouse catalog: %w", err)
 	}
+	sweepStale(dir, cat.Generation, stats)
 	cfg := Config{Dir: dir, PoolPages: cat.PoolPages, Stats: stats,
 		Domains: map[Attr]int64{}}
 	for a, d := range cat.Domains {
@@ -209,6 +231,38 @@ func Open(dir string, stats *Stats) (*Warehouse, error) {
 	}
 	w.forest = forest
 	return w, nil
+}
+
+// sweepStale is the recovery sweep: it deletes generation directories other
+// than the committed one, scratch state, and atomic-write temp files — all
+// debris only a crash can leave behind. Removal is best-effort; anything
+// that survives is retried on the next Open. Removals are counted in
+// stats.StaleRemoved.
+func sweepStale(dir string, generation int, stats *Stats) {
+	keep := fmt.Sprintf("gen-%06d", generation)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var removed uint64
+	for _, e := range entries {
+		name := e.Name()
+		stale := filepath.Join(dir, name)
+		switch {
+		case name == keep:
+		case e.IsDir() && (name == "scratch" || strings.HasPrefix(name, "gen-")):
+			if os.RemoveAll(stale) == nil {
+				removed++
+			}
+		case !e.IsDir() && strings.Contains(name, ".tmp-"):
+			if os.Remove(stale) == nil {
+				removed++
+			}
+		}
+	}
+	if stats != nil && removed > 0 {
+		stats.AddStaleRemoved(removed)
+	}
 }
 
 // Views returns the warehouse's view definitions.
@@ -275,23 +329,35 @@ func (w *Warehouse) Update(rows RowIter) error {
 		return err
 	}
 	newGen := oldGen + 1
-	next, err := oldForest.MergeUpdate(
-		filepath.Join(w.cfg.Dir, fmt.Sprintf("gen-%06d", newGen)),
-		deltas, core.BuildOptions{
-			PoolPages: w.cfg.PoolPages,
-			Domains:   w.cfg.Domains,
-			Stats:     w.cfg.Stats,
-		})
+	newDir := filepath.Join(w.cfg.Dir, fmt.Sprintf("gen-%06d", newGen))
+	next, err := oldForest.MergeUpdate(newDir, deltas, core.BuildOptions{
+		PoolPages: w.cfg.PoolPages,
+		Domains:   w.cfg.Domains,
+		Stats:     w.cfg.Stats,
+	})
 	if err != nil {
+		pager.RemoveAll(newDir) // don't leak the half-built generation
+		return err
+	}
+	// The catalog rename is the commit point. Write it before the in-memory
+	// switch: on failure the old generation stays authoritative on disk and
+	// in memory, and the new one is discarded.
+	if err := w.writeCatalog(newGen); err != nil {
+		next.Close()
+		// The rename may have committed generation newGen before the
+		// failure. Put the old catalog back; only once it is authoritative
+		// again is the new generation safe to delete. If the restore also
+		// fails, keep both generations — Open serves whichever the on-disk
+		// catalog names and sweeps the other.
+		if w.writeCatalog(oldGen) == nil {
+			pager.RemoveAll(newDir)
+		}
 		return err
 	}
 	w.mu.Lock()
 	w.forest = next
 	w.generation = newGen
 	w.mu.Unlock()
-	if err := w.writeCatalog(); err != nil {
-		return err
-	}
 	oldForest.Remove()
 	return nil
 }
@@ -350,10 +416,12 @@ func (w *Warehouse) Remove() error {
 	return os.RemoveAll(w.cfg.Dir)
 }
 
-// removeAll deletes computed view data and the scratch directory.
+// removeAll deletes computed view data and the scratch directory. The
+// scratch removal goes through the pager's fault layer so a simulated crash
+// leaves the debris for the recovery sweep, as a real one would.
 func removeAll(data map[string]*cube.ViewData, scratch string) {
 	for _, vd := range data {
 		vd.Remove()
 	}
-	os.RemoveAll(scratch)
+	pager.RemoveAll(scratch)
 }
