@@ -11,8 +11,10 @@
 package cubetree_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -77,7 +79,46 @@ func TestMain(m *testing.M) {
 	if benchDir != "" {
 		os.RemoveAll(benchDir)
 	}
+	if concSet != nil {
+		concSet.Close()
+	}
+	if concDir != "" {
+		os.RemoveAll(concDir)
+	}
 	os.Exit(code)
+}
+
+var (
+	concOnce sync.Once
+	concDir  string
+	concSet  *experiment.Setup
+	concErr  error
+)
+
+// concSetup builds the setup for the concurrency benchmarks. Unlike
+// sharedSetup's deliberately tiny pool (which keeps I/O shapes visible and
+// stays single-shard), this one gets a pool large enough to hold the working
+// set, so the buffer pool shards engage, repeated runs are hits, and the
+// counted page I/O is invariant under parallelism.
+func concSetup(b *testing.B) *experiment.Setup {
+	b.Helper()
+	concOnce.Do(func() {
+		concDir, concErr = os.MkdirTemp("", "cubetree-bench-conc-")
+		if concErr != nil {
+			return
+		}
+		concSet, concErr = experiment.NewSetup(experiment.Params{
+			SF:        benchSF,
+			Seed:      benchSeed,
+			PoolPages: 512,
+			Replicas:  true,
+			Dir:       concDir,
+		})
+	})
+	if concErr != nil {
+		b.Fatal(concErr)
+	}
+	return concSet
 }
 
 // benchViewData computes the paper's view set once per benchmark.
@@ -249,6 +290,57 @@ func BenchmarkFig13Throughput(b *testing.B) {
 	}
 	b.Run("conv", func(b *testing.B) { run(b, s.Conv.Execute, s.ConvStats()) })
 	b.Run("cube", func(b *testing.B) { run(b, s.Forest.Execute, s.CubeStats()) })
+}
+
+// BenchmarkFig13Concurrent is the concurrency sweep of Figure 13: the same
+// mixed 27-type batch executed with 1, 2, 4, and GOMAXPROCS clients against
+// each configuration, reporting wall-clock queries/sec. The pool is sized to
+// the working set, so every client count reads the same pages (parallelism
+// changes when pages are read, never what) and the sweep isolates lock
+// contention: with the sharded pool, throughput at >=4 clients should beat
+// the single-client baseline by >=2x.
+func BenchmarkFig13Concurrent(b *testing.B) {
+	s := concSetup(b)
+	gen := workload.NewGenerator(benchQGen, s.Dataset.Domains())
+	nodes := experiment.Nodes()
+	var queries []workload.Query
+	for i := 0; i < 64*len(nodes); i++ {
+		queries = append(queries, gen.ForNode(nodes[i%len(nodes)]))
+	}
+	clients := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		clients = append(clients, p)
+	}
+	type engine struct {
+		name  string
+		exec  func([]workload.Query, int) ([][]workload.Row, error)
+		stats *pager.Stats
+	}
+	for _, e := range []engine{
+		{"conv", s.Conv.ExecuteBatch, s.ConvStats()},
+		{"cube", s.Forest.ExecuteBatch, s.CubeStats()},
+	} {
+		// Warm the pool once so every client count starts from the same
+		// cached state.
+		if _, err := e.exec(queries, 1); err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range clients {
+			b.Run(fmt.Sprintf("%s/clients=%d", e.name, c), func(b *testing.B) {
+				mark := e.stats.Snapshot()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.exec(queries, c); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				io := e.stats.Snapshot().Sub(mark)
+				b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "wall-q/s")
+				b.ReportMetric(float64(io.Pages())/float64(b.N), "pages/op")
+			})
+		}
+	}
 }
 
 // --- Figure 14: scalability -----------------------------------------------------

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated experiments: table5,table6,storage,fig12,fig13,fig14,table7,greedy,ablations or all")
+		exps    = flag.String("exp", "all", "comma-separated experiments: table5,table6,storage,fig12,fig13,fig14,table7,throughput,greedy,ablations or all")
 		sf      = flag.Float64("sf", 0.01, "TPC-D scale factor (1.0 = the paper's 1 GB)")
 		seed    = flag.Uint64("seed", 1998, "random seed")
 		queries = flag.Int("queries", 100, "queries per view (Figure 12/13/14)")
@@ -32,6 +33,7 @@ func main() {
 		dir     = flag.String("dir", "", "working directory (default: temp)")
 		csvDir  = flag.String("csv", "", "also write each artifact as CSV into this directory")
 		noRepl  = flag.Bool("no-replicas", false, "disable the top view's replica sort orders")
+		asJSON  = flag.Bool("json", false, "write machine-readable results (throughput -> BENCH_throughput.json)")
 	)
 	flag.Parse()
 
@@ -68,7 +70,7 @@ func main() {
 	}
 
 	needsSetup := need("table5") || need("table6") || need("storage") ||
-		need("fig12") || need("fig13") || need("table7")
+		need("fig12") || need("fig13") || need("table7") || need("throughput")
 	var s *experiment.Setup
 	if needsSetup {
 		fmt.Printf("building setup: SF=%.4g (%d fact rows), pool %d pages/structure, model %s\n\n",
@@ -120,6 +122,23 @@ func main() {
 			fmt.Println(th)
 			fmt.Println(th.Chart())
 			csv("fig13.csv", th.CSV())
+		}
+	}
+	if need("throughput") {
+		tp, err := s.RunThroughput(experiment.DefaultClients())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tp)
+		if *asJSON {
+			data, err := json.MarshalIndent(tp, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile("BENCH_throughput.json", append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote BENCH_throughput.json")
 		}
 	}
 	if need("table7") {

@@ -30,6 +30,7 @@ func main() {
 		sql     = flag.String("sql", "", "run a SQL slice query instead of -node/-fix")
 		explain = flag.Bool("explain", false, "print the plan instead of executing")
 		random  = flag.Int("random", 0, "run N random slice queries on the node instead of one explicit query")
+		par     = flag.Int("parallel", 1, "concurrent clients for -random batches")
 		seed    = flag.Uint64("seed", 7, "random query seed")
 		limit   = flag.Int("limit", 20, "max result rows to print")
 	)
@@ -88,20 +89,21 @@ func main() {
 			}
 		}
 		gen := workload.NewGenerator(*seed, domains)
+		queries := gen.Batch(attrs, *random)
 		start := time.Now()
 		mark := stats.Snapshot()
-		var rowsOut int
-		for i := 0; i < *random; i++ {
-			rows, err := w.Query(gen.ForNode(attrs))
-			if err != nil {
-				fatal(err)
-			}
-			rowsOut += len(rows)
+		results, err := w.QueryBatch(queries, *par)
+		if err != nil {
+			fatal(err)
 		}
 		wall := time.Since(start)
 		io := stats.Snapshot().Sub(mark)
-		fmt.Printf("%d queries on {%s}: %d result rows, wall %v (%.1f q/s), I/O %s, modelled %v\n",
-			*random, *node, rowsOut, wall.Round(time.Millisecond),
+		var rowsOut int
+		for _, rows := range results {
+			rowsOut += len(rows)
+		}
+		fmt.Printf("%d queries on {%s} x%d clients: %d result rows, wall %v (%.1f q/s), I/O %s, modelled %v\n",
+			*random, *node, *par, rowsOut, wall.Round(time.Millisecond),
 			float64(*random)/wall.Seconds(), io, pager.Disk1998.Cost(io).Round(time.Millisecond))
 		return
 	}

@@ -185,4 +185,11 @@ func rangeAt(q workload.Query, attr lattice.Attr, lo, hi *int64) bool {
 	return ok
 }
 
+// ExecuteBatch answers qs with up to parallelism concurrent workers. The
+// forest is immutable once built and the buffer pool is sharded, so queries
+// only contend on the pool shards their pages map to.
+func (f *Forest) ExecuteBatch(qs []workload.Query, parallelism int) ([][]workload.Row, error) {
+	return workload.ExecuteBatch(f, qs, parallelism)
+}
+
 var _ workload.Engine = (*Forest)(nil)

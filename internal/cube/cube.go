@@ -97,7 +97,9 @@ func (vd *ViewData) Bytes() int64 { return vd.Rows * int64(vd.Width()) }
 
 // Options tunes the computation.
 type Options struct {
-	// MemLimit bounds each external sorter's in-memory buffer (bytes).
+	// MemLimit bounds each external sorter's in-memory buffer (bytes). The
+	// sorter pipelines run generation with double buffering, so a sorter
+	// that spills holds up to 2x this limit while the spill is in flight.
 	MemLimit int
 	// Stats receives the sequential I/O charge of the sort/aggregate
 	// pipeline. May be nil.
@@ -341,6 +343,12 @@ func packOrderFields(arity int) []int {
 
 // aggregateSorter drains a sorter, combining adjacent tuples with equal
 // attributes, and writes the view data file.
+//
+// The sorter's parallel merge leaves the relative order of equal-key records
+// unspecified (serial merge order was an accident of run layout too). That
+// is safe here — and required to stay safe — because adjacent equal keys are
+// folded with commutative, associative measure combination (SUM, COUNT,
+// MIN, MAX), so the resulting ViewData is byte-identical either way.
 func aggregateSorter(dir string, v lattice.View, s *extsort.Sorter, opts Options) (*ViewData, error) {
 	it, err := s.Sort()
 	if err != nil {

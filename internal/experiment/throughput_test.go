@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunThroughputSweep runs the concurrency sweep with a pool large
+// enough to hold the working set, so the counted page I/O must be identical
+// at every client count — parallelism changes when pages are read, never
+// what. (RunThroughput itself cross-checks that every parallel answer
+// matches the serial one.)
+func TestRunThroughputSweep(t *testing.T) {
+	p := testParams(t)
+	p.PoolPages = 4096 // hold the working set: I/O becomes parallelism-invariant
+	s, err := NewSetup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	tp, err := s.RunThroughput([]int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Queries != 7*p.QueriesPerView {
+		t.Fatalf("queries = %d, want %d", tp.Queries, 7*p.QueriesPerView)
+	}
+	if len(tp.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tp.Rows))
+	}
+	base := tp.Rows[0]
+	if base.Clients != 1 {
+		t.Fatalf("first row clients = %d", base.Clients)
+	}
+	for _, r := range tp.Rows[1:] {
+		if r.ConvIO != base.ConvIO {
+			t.Errorf("conventional I/O at %d clients differs from serial: %v vs %v",
+				r.Clients, r.ConvIO, base.ConvIO)
+		}
+		if r.CubeIO != base.CubeIO {
+			t.Errorf("cubetree I/O at %d clients differs from serial: %v vs %v",
+				r.Clients, r.CubeIO, base.CubeIO)
+		}
+		if r.ConvQPS <= 0 || r.CubeQPS <= 0 {
+			t.Errorf("non-positive q/s at %d clients: %+v", r.Clients, r)
+		}
+	}
+
+	// The JSON baseline later PRs diff against must round-trip.
+	data, err := json.Marshal(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Throughput
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Queries != tp.Queries || len(back.Rows) != len(tp.Rows) {
+		t.Fatalf("JSON round-trip lost data: %+v", back)
+	}
+	if !strings.Contains(tp.String(), "clients") {
+		t.Fatalf("report: %q", tp.String())
+	}
+}

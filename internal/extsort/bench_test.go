@@ -17,6 +17,7 @@ func benchSort(b *testing.B, records int, memLimit int) {
 		tuples[i] = []int64{r.Int63n(1 << 20), r.Int63n(1 << 20), r.Int63n(1 << 20), 1}
 	}
 	b.SetBytes(int64(records) * 32)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := NewSorter(b.TempDir(), 32, less, memLimit, nil)

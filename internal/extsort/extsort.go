@@ -6,6 +6,12 @@
 // leaves. This sorter spills sorted runs to temporary files and k-way
 // merges them, charging its file traffic to a pager.Stats as sequential
 // page transfers, which is exactly what the paper's sort phase costs.
+//
+// The sorter is pipelined: a full buffer is handed to a background worker
+// that sorts and spills run i while run i+1 fills, and a sort with many
+// spilled runs merges them through a two-level tree whose first level runs
+// on parallel workers. Neither changes the output order or the counted
+// sequential-transfer totals — only when the work happens.
 package extsort
 
 import (
@@ -15,6 +21,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 
 	"cubetree/internal/enc"
 	"cubetree/internal/pager"
@@ -35,6 +42,13 @@ type Iterator interface {
 
 // Sorter accumulates fixed-width records and produces them in sorted order.
 // The zero value is not usable; call NewSorter.
+//
+// A Sorter is single-producer: Add/AddTuple/Sort must be called from one
+// goroutine. Internally it overlaps run generation with input: the full
+// buffer is handed to a spill worker (sort + sequential write) while a
+// recycled second buffer keeps filling, so in-memory sorting and disk
+// writes hide behind the producer. Exactly two buffers ever exist, so peak
+// memory is 2×memLimit once the input spills.
 type Sorter struct {
 	dir      string
 	width    int
@@ -44,8 +58,15 @@ type Sorter struct {
 
 	buf   []byte
 	count int64
-	runs  []string
+	runs  []string // owned by the spill worker once it starts
 	done  bool
+
+	spillCh chan []byte // full buffers to the worker; unbuffered = depth-1 pipeline
+	recycle chan []byte // emptied buffers back to the producer
+	spillWG sync.WaitGroup
+
+	errMu    sync.Mutex
+	spillErr error
 }
 
 // NewSorter creates a sorter for records of the given width (bytes) ordered
@@ -71,7 +92,7 @@ func (s *Sorter) Add(rec []byte) error {
 		return fmt.Errorf("extsort: record width %d, want %d", len(rec), s.width)
 	}
 	if len(s.buf)+s.width > s.memLimit && len(s.buf) > 0 {
-		if err := s.spill(); err != nil {
+		if err := s.handOff(); err != nil {
 			return err
 		}
 	}
@@ -89,7 +110,7 @@ func (s *Sorter) AddTuple(vals []int64) error {
 		return fmt.Errorf("extsort: Add after Sort")
 	}
 	if len(s.buf)+s.width > s.memLimit && len(s.buf) > 0 {
-		if err := s.spill(); err != nil {
+		if err := s.handOff(); err != nil {
 			return err
 		}
 	}
@@ -101,34 +122,89 @@ func (s *Sorter) AddTuple(vals []int64) error {
 // Count returns the number of records added so far.
 func (s *Sorter) Count() int64 { return s.count }
 
-func (s *Sorter) sortBuf() {
-	n := len(s.buf) / s.width
-	sort.Sort(&recordSlice{buf: s.buf, width: s.width, n: n, less: s.less,
-		tmp: make([]byte, s.width)})
+func (s *Sorter) err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.spillErr
 }
 
-func (s *Sorter) spill() error {
-	s.sortBuf()
+func (s *Sorter) setErr(err error) {
+	s.errMu.Lock()
+	if s.spillErr == nil {
+		s.spillErr = err
+	}
+	s.errMu.Unlock()
+}
+
+// handOff gives the full buffer to the spill worker and continues filling a
+// recycled (or, once only, fresh) buffer. The first call starts the worker.
+func (s *Sorter) handOff() error {
+	if err := s.err(); err != nil {
+		return err
+	}
+	if s.spillCh == nil {
+		s.spillCh = make(chan []byte)
+		s.recycle = make(chan []byte, 1)
+		s.spillWG.Add(1)
+		go s.spillWorker()
+	}
+	s.spillCh <- s.buf
+	select {
+	case b := <-s.recycle:
+		s.buf = b[:0]
+	default:
+		// The worker is still busy with the previous buffer; fill a second
+		// one. This branch runs at most once: from then on the two buffers
+		// ping-pong through recycle.
+		s.buf = make([]byte, 0, len(s.buf))
+	}
+	return nil
+}
+
+// spillWorker sorts and writes each handed-off buffer as one run, reusing a
+// single bufio.Writer (and sort scratch) across runs. Runs are recorded in
+// hand-off order, so the run list is identical to a serial sorter's.
+func (s *Sorter) spillWorker() {
+	defer s.spillWG.Done()
+	w := bufio.NewWriterSize(io.Discard, 1<<20)
+	tmp := make([]byte, s.width)
+	for buf := range s.spillCh {
+		if s.err() == nil {
+			if path, err := s.writeRun(buf, w, tmp); err != nil {
+				s.setErr(err)
+			} else {
+				s.runs = append(s.runs, path)
+			}
+		}
+		select {
+		case s.recycle <- buf:
+		default:
+		}
+	}
+}
+
+// writeRun sorts buf and spills it to a fresh temp file through the reused
+// writer.
+func (s *Sorter) writeRun(buf []byte, w *bufio.Writer, tmp []byte) (string, error) {
+	sortBuf(buf, s.width, s.less, tmp)
 	f, err := os.CreateTemp(s.dir, "run-*.sort")
 	if err != nil {
-		return fmt.Errorf("extsort: spill: %w", err)
+		return "", fmt.Errorf("extsort: spill: %w", err)
 	}
-	w := bufio.NewWriterSize(f, 1<<20)
-	if _, err := w.Write(s.buf); err != nil {
+	w.Reset(f)
+	if _, err := w.Write(buf); err != nil {
 		f.Close()
-		return fmt.Errorf("extsort: spill write: %w", err)
+		return "", fmt.Errorf("extsort: spill write: %w", err)
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
-		return fmt.Errorf("extsort: spill flush: %w", err)
+		return "", fmt.Errorf("extsort: spill flush: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("extsort: spill close: %w", err)
+		return "", fmt.Errorf("extsort: spill close: %w", err)
 	}
-	s.stats.AddSequentialWrites(uint64((len(s.buf) + pager.PageSize - 1) / pager.PageSize))
-	s.runs = append(s.runs, f.Name())
-	s.buf = s.buf[:0]
-	return nil
+	s.stats.AddSequentialWrites(uint64((len(buf) + pager.PageSize - 1) / pager.PageSize))
+	return f.Name(), nil
 }
 
 // Sort finishes input and returns an iterator over all records in order.
@@ -138,16 +214,26 @@ func (s *Sorter) Sort() (Iterator, error) {
 		return nil, fmt.Errorf("extsort: Sort called twice")
 	}
 	s.done = true
-	if len(s.runs) == 0 {
-		s.sortBuf()
+	if s.spillCh == nil {
+		sortBuf(s.buf, s.width, s.less, make([]byte, s.width))
 		return &memIterator{buf: s.buf, width: s.width}, nil
 	}
 	if len(s.buf) > 0 {
-		if err := s.spill(); err != nil {
-			return nil, err
-		}
+		s.spillCh <- s.buf
+		s.buf = nil
 	}
-	return newMergeIterator(s.runs, s.width, s.less, s.stats)
+	close(s.spillCh)
+	s.spillWG.Wait()
+	if err := s.err(); err != nil {
+		return nil, err
+	}
+	return newRunMerger(s.runs, s.width, s.less, s.stats)
+}
+
+// sortBuf sorts a packed record buffer in place. tmp is width-byte scratch.
+func sortBuf(buf []byte, width int, less enc.Less, tmp []byte) {
+	n := len(buf) / width
+	sort.Sort(&recordSlice{buf: buf, width: width, n: n, less: less, tmp: tmp})
 }
 
 // recordSlice adapts a packed record buffer to sort.Interface.

@@ -1,0 +1,256 @@
+package extsort
+
+import (
+	"io"
+	"runtime"
+	"sync"
+
+	"cubetree/internal/enc"
+	"cubetree/internal/pager"
+)
+
+// Parallel merge: when a sort spilled enough runs and the machine has spare
+// cores, the final k-way merge runs as a two-level tree. The runs are
+// partitioned into G groups; a worker per group merges its runs with the
+// ordinary heap mergeIterator and streams record blocks over a channel, and
+// the consumer heap-merges the G sorted streams record-at-a-time. The output
+// order is the same total order a single k-way merge produces (ties between
+// equal keys are unspecified in both), and the counted sequential-transfer
+// total is identical: the consumer charges exactly the bytes it emitted, and
+// the group iterators charge nothing.
+
+const (
+	// parallelMergeMinGroups is the smallest worthwhile merge-tree fan-in.
+	parallelMergeMinGroups = 2
+	// mergeBlockRecords is how many records a group worker batches per
+	// channel send; large enough to amortize channel overhead, small enough
+	// to keep the pipeline's memory footprint trivial.
+	mergeBlockRecords = 512
+)
+
+// newRunMerger merges spilled runs, splitting the merge across workers when
+// there are enough runs and cores for the tree to pay off.
+func newRunMerger(runs []string, width int, less enc.Less, stats *pager.Stats) (Iterator, error) {
+	g := mergeGroups(len(runs))
+	if g < parallelMergeMinGroups {
+		return newMergeIterator(runs, width, less, stats)
+	}
+	return newParallelMerge(runs, width, less, stats, g)
+}
+
+// mergeGroups picks the merge-tree fan-in: one group per core up to 8, and
+// never fewer than two runs per group (below that the tree is pure overhead).
+func mergeGroups(nruns int) int {
+	g := runtime.GOMAXPROCS(0)
+	if g > 8 {
+		g = 8
+	}
+	if g > nruns/2 {
+		g = nruns / 2
+	}
+	return g
+}
+
+// mergeBlock is one batch of records from a group worker, or its error.
+type mergeBlock struct {
+	data []byte
+	err  error
+}
+
+// groupStream is the consumer's view of one group worker's sorted output.
+type groupStream struct {
+	ch      chan mergeBlock
+	recycle chan []byte // consumed blocks back to the worker
+	cur     []byte      // current block; nil before the first receive
+	off     int         // offset of the current record in cur
+}
+
+// parallelMergeIterator heap-merges the sorted streams of G group workers.
+// It is single-consumer, like every Iterator in this package.
+type parallelMergeIterator struct {
+	streams []*groupStream // min-heap on each stream's current record
+	width   int
+	less    enc.Less
+	stats   *pager.Stats
+	bytes   int64
+	out     []byte
+	cancel  chan struct{}
+	wg      sync.WaitGroup
+	err     error
+	closed  bool
+}
+
+func newParallelMerge(runs []string, width int, less enc.Less, stats *pager.Stats, g int) (Iterator, error) {
+	pm := &parallelMergeIterator{
+		width:  width,
+		less:   less,
+		stats:  stats,
+		out:    make([]byte, width),
+		cancel: make(chan struct{}),
+	}
+	for i := 0; i < g; i++ {
+		var sub []string
+		for j := i; j < len(runs); j += g {
+			sub = append(sub, runs[j])
+		}
+		// The group iterator gets a throwaway Stats: the consumer charges
+		// the real one for exactly the bytes it emits, which keeps the
+		// counted total byte-for-byte identical to a serial merge.
+		m, err := newMergeIterator(sub, width, less, &pager.Stats{})
+		if err != nil {
+			pm.Close()
+			return nil, err
+		}
+		st := &groupStream{ch: make(chan mergeBlock, 1), recycle: make(chan []byte, 2)}
+		pm.streams = append(pm.streams, st)
+		pm.wg.Add(1)
+		go pm.feed(m, st)
+	}
+	// Prime every stream, dropping those that are empty, then heapify.
+	streams := pm.streams
+	pm.streams = pm.streams[:0]
+	for _, st := range streams {
+		ok, err := pm.advanceStream(st)
+		if err != nil {
+			pm.Close()
+			return nil, err
+		}
+		if ok {
+			pm.streams = append(pm.streams, st)
+		}
+	}
+	for i := len(pm.streams)/2 - 1; i >= 0; i-- {
+		pm.siftDown(i)
+	}
+	return pm, nil
+}
+
+// feed merges one group of runs and streams the records to the consumer in
+// blocks. It owns m and closes it (run files are removed) on the way out.
+func (pm *parallelMergeIterator) feed(m *mergeIterator, st *groupStream) {
+	defer pm.wg.Done()
+	defer m.Close()
+	defer close(st.ch)
+	for {
+		var blk []byte
+		select {
+		case b := <-st.recycle:
+			blk = b[:0]
+		default:
+			blk = make([]byte, 0, mergeBlockRecords*pm.width)
+		}
+		for len(blk) < mergeBlockRecords*pm.width {
+			rec, err := m.Next()
+			if err == io.EOF {
+				if len(blk) > 0 {
+					select {
+					case st.ch <- mergeBlock{data: blk}:
+					case <-pm.cancel:
+					}
+				}
+				return
+			}
+			if err != nil {
+				select {
+				case st.ch <- mergeBlock{err: err}:
+				case <-pm.cancel:
+				}
+				return
+			}
+			blk = append(blk, rec...)
+		}
+		select {
+		case st.ch <- mergeBlock{data: blk}:
+		case <-pm.cancel:
+			return
+		}
+	}
+}
+
+// advanceStream steps st to its next record, receiving the next block when
+// the current one is drained. It reports false when the stream is finished.
+func (pm *parallelMergeIterator) advanceStream(st *groupStream) (bool, error) {
+	if st.cur != nil {
+		st.off += pm.width
+		if st.off < len(st.cur) {
+			return true, nil
+		}
+		select {
+		case st.recycle <- st.cur:
+		default:
+		}
+		st.cur = nil
+	}
+	blk, ok := <-st.ch
+	if !ok {
+		return false, nil
+	}
+	if blk.err != nil {
+		return false, blk.err
+	}
+	st.cur = blk.data
+	st.off = 0
+	return true, nil
+}
+
+func (pm *parallelMergeIterator) rec(st *groupStream) []byte {
+	return st.cur[st.off : st.off+pm.width]
+}
+
+func (pm *parallelMergeIterator) Next() ([]byte, error) {
+	if pm.err != nil {
+		return nil, pm.err
+	}
+	if len(pm.streams) == 0 {
+		return nil, io.EOF
+	}
+	top := pm.streams[0]
+	copy(pm.out, pm.rec(top))
+	pm.bytes += int64(pm.width)
+	ok, err := pm.advanceStream(top)
+	if err != nil {
+		pm.err = err
+		return nil, err
+	}
+	if !ok {
+		n := len(pm.streams) - 1
+		pm.streams[0] = pm.streams[n]
+		pm.streams = pm.streams[:n]
+	}
+	if len(pm.streams) > 0 {
+		pm.siftDown(0)
+	}
+	return pm.out, nil
+}
+
+func (pm *parallelMergeIterator) siftDown(i int) {
+	s := pm.streams
+	for {
+		min := i
+		if l := 2*i + 1; l < len(s) && pm.less(pm.rec(s[l]), pm.rec(s[min])) {
+			min = l
+		}
+		if r := 2*i + 2; r < len(s) && pm.less(pm.rec(s[r]), pm.rec(s[min])) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+}
+
+// Close stops the group workers, waits for them to release their run files,
+// and charges the records actually delivered as sequential page reads.
+func (pm *parallelMergeIterator) Close() error {
+	if pm.closed {
+		return nil
+	}
+	pm.closed = true
+	close(pm.cancel)
+	pm.wg.Wait()
+	pm.streams = nil
+	pm.stats.AddSequentialReads(uint64((pm.bytes + pager.PageSize - 1) / pager.PageSize))
+	return nil
+}

@@ -4,13 +4,27 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ErrPoolExhausted is returned when every frame in the pool is pinned and a
-// new page is requested.
+// new page is requested. The pool first waits up to exhaustedWait for a
+// concurrent Unpin before giving up.
 var ErrPoolExhausted = errors.New("pager: buffer pool exhausted (all frames pinned)")
+
+// exhaustedWait bounds how long Fetch/NewPage waits for a concurrent Unpin
+// when every frame is pinned before failing with ErrPoolExhausted. A
+// transiently full pool (another goroutine about to unpin) should not fail
+// the caller; a genuinely wedged one must not block it forever.
+const exhaustedWait = 200 * time.Millisecond
+
+// exhaustedPoll caps one wait slice so the waiter re-attempts allocation
+// periodically even if it raced with the unpin notification.
+const exhaustedPoll = 10 * time.Millisecond
 
 // Frame is a pinned in-memory copy of one page. Callers read and modify
 // Data and must Unpin the frame when done, declaring whether they dirtied it.
@@ -29,19 +43,46 @@ func (fr *Frame) ID() PageID { return fr.id }
 // while the frame is pinned.
 func (fr *Frame) Data() []byte { return fr.data }
 
+// poolShard is one independently locked slice of the pool: its own frame
+// map and LRU list. Pages map to shards by their low PageID bits, so a
+// sequential scan round-robins across shards and shard-local LRU
+// approximates global LRU.
+type poolShard struct {
+	mu     sync.Mutex
+	frames map[PageID]*Frame
+	lru    *list.List // front = most recently used; unpinned frames only
+}
+
 // Pool is an LRU buffer pool over one File. The pool is the only component
 // that issues page reads and writes for its file, so buffer hits cost no
 // counted I/O — reproducing the paper's observation that fewer, smaller trees
 // raise the buffer hit ratio.
 //
+// The pool is sharded: frames are partitioned by PageID across power-of-two
+// shards, each with its own mutex, map, and LRU list, so concurrent queries
+// pin and unpin pages without funnelling through one lock. Capacity is a
+// pool-wide budget (a shared atomic count of allocated frames), not a
+// per-shard quota: a hot shard grows at the expense of cold ones, and a
+// shard whose frames are all pinned steals an evictable frame from a
+// sibling before reporting exhaustion.
+//
 // All methods are safe for concurrent use, but a single Frame must not be
 // used from multiple goroutines simultaneously.
 type Pool struct {
-	mu       sync.Mutex
 	file     *File
 	capacity int
-	frames   map[PageID]*Frame
-	lru      *list.List // front = most recently used; unpinned frames only
+	shards   []poolShard
+	mask     uint32
+
+	// nframes counts frames allocated across all shards; it never exceeds
+	// capacity.
+	nframes atomic.Int64
+
+	// Exhaustion waiters: Unpin rotates unpinCh (close + replace) when a
+	// frame becomes evictable and someone is waiting for one.
+	waiters atomic.Int32
+	waitMu  sync.Mutex
+	unpinCh chan struct{}
 }
 
 // NewPool creates a buffer pool of the given capacity (in pages) over file.
@@ -50,12 +91,39 @@ func NewPool(file *File, capacity int) *Pool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Pool{
+	return newPool(file, capacity, shardCount(capacity))
+}
+
+// newPool builds a pool with an explicit power-of-two shard count (tests
+// exercise multi-shard behaviour regardless of GOMAXPROCS through this).
+func newPool(file *File, capacity, n int) *Pool {
+	p := &Pool{
 		file:     file,
 		capacity: capacity,
-		frames:   make(map[PageID]*Frame, capacity),
-		lru:      list.New(),
+		shards:   make([]poolShard, n),
+		mask:     uint32(n - 1),
+		unpinCh:  make(chan struct{}),
 	}
+	for i := range p.shards {
+		p.shards[i].frames = make(map[PageID]*Frame)
+		p.shards[i].lru = list.New()
+	}
+	return p
+}
+
+// shardCount picks a power-of-two shard count: enough for the machine's
+// parallelism, but never so many that shards get starved of frames — tiny
+// experiment pools (the paper's 3%-of-data setting) stay single-shard so
+// their LRU behaviour and counted I/O match a global-LRU pool.
+func shardCount(capacity int) int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 16 {
+		n <<= 1
+	}
+	for n > 1 && capacity/n < 8 {
+		n >>= 1
+	}
+	return n
 }
 
 // File returns the underlying page file.
@@ -64,88 +132,161 @@ func (p *Pool) File() *File { return p.file }
 // Capacity returns the pool capacity in pages.
 func (p *Pool) Capacity() int { return p.capacity }
 
+// Shards returns the number of independently locked pool shards.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+func (p *Pool) shardIndex(id PageID) int { return int(uint32(id) & p.mask) }
+
 // Fetch pins page id into the pool, reading it from disk on a miss.
 func (p *Pool) Fetch(id PageID) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-
-	if fr, ok := p.frames[id]; ok {
-		p.file.stats.recordPool(true)
-		p.pinLocked(fr)
-		return fr, nil
+	shIdx := p.shardIndex(id)
+	sh := &p.shards[shIdx]
+	var deadline time.Time
+	for {
+		sh.mu.Lock()
+		if fr, ok := sh.frames[id]; ok {
+			p.file.stats.recordPool(true)
+			sh.pinLocked(fr)
+			sh.mu.Unlock()
+			return fr, nil
+		}
+		fr, err := p.frameFor(shIdx)
+		if err != nil {
+			sh.mu.Unlock()
+			return nil, err
+		}
+		if fr != nil {
+			p.file.stats.recordPool(false)
+			if err := p.file.ReadPage(id, fr.data); err != nil {
+				p.nframes.Add(-1) // drop the unused frame
+				sh.mu.Unlock()
+				return nil, err
+			}
+			fr.id = id
+			fr.pins = 1
+			fr.dirty = false
+			sh.frames[id] = fr
+			sh.mu.Unlock()
+			return fr, nil
+		}
+		sh.mu.Unlock()
+		if err := p.waitUnpinned(&deadline); err != nil {
+			return nil, err
+		}
 	}
-	p.file.stats.recordPool(false)
-	fr, err := p.freeFrameLocked()
-	if err != nil {
-		return nil, err
-	}
-	if err := p.file.ReadPage(id, fr.data); err != nil {
-		p.recycleLocked(fr)
-		return nil, err
-	}
-	fr.id = id
-	fr.pins = 1
-	fr.dirty = false
-	p.frames[id] = fr
-	return fr, nil
 }
 
 // NewPage allocates a fresh page in the file and returns it pinned and
 // zeroed. The frame is marked dirty so it will reach disk.
 func (p *Pool) NewPage() (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-
 	id, err := p.file.Allocate()
 	if err != nil {
 		return nil, err
 	}
-	fr, err := p.freeFrameLocked()
-	if err != nil {
-		return nil, err
+	shIdx := p.shardIndex(id)
+	sh := &p.shards[shIdx]
+	var deadline time.Time
+	for {
+		sh.mu.Lock()
+		fr, err := p.frameFor(shIdx)
+		if err != nil {
+			sh.mu.Unlock()
+			return nil, err
+		}
+		if fr != nil {
+			clear(fr.data)
+			fr.id = id
+			fr.pins = 1
+			fr.dirty = true
+			sh.frames[id] = fr
+			sh.mu.Unlock()
+			return fr, nil
+		}
+		sh.mu.Unlock()
+		if err := p.waitUnpinned(&deadline); err != nil {
+			return nil, err
+		}
 	}
-	for i := range fr.data {
-		fr.data[i] = 0
-	}
-	fr.id = id
-	fr.pins = 1
-	fr.dirty = true
-	p.frames[id] = fr
-	return fr, nil
 }
 
 // Unpin releases one pin on fr. If dirty is true the frame is marked for
 // write-back before eviction.
 func (p *Pool) Unpin(fr *Frame, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := &p.shards[p.shardIndex(fr.id)]
+	sh.mu.Lock()
 	if fr.pins <= 0 {
+		sh.mu.Unlock()
 		panic(fmt.Sprintf("pager: unpin of unpinned page %d", fr.id))
 	}
 	fr.dirty = fr.dirty || dirty
 	fr.pins--
-	if fr.pins == 0 {
-		fr.elem = p.lru.PushFront(fr)
+	evictable := fr.pins == 0
+	if evictable {
+		fr.elem = sh.lru.PushFront(fr)
+	}
+	sh.mu.Unlock()
+	if evictable && p.waiters.Load() > 0 {
+		p.waitMu.Lock()
+		close(p.unpinCh)
+		p.unpinCh = make(chan struct{})
+		p.waitMu.Unlock()
 	}
 }
 
+// waitUnpinned blocks until a frame is unpinned somewhere in the pool (or a
+// short poll interval elapses, covering a notification race) and reports
+// ErrPoolExhausted once the bounded wait expires. The first call arms the
+// deadline.
+func (p *Pool) waitUnpinned(deadline *time.Time) error {
+	now := time.Now()
+	if deadline.IsZero() {
+		*deadline = now.Add(exhaustedWait)
+	} else if now.After(*deadline) {
+		return ErrPoolExhausted
+	}
+	p.waiters.Add(1)
+	defer p.waiters.Add(-1)
+	p.waitMu.Lock()
+	ch := p.unpinCh
+	p.waitMu.Unlock()
+	wait := time.Until(*deadline)
+	if wait > exhaustedPoll {
+		wait = exhaustedPoll
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-ch:
+	case <-timer.C:
+	}
+	return nil
+}
+
 // Flush writes every dirty frame back to disk. Pinned frames are flushed
-// too but stay resident.
+// too but stay resident. Flush locks all shards (in index order) for the
+// duration so it sees a consistent snapshot; frameFor never blocks on a
+// sibling lock, so this cannot deadlock with a concurrent steal.
 func (p *Pool) Flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	for i := range p.shards {
+		p.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := len(p.shards) - 1; i >= 0; i-- {
+			p.shards[i].mu.Unlock()
+		}
+	}()
 	// Write in ascending page order to give the disk sequential runs, as a
 	// real database's background writer would.
-	ids := make([]PageID, 0, len(p.frames))
-	for id := range p.frames {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		fr := p.frames[id]
-		if !fr.dirty {
-			continue
+	var dirty []*Frame
+	for i := range p.shards {
+		for _, fr := range p.shards[i].frames {
+			if fr.dirty {
+				dirty = append(dirty, fr)
+			}
 		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
+	for _, fr := range dirty {
 		if err := p.file.WritePage(fr.id, fr.data); err != nil {
 			return err
 		}
@@ -163,37 +304,67 @@ func (p *Pool) Close() error {
 	return p.file.Close()
 }
 
-func (p *Pool) pinLocked(fr *Frame) {
+func (sh *poolShard) pinLocked(fr *Frame) {
 	if fr.pins == 0 && fr.elem != nil {
-		p.lru.Remove(fr.elem)
+		sh.lru.Remove(fr.elem)
 		fr.elem = nil
 	}
 	fr.pins++
 }
 
-// freeFrameLocked returns an unused frame, evicting the least recently used
-// unpinned page if the pool is full.
-func (p *Pool) freeFrameLocked() (*Frame, error) {
-	if len(p.frames) < p.capacity {
-		return &Frame{data: make([]byte, PageSize)}, nil
+// frameFor returns an unused frame for shard shIdx, whose mutex the caller
+// holds: a fresh allocation while the pool-wide budget has room, else an
+// eviction from the shard's own LRU, else a steal from a sibling shard. A
+// nil, nil return means every frame in the pool is currently pinned.
+func (p *Pool) frameFor(shIdx int) (*Frame, error) {
+	for {
+		n := p.nframes.Load()
+		if int(n) >= p.capacity {
+			break
+		}
+		if p.nframes.CompareAndSwap(n, n+1) {
+			return &Frame{data: make([]byte, PageSize)}, nil
+		}
 	}
-	elem := p.lru.Back()
+	if fr, err := p.evictFrom(&p.shards[shIdx]); fr != nil || err != nil {
+		return fr, err
+	}
+	// Own shard has nothing evictable; sweep the siblings once. TryLock
+	// keeps the sweep deadlock-free (two shards stealing from each other
+	// would otherwise deadlock) and bounded: a contended sibling is simply
+	// skipped.
+	for i := 1; i < len(p.shards); i++ {
+		sib := &p.shards[(shIdx+i)&int(p.mask)]
+		if !sib.mu.TryLock() {
+			continue
+		}
+		fr, err := p.evictFrom(sib)
+		sib.mu.Unlock()
+		if fr != nil || err != nil {
+			return fr, err
+		}
+	}
+	return nil, nil
+}
+
+// evictFrom removes the least recently used unpinned frame from sh (whose
+// mutex the caller holds), writing it back if dirty. Returns nil, nil when
+// the shard has no evictable frame.
+func (p *Pool) evictFrom(sh *poolShard) (*Frame, error) {
+	elem := sh.lru.Back()
 	if elem == nil {
-		return nil, ErrPoolExhausted
+		return nil, nil
 	}
 	fr := elem.Value.(*Frame)
-	p.lru.Remove(elem)
+	sh.lru.Remove(elem)
 	fr.elem = nil
-	delete(p.frames, fr.id)
+	delete(sh.frames, fr.id)
 	if fr.dirty {
 		if err := p.file.WritePage(fr.id, fr.data); err != nil {
+			p.nframes.Add(-1) // the frame is dropped with its failed write
 			return nil, err
 		}
 		fr.dirty = false
 	}
 	return fr, nil
 }
-
-// recycleLocked drops a frame obtained from freeFrameLocked that ended up
-// unused (e.g. its read failed); the map never knew about it.
-func (p *Pool) recycleLocked(fr *Frame) {}

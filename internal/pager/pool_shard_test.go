@@ -1,0 +1,210 @@
+package pager
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolWaitsForUnpin is the regression test for the bounded exhaustion
+// wait: a Fetch that finds every frame pinned must block for a concurrent
+// Unpin instead of failing immediately with ErrPoolExhausted.
+func TestPoolWaitsForUnpin(t *testing.T) {
+	f, err := Create(filepath.Join(t.TempDir(), "w.pg"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := NewPool(f, 1)
+
+	a, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.NewPage() // a second page on disk, no free frame for it yet
+	if err == nil {
+		t.Fatal("capacity-1 pool handed out two frames")
+	}
+	_ = b
+
+	done := make(chan error, 1)
+	go func() {
+		// The only frame is pinned by a; this must block until the Unpin
+		// below, then succeed.
+		fr, err := p.Fetch(1)
+		if err == nil {
+			p.Unpin(fr, false)
+		}
+		done <- err
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let the fetch reach the wait
+	p.Unpin(a, true)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Fetch after concurrent Unpin: %v", err)
+		}
+	case <-time.After(2 * exhaustedWait):
+		t.Fatal("Fetch did not wake up after Unpin")
+	}
+}
+
+// TestPoolExhaustedAfterWait verifies the wait is bounded: with no Unpin
+// coming, the pool must still fail rather than block forever.
+func TestPoolExhaustedAfterWait(t *testing.T) {
+	f, err := Create(filepath.Join(t.TempDir(), "x.pg"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := NewPool(f, 1)
+	a, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = p.NewPage()
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+	if waited := time.Since(start); waited < exhaustedWait/2 {
+		t.Fatalf("failed after %v, want a bounded wait of ~%v first", waited, exhaustedWait)
+	}
+	p.Unpin(a, false)
+}
+
+// TestPoolShardSteal pins every frame that would normally serve one shard
+// and verifies the pool steals an evictable frame from a sibling instead of
+// reporting exhaustion.
+func TestPoolShardSteal(t *testing.T) {
+	f, err := Create(filepath.Join(t.TempDir(), "s.pg"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := newPool(f, 4, 2) // two shards, four frames total
+
+	// Fill the pool: pages 0..3 alternate shards (low bit). Keep the two
+	// even pages (shard 0) pinned, release the odd ones (shard 1).
+	var pinned []*Frame
+	for i := 0; i < 4; i++ {
+		fr, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data()[0] = byte(i + 1)
+		if fr.ID()%2 == 0 {
+			pinned = append(pinned, fr)
+		} else {
+			p.Unpin(fr, true)
+		}
+	}
+	// A new even page lands in shard 0, whose frames are all pinned; the
+	// frame must be stolen from shard 1.
+	fr, err := p.NewPage()
+	if err != nil {
+		t.Fatalf("NewPage with evictable sibling frames: %v", err)
+	}
+	if fr.ID()%2 != 0 {
+		t.Fatalf("page %d landed in the wrong shard", fr.ID())
+	}
+	p.Unpin(fr, true)
+	for _, fr := range pinned {
+		p.Unpin(fr, true)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything written must read back intact (steal write-back included).
+	for i := 0; i < 4; i++ {
+		fr, err := p.Fetch(PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Data()[0] != byte(i+1) {
+			t.Fatalf("page %d data = %d, want %d", i, fr.Data()[0], i+1)
+		}
+		p.Unpin(fr, false)
+	}
+}
+
+// TestPoolShardedConcurrentReaders hammers a deliberately multi-sharded
+// pool from many goroutines; contents must stay intact and the pool-wide
+// frame budget respected. Run with -race.
+func TestPoolShardedConcurrentReaders(t *testing.T) {
+	f, err := Create(filepath.Join(t.TempDir(), "c.pg"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := newPool(f, 16, 4)
+
+	const pages = 64
+	for i := 0; i < pages; i++ {
+		fr, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data()[0] = byte(i)
+		fr.Data()[PayloadSize-1] = byte(i ^ 0x5A)
+		p.Unpin(fr, true)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				id := PageID((g*31 + i*7) % pages)
+				fr, err := p.Fetch(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if fr.Data()[0] != byte(id) || fr.Data()[PayloadSize-1] != byte(int(id)^0x5A) {
+					p.Unpin(fr, false)
+					errs <- errCorrupt
+					return
+				}
+				p.Unpin(fr, false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := p.nframes.Load(); n > int64(p.Capacity()) {
+		t.Fatalf("pool allocated %d frames, capacity %d", n, p.Capacity())
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardCount pins the shard-sizing policy: tiny pools stay single-shard
+// (their LRU and counted I/O match the seed's global-LRU pool), larger ones
+// shard by a power of two with at least eight frames per shard.
+func TestShardCount(t *testing.T) {
+	if got := shardCount(1); got != 1 {
+		t.Fatalf("shardCount(1) = %d, want 1", got)
+	}
+	if got := shardCount(8); got != 1 {
+		t.Fatalf("shardCount(8) = %d, want 1", got)
+	}
+	for _, capacity := range []int{16, 64, 128, 256, 1024} {
+		n := shardCount(capacity)
+		if n < 1 || n&(n-1) != 0 {
+			t.Fatalf("shardCount(%d) = %d, want a power of two", capacity, n)
+		}
+		if n > 1 && capacity/n < 8 {
+			t.Fatalf("shardCount(%d) = %d starves shards (%d frames each)", capacity, n, capacity/n)
+		}
+	}
+}

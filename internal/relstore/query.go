@@ -262,4 +262,11 @@ func (c *Config) executeIndex(mv *MatView, ix *Index, prefixLen int, rangeExt bo
 	return agg.Rows(), nil
 }
 
+// ExecuteBatch answers qs with up to parallelism concurrent workers. A
+// Config's views, indexes, and heap files are read-only after Build/Open,
+// so concurrent Executes contend only inside the sharded buffer pool.
+func (c *Config) ExecuteBatch(qs []workload.Query, parallelism int) ([][]workload.Row, error) {
+	return workload.ExecuteBatch(c, qs, parallelism)
+}
+
 var _ workload.Engine = (*Config)(nil)

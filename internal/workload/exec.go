@@ -1,0 +1,56 @@
+package workload
+
+import "sync"
+
+// ExecuteBatch runs qs against e with up to parallelism concurrent workers
+// and returns one result slice per query, in query order. parallelism < 1
+// or a single-query batch degenerates to the serial loop, so serial and
+// parallel execution share one code path and must agree by construction.
+//
+// The engine must be safe for concurrent Execute calls; both storage
+// configurations are (their state is read-only pages behind the sharded
+// buffer pool). The first error wins and is returned after all in-flight
+// queries finish; results of failed or unstarted queries are nil.
+func ExecuteBatch(e Engine, qs []Query, parallelism int) ([][]Row, error) {
+	results := make([][]Row, len(qs))
+	if parallelism > len(qs) {
+		parallelism = len(qs)
+	}
+	if parallelism <= 1 {
+		for i, q := range qs {
+			rows, err := e.Execute(q)
+			if err != nil {
+				return results, err
+			}
+			results[i] = rows
+		}
+		return results, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rows, err := e.Execute(qs[i])
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				results[i] = rows
+			}
+		}()
+	}
+	for i := range qs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results, firstErr
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"cubetree/internal/lattice"
+)
+
+// fakeEngine answers each query with a row encoding the query's first fixed
+// value, and fails on a designated value.
+type fakeEngine struct {
+	failOn   int64
+	inflight atomic.Int32
+	maxSeen  atomic.Int32
+}
+
+func (e *fakeEngine) Execute(q Query) ([]Row, error) {
+	cur := e.inflight.Add(1)
+	defer e.inflight.Add(-1)
+	for {
+		max := e.maxSeen.Load()
+		if cur <= max || e.maxSeen.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	v, _ := q.FixedValue("a")
+	if v == e.failOn {
+		return nil, fmt.Errorf("boom on %d", v)
+	}
+	return []Row{{Group: []int64{v}, Sum: v * 10, Count: 1}}, nil
+}
+
+func batchOf(n int) []Query {
+	qs := make([]Query, n)
+	for i := range qs {
+		qs[i] = Query{
+			Node:  []lattice.Attr{"a"},
+			Fixed: []Pred{{Attr: "a", Value: int64(i)}},
+		}
+	}
+	return qs
+}
+
+func TestExecuteBatchOrderAndParallel(t *testing.T) {
+	for _, par := range []int{0, 1, 3, 8, 100} {
+		e := &fakeEngine{failOn: -1}
+		qs := batchOf(25)
+		res, err := ExecuteBatch(e, qs, par)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(res) != len(qs) {
+			t.Fatalf("parallelism %d: %d results for %d queries", par, len(res), len(qs))
+		}
+		for i, rows := range res {
+			if len(rows) != 1 || rows[0].Group[0] != int64(i) || rows[0].Sum != int64(i)*10 {
+				t.Fatalf("parallelism %d: result %d = %+v", par, i, rows)
+			}
+		}
+		if par > len(qs) {
+			par = len(qs)
+		}
+		if max := int(e.maxSeen.Load()); par > 1 && max > par {
+			t.Fatalf("parallelism %d: %d queries ran concurrently", par, max)
+		}
+	}
+}
+
+func TestExecuteBatchError(t *testing.T) {
+	e := &fakeEngine{failOn: 7}
+	qs := batchOf(20)
+	res, err := ExecuteBatch(e, qs, 4)
+	if err == nil {
+		t.Fatal("expected the query error to surface")
+	}
+	if err.Error() != "boom on 7" {
+		t.Fatalf("err = %v", err)
+	}
+	if res[7] != nil {
+		t.Fatalf("failed query has a result: %+v", res[7])
+	}
+	if res[0] == nil || res[19] == nil {
+		t.Fatal("successful queries lost their results")
+	}
+}

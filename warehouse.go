@@ -12,6 +12,7 @@ import (
 	"cubetree/internal/cube"
 	"cubetree/internal/lattice"
 	"cubetree/internal/pager"
+	"cubetree/internal/workload"
 )
 
 // Warehouse is a set of materialized aggregate views stored as a forest of
@@ -298,6 +299,24 @@ func (w *Warehouse) Query(q Query) ([]Row, error) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	return w.forest.Execute(q)
+}
+
+// queryEngine adapts Warehouse's per-query locking to workload.Engine so
+// QueryBatch can reuse the shared worker pool.
+type queryEngine struct{ w *Warehouse }
+
+func (e queryEngine) Execute(q Query) ([]Row, error) { return e.w.Query(q) }
+
+// QueryBatch answers qs with up to parallelism concurrent workers (<= 1
+// means serial) and returns one result slice per query, in query order.
+// Each query acquires the generation read lock independently, so a batch
+// may straddle a concurrent Update: every individual query sees exactly one
+// committed generation, but different queries of the batch may see
+// different ones — the same guarantee concurrent single Queries have.
+// Serial and parallel batches return identical results for a fixed
+// generation; the first error is returned after in-flight queries drain.
+func (w *Warehouse) QueryBatch(qs []Query, parallelism int) ([][]Row, error) {
+	return workload.ExecuteBatch(queryEngine{w}, qs, parallelism)
 }
 
 // Update applies an increment: the delta of every view is computed from
