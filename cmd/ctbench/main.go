@@ -15,6 +15,8 @@ import (
 	"os"
 	"strings"
 
+	"cubetree"
+
 	"cubetree/internal/experiment"
 	"cubetree/internal/greedy"
 	"cubetree/internal/lattice"
@@ -34,6 +36,8 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write each artifact as CSV into this directory")
 		noRepl  = flag.Bool("no-replicas", false, "disable the top view's replica sort orders")
 		asJSON  = flag.Bool("json", false, "write machine-readable results (throughput -> BENCH_throughput.json)")
+		dbgAddr = flag.String("debug-addr", "", "serve /debug/metrics, /debug/traces, and pprof on this address while the run is live")
+		slow    = flag.Duration("slow", 0, "log queries at or above this latency to the slow-query log (0 = off)")
 	)
 	flag.Parse()
 
@@ -56,6 +60,20 @@ func main() {
 		if p.PoolPages < 8 {
 			p.PoolPages = 8
 		}
+	}
+
+	var o *cubetree.Observer
+	if *dbgAddr != "" || *slow > 0 {
+		o = cubetree.NewObserver(cubetree.ObserverOptions{SlowThreshold: *slow})
+		p.Obs = o
+	}
+	if *dbgAddr != "" {
+		srv, err := cubetree.ServeDebug(*dbgAddr, nil, o)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/debug/metrics\n", srv.Addr())
 	}
 
 	want := map[string]bool{}
@@ -81,6 +99,11 @@ func main() {
 			fatal(err)
 		}
 		defer s.Close()
+		if o != nil {
+			// Surface the Cubetree configuration's page I/O under the "io"
+			// key of /debug/metrics.
+			o.Registry.AttachStats(s.CubeStats())
+		}
 	}
 
 	csv := func(name, content string) {

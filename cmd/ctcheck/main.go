@@ -1,31 +1,72 @@
 // Command ctcheck is an offline integrity scrubber for Cubetree warehouses:
 //
 //	ctcheck -dir ./wh
+//	ctcheck -dir ./wh -json
 //
 // It walks every page of every tree file of the committed generation,
 // verifies the per-page checksums, and then re-validates the forest's
 // structural and catalog invariants (packing order, MBR containment, point
 // totals). It never modifies the warehouse. The exit status is 0 when the
 // warehouse is intact and 1 when any damage was found, so it can gate
-// backups and restarts in scripts.
+// backups and restarts in scripts. With -json the report is a single
+// machine-readable document on stdout (the scrub metrics registry snapshot
+// plus the verdict), in the style of ctbench's -json artifacts.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"cubetree/internal/core"
+	"cubetree/internal/obs"
 	"cubetree/internal/pager"
 )
+
+// scrub aggregates everything one run measures: the metrics registry the
+// scrub counters flow through, and where human-readable notes go (stdout
+// normally, stderr under -json so stdout stays a clean document).
+type scrub struct {
+	out   io.Writer
+	stats *pager.Stats
+	reg   *obs.Registry
+
+	filesScrubbed *obs.Counter // scrub_files_total
+	filesDamaged  *obs.Counter // scrub_files_damaged
+	pagesDamaged  *obs.Counter // scrub_pages_damaged
+	orphans       *obs.Counter // scrub_orphans
+	errors        *obs.Counter // scrub_errors_total
+}
+
+func newScrub(out io.Writer) *scrub {
+	s := &scrub{out: out, stats: &pager.Stats{}, reg: obs.NewRegistry()}
+	s.reg.AttachStats(s.stats)
+	s.filesScrubbed = s.reg.Counter("scrub_files_total")
+	s.filesDamaged = s.reg.Counter("scrub_files_damaged")
+	s.pagesDamaged = s.reg.Counter("scrub_pages_damaged")
+	s.orphans = s.reg.Counter("scrub_orphans")
+	s.errors = s.reg.Counter("scrub_errors_total")
+	return s
+}
+
+// report is the -json output document.
+type report struct {
+	Dir              string       `json:"dir"`
+	OK               bool         `json:"ok"`
+	PagesScrubbed    uint64       `json:"pages_scrubbed"`
+	ChecksumFailures uint64       `json:"checksum_failures"`
+	Metrics          obs.Snapshot `json:"metrics"`
+}
 
 func main() {
 	var (
 		dir     = flag.String("dir", "", "warehouse directory, or a single forest directory (required)")
 		verbose = flag.Bool("v", false, "report every file scrubbed, not just damage")
+		asJSON  = flag.Bool("json", false, "write a machine-readable report to stdout")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -33,30 +74,54 @@ func main() {
 		os.Exit(2)
 	}
 
-	forestDir, err := resolveForestDir(*dir)
+	out := io.Writer(os.Stdout)
+	if *asJSON {
+		out = os.Stderr
+	}
+	s := newScrub(out)
+
+	forestDir, err := s.resolveForestDir(*dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ctcheck: %v\n", err)
 		os.Exit(2)
 	}
 
-	stats := &pager.Stats{}
-	damaged := scrubForest(forestDir, stats, *verbose)
-	damaged = checkInvariants(forestDir, stats, *verbose) || damaged
+	damaged := s.scrubForest(forestDir, *verbose)
+	damaged = s.checkInvariants(forestDir, *verbose) || damaged
 
-	fmt.Printf("%d pages scrubbed, %d checksum failures\n",
-		stats.PagesScrubbed(), stats.ChecksumFailures())
+	if *asJSON {
+		rep := report{
+			Dir:              forestDir,
+			OK:               !damaged,
+			PagesScrubbed:    s.stats.PagesScrubbed(),
+			ChecksumFailures: s.stats.ChecksumFailures(),
+			Metrics:          s.reg.Snapshot(),
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctcheck: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Fprintf(out, "%d pages scrubbed, %d checksum failures\n",
+			s.stats.PagesScrubbed(), s.stats.ChecksumFailures())
+		if damaged {
+			fmt.Fprintln(out, "DAMAGED")
+		} else {
+			fmt.Fprintln(out, "OK")
+		}
+	}
 	if damaged {
-		fmt.Println("DAMAGED")
 		os.Exit(1)
 	}
-	fmt.Println("OK")
 }
 
 // resolveForestDir maps the -dir argument to the forest directory to check:
 // a warehouse directory is followed to its committed generation (warning
 // about any crash debris on the way), while a directory holding forest.json
 // is checked as-is.
-func resolveForestDir(dir string) (string, error) {
+func (s *scrub) resolveForestDir(dir string) (string, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, "warehouse.json"))
 	if os.IsNotExist(err) {
 		if _, err := os.Stat(filepath.Join(dir, "forest.json")); err != nil {
@@ -82,9 +147,11 @@ func resolveForestDir(dir string) (string, error) {
 		switch {
 		case name == keep || name == "warehouse.json":
 		case e.IsDir() && (name == "scratch" || strings.HasPrefix(name, "gen-")):
-			fmt.Printf("warning: orphan directory %s (crash debris; removed on next Open)\n", name)
+			s.orphans.Inc()
+			fmt.Fprintf(s.out, "warning: orphan directory %s (crash debris; removed on next Open)\n", name)
 		case !e.IsDir() && strings.Contains(name, ".tmp-"):
-			fmt.Printf("warning: orphan temp file %s\n", name)
+			s.orphans.Inc()
+			fmt.Fprintf(s.out, "warning: orphan temp file %s\n", name)
 		}
 	}
 	return filepath.Join(dir, keep), nil
@@ -93,45 +160,51 @@ func resolveForestDir(dir string) (string, error) {
 // scrubForest reads every page of every tree file named by the forest
 // catalog, verifying checksums. It keeps going past damage so one bad page
 // does not hide another, and reports whether any was found.
-func scrubForest(dir string, stats *pager.Stats, verbose bool) bool {
+func (s *scrub) scrubForest(dir string, verbose bool) bool {
 	raw, err := os.ReadFile(filepath.Join(dir, "forest.json"))
 	if err != nil {
-		fmt.Printf("error: %v\n", err)
+		s.errors.Inc()
+		fmt.Fprintf(s.out, "error: %v\n", err)
 		return true
 	}
 	var cat struct {
 		Trees []string `json:"trees"`
 	}
 	if err := json.Unmarshal(raw, &cat); err != nil {
-		fmt.Printf("error: parse forest.json: %v\n", err)
+		s.errors.Inc()
+		fmt.Fprintf(s.out, "error: parse forest.json: %v\n", err)
 		return true
 	}
 	damaged := false
 	for _, name := range cat.Trees {
 		path := filepath.Join(dir, name)
-		f, err := pager.Open(path, stats)
+		f, err := pager.Open(path, s.stats)
 		if err != nil {
-			fmt.Printf("error: %v\n", err)
+			s.errors.Inc()
+			fmt.Fprintf(s.out, "error: %v\n", err)
 			damaged = true
 			continue
 		}
+		s.filesScrubbed.Inc()
 		if !f.Checksummed() {
-			fmt.Printf("note: %s predates page checksums; contents cannot be verified\n", name)
+			fmt.Fprintf(s.out, "note: %s predates page checksums; contents cannot be verified\n", name)
 		}
 		bad := 0
 		buf := make([]byte, pager.PageSize)
 		for id := pager.PageID(0); id < pager.PageID(f.NumPages()); id++ {
 			if err := f.ReadPage(id, buf); err != nil {
-				fmt.Printf("error: %v\n", err)
+				fmt.Fprintf(s.out, "error: %v\n", err)
 				bad++
 			}
 		}
-		stats.AddPagesScrubbed(uint64(f.NumPages()))
+		s.stats.AddPagesScrubbed(uint64(f.NumPages()))
 		if bad > 0 {
 			damaged = true
-			fmt.Printf("%s: %d damaged pages of %d\n", name, bad, f.NumPages())
+			s.filesDamaged.Inc()
+			s.pagesDamaged.Add(uint64(bad))
+			fmt.Fprintf(s.out, "%s: %d damaged pages of %d\n", name, bad, f.NumPages())
 		} else if verbose {
-			fmt.Printf("%s: %d pages clean\n", name, f.NumPages())
+			fmt.Fprintf(s.out, "%s: %d pages clean\n", name, f.NumPages())
 		}
 		f.Close()
 	}
@@ -141,19 +214,21 @@ func scrubForest(dir string, stats *pager.Stats, verbose bool) bool {
 // checkInvariants opens the forest read-only and runs the full structural
 // validation: every placement's run exists with matching arity, point totals
 // add up, and every tree satisfies packing order and MBR containment.
-func checkInvariants(dir string, stats *pager.Stats, verbose bool) bool {
-	f, err := core.Open(dir, stats)
+func (s *scrub) checkInvariants(dir string, verbose bool) bool {
+	f, err := core.Open(dir, s.stats)
 	if err != nil {
-		fmt.Printf("error: open forest: %v\n", err)
+		s.errors.Inc()
+		fmt.Fprintf(s.out, "error: open forest: %v\n", err)
 		return true
 	}
 	defer f.Close()
 	if err := f.Validate(); err != nil {
-		fmt.Printf("error: %v\n", err)
+		s.errors.Inc()
+		fmt.Fprintf(s.out, "error: %v\n", err)
 		return true
 	}
 	if verbose {
-		fmt.Printf("catalog: %d trees, %d placements, %d points\n",
+		fmt.Fprintf(s.out, "catalog: %d trees, %d placements, %d points\n",
 			f.Trees(), len(f.Placements()), f.Points())
 	}
 	return false

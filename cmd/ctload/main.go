@@ -31,6 +31,7 @@ func main() {
 		sf       = flag.Float64("sf", 0.01, "TPC-D scale factor")
 		seed     = flag.Uint64("seed", 1998, "random seed")
 		replicas = flag.Bool("replicas", true, "cubetree mode: replicate the top view in two extra sort orders")
+		dbgAddr  = flag.String("debug-addr", "", "serve /debug/metrics, /debug/traces, and pprof on this address during the load")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -40,6 +41,20 @@ func main() {
 	ds := tpcd.New(tpcd.Params{SF: *sf, Seed: *seed})
 	sel := greedy.PaperSelection(tpcd.AttrPart, tpcd.AttrSupplier, tpcd.AttrCustomer)
 	stats := &pager.Stats{}
+
+	var o *cubetree.Observer
+	if *dbgAddr != "" {
+		o = cubetree.NewObserver(cubetree.ObserverOptions{Stats: stats})
+		// The warehouse does not exist yet, so only the observer's endpoints
+		// are served; the materialize trace streams into /debug/traces live.
+		srv, err := cubetree.ServeDebug(*dbgAddr, nil, o)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/debug/metrics\n", srv.Addr())
+	}
+
 	start := time.Now()
 
 	switch *mode {
@@ -48,6 +63,7 @@ func main() {
 			Dir:     *dir,
 			Domains: ds.Domains(),
 			Stats:   stats,
+			Obs:     o,
 		}
 		if *replicas {
 			cfg.Replicas = [][]cubetree.Attr{
@@ -75,6 +91,9 @@ func main() {
 			fatal(err)
 		}
 		defer conv.Close()
+		if o != nil {
+			conv.SetObserver(o)
+		}
 		data, err := cube.Compute(*dir+"/scratch", rows(ds), sel.Views, cube.Options{Stats: stats})
 		if err != nil {
 			fatal(err)

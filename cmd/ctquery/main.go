@@ -33,6 +33,8 @@ func main() {
 		par     = flag.Int("parallel", 1, "concurrent clients for -random batches")
 		seed    = flag.Uint64("seed", 7, "random query seed")
 		limit   = flag.Int("limit", 20, "max result rows to print")
+		dbgAddr = flag.String("debug-addr", "", "serve /debug/metrics, /debug/traces, /debug/warehouse, and pprof on this address")
+		slow    = flag.Duration("slow", 0, "log queries at or above this latency and print them at exit (0 = off)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -45,6 +47,23 @@ func main() {
 		fatal(err)
 	}
 	defer w.Close()
+
+	var o *cubetree.Observer
+	if *dbgAddr != "" || *slow > 0 {
+		o = cubetree.NewObserver(cubetree.ObserverOptions{SlowThreshold: *slow, Stats: stats})
+		w.SetObserver(o)
+	}
+	if *dbgAddr != "" {
+		srv, err := cubetree.ServeDebug(*dbgAddr, w, o)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/debug/metrics\n", srv.Addr())
+	}
+	if *slow > 0 {
+		defer printSlow(o)
+	}
 
 	if *sql != "" {
 		if *explain {
@@ -137,6 +156,20 @@ func main() {
 			break
 		}
 		fmt.Printf("  %v  sum=%d count=%d avg=%.2f\n", r.Group, r.Sum, r.Count, r.Avg())
+	}
+}
+
+// printSlow dumps the slow-query log, newest first, once the batch is done.
+func printSlow(o *cubetree.Observer) {
+	entries := o.Slow.Snapshot()
+	if len(entries) == 0 {
+		fmt.Println("slow-query log: empty")
+		return
+	}
+	fmt.Printf("slow-query log (threshold %v, %d total):\n", o.Slow.Threshold(), o.Slow.Total())
+	for _, e := range entries {
+		fmt.Printf("  %v  view=%s scanned=%d rows=%d io={%s}  %s\n",
+			e.Duration.Round(time.Microsecond), e.View, e.Scanned, e.Rows, e.IO, e.Query)
 	}
 }
 

@@ -27,8 +27,10 @@ func main() {
 		sf     = flag.Float64("sf", 0.01, "TPC-D scale factor (must match ctload)")
 		seed   = flag.Uint64("seed", 1998, "random seed (must match ctload)")
 		frac   = flag.Float64("frac", 0.1, "increment size as a fraction of the fact table")
-		gen    = flag.Uint64("gen", 1, "increment generation number (vary per day)")
-		verify = flag.Bool("verify", false, "validate forest invariants after the merge")
+		gen     = flag.Uint64("gen", 1, "increment generation number (vary per day)")
+		verify  = flag.Bool("verify", false, "validate forest invariants after the merge")
+		dbgAddr = flag.String("debug-addr", "", "serve /debug/metrics, /debug/traces, /debug/warehouse, and pprof on this address during the refresh")
+		dbgWait = flag.Duration("debug-wait", 0, "keep the debug server (and process) alive this long after the merge")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -41,6 +43,18 @@ func main() {
 		fatal(err)
 	}
 	defer w.Close()
+
+	var o *cubetree.Observer
+	if *dbgAddr != "" {
+		o = cubetree.NewObserver(cubetree.ObserverOptions{Stats: stats})
+		w.SetObserver(o)
+		srv, err := cubetree.ServeDebug(*dbgAddr, w, o)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/debug/metrics\n", srv.Addr())
+	}
 
 	ds := tpcd.New(tpcd.Params{SF: *sf, Seed: *seed})
 	inc := ds.Increment(*frac, *gen)
@@ -62,11 +76,31 @@ func main() {
 	fmt.Printf("wall %v; page I/O: %s\n", wall.Round(time.Millisecond), io)
 	fmt.Printf("modelled 1998-disk time: %v (sequential share %.0f%%)\n",
 		pager.Disk1998.Cost(io).Round(time.Millisecond), seqShare(io)*100)
+	if o != nil {
+		printPhases(o)
+	}
 	if *verify {
 		if err := w.Verify(); err != nil {
 			fatal(err)
 		}
 		fmt.Println("forest invariants verified")
+	}
+	if *dbgAddr != "" && *dbgWait > 0 {
+		fmt.Printf("debug server up for another %v\n", *dbgWait)
+		time.Sleep(*dbgWait)
+	}
+}
+
+// printPhases summarizes the refresh-pipeline phase histograms the observer
+// collected, mirroring what /debug/metrics serves.
+func printPhases(o *cubetree.Observer) {
+	fmt.Println("refresh phases:")
+	for _, phase := range []string{"refresh_sort", "refresh_reorder", "refresh_merge", "refresh_swap"} {
+		s := o.PhaseHistogram(phase).Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-15s %v\n", phase, time.Duration(s.Sum).Round(time.Millisecond))
 	}
 }
 

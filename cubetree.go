@@ -132,4 +132,8 @@ type Config struct {
 	Workers int
 	// Stats receives page I/O accounting. Optional.
 	Stats *Stats
+	// Obs attaches an observability sink (metrics, traces, slow-query log)
+	// to the warehouse; see NewObserver and ServeDebug. Optional: when nil,
+	// the query and refresh paths stay entirely uninstrumented.
+	Obs *Observer
 }

@@ -1,0 +1,55 @@
+package cubetree
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+
+	"cubetree/internal/obs"
+)
+
+// DebugMux builds the debug HTTP handler: the observer's endpoints
+// (/debug/metrics, /debug/traces, /debug/slow, /debug/pprof/*) plus, when a
+// warehouse is given, /debug/warehouse with the live generation, placements,
+// and buffer-pool occupancy. Either argument may be nil.
+func DebugMux(w *Warehouse, o *Observer) *http.ServeMux {
+	mux := obs.DebugMux(o)
+	if w != nil {
+		mux.HandleFunc("/debug/warehouse", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(rw)
+			enc.SetIndent("", "  ")
+			enc.Encode(w.DebugInfo())
+		})
+	}
+	return mux
+}
+
+// DebugServer is a running debug HTTP server; see ServeDebug.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the server's listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug starts an HTTP debug server on addr (e.g. "localhost:6060" or
+// ":0" for an ephemeral port) exposing the observer's metrics, traces, slow
+// queries, and pprof, plus the warehouse's live state. It returns as soon as
+// the listener is up; the server runs until Close. The endpoints expose
+// internal state and profiling — bind to localhost unless the network is
+// trusted.
+func ServeDebug(addr string, w *Warehouse, o *Observer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cubetree: debug listen: %w", err)
+	}
+	srv := &http.Server{Handler: DebugMux(w, o)}
+	go srv.Serve(ln)
+	return &DebugServer{ln: ln, srv: srv}, nil
+}

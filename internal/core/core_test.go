@@ -482,7 +482,7 @@ func TestAllPlacementsAgree(t *testing.T) {
 		q := gen.ForNode(node)
 		var want []workload.Row
 		for pi := range f.placements {
-			rows, err := f.executeOn(&f.placements[pi], q)
+			rows, _, err := f.executeOn(&f.placements[pi], q)
 			if err != nil {
 				t.Fatalf("%s on %s: %v", q, f.placements[pi].View, err)
 			}

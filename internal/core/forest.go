@@ -8,6 +8,7 @@ import (
 
 	"cubetree/internal/cube"
 	"cubetree/internal/lattice"
+	"cubetree/internal/obs"
 	"cubetree/internal/pager"
 	"cubetree/internal/rtree"
 )
@@ -40,6 +41,9 @@ type BuildOptions struct {
 	// view-to-tree assignment (e.g. PerViewMapping for ablations). It must
 	// validate against the build's sources.
 	Mapping *Mapping
+	// Span, when non-nil, receives one child span per packed tree (with a
+	// nested fsync span), tracing the merge-pack phase of a refresh.
+	Span *obs.Span
 }
 
 // Forest is a collection of Cubetrees materializing a set of views, the
@@ -54,6 +58,27 @@ type Forest struct {
 	stats      *pager.Stats
 	poolPages  int
 	fanout     int
+	obs        *obs.Observer
+}
+
+// SetObserver attaches an observability sink: every subsequent Execute is
+// traced, timed, and slow-logged. A nil observer (the default) keeps the
+// query path entirely uninstrumented. Not safe to call concurrently with
+// queries; attach before serving.
+func (f *Forest) SetObserver(o *obs.Observer) { f.obs = o }
+
+// Observer returns the attached observability sink, or nil.
+func (f *Forest) Observer() *obs.Observer { return f.obs }
+
+// PoolInfos reports buffer-pool occupancy per tree, for debug endpoints.
+func (f *Forest) PoolInfos() []pager.PoolInfo {
+	out := make([]pager.PoolInfo, 0, len(f.pools))
+	for _, p := range f.pools {
+		if p != nil {
+			out = append(out, p.Info())
+		}
+	}
+	return out
 }
 
 // Schema returns the measure schema stored per point.
@@ -124,6 +149,9 @@ func Build(dir string, sources []*cube.ViewData, opts BuildOptions) (*Forest, er
 	results := make([]treeBuild, len(mapping.Trees))
 	buildOne := func(t int) error {
 		spec := mapping.Trees[t]
+		tsp := opts.Span.Child("pack-tree")
+		tsp.SetInt("tree", int64(t))
+		defer tsp.End()
 		path := filepath.Join(dir, fmt.Sprintf("tree%d.ct", t))
 		pf, err := pager.Create(path, opts.Stats)
 		if err != nil {
@@ -172,9 +200,14 @@ func Build(dir string, sources []*cube.ViewData, opts BuildOptions) (*Forest, er
 		// Fsync before the catalog can reference this tree: the catalog
 		// rename is the commit point, so everything it names must already
 		// be durable.
+		fsp := tsp.Child("fsync")
 		if err := pf.Sync(); err != nil {
+			fsp.End()
 			return fail(err)
 		}
+		fsp.End()
+		tsp.SetInt("points", tree.Count())
+		tsp.SetInt("pages", int64(tree.Pages()))
 		results[t].tree = tree
 		results[t].pool = pool
 		return nil

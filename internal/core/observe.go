@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cubetree/internal/obs"
+	"cubetree/internal/workload"
+)
+
+// executeObserved is Execute with the observer attached: the query is
+// counted, traced (routing decision, points scanned, per-query pool I/O
+// delta), its latency recorded in the query histogram, and — when it crosses
+// the slow-query threshold — logged with its I/O delta. The I/O delta is a
+// before/after snapshot of the forest's shared Stats, so under concurrent
+// queries it may include pages of overlapping queries (see
+// docs/OBSERVABILITY.md).
+func (f *Forest) executeObserved(q workload.Query) ([]workload.Row, error) {
+	o := f.obs
+	start := time.Now()
+	before := f.stats.Snapshot()
+	sp := o.Tracer.StartRootShort("query")
+	sp.SetStringer("query", q)
+	o.Queries.Inc()
+
+	fail := func(err error) ([]workload.Row, error) {
+		o.QueryErrors.Inc()
+		sp.SetStr("error", err.Error())
+		sp.End()
+		o.QueryLatency.ObserveDuration(time.Since(start))
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return fail(err)
+	}
+	best := f.choosePlacement(q)
+	if best < 0 {
+		return fail(fmt.Errorf("core: no placement covers %s", q))
+	}
+	p := &f.placements[best]
+	// &p.View: boxing the pointer avoids copying the View into the interface.
+	sp.SetStringer("view", &p.View)
+	sp.SetInt("tree", int64(p.Tree))
+
+	rows, scanned, err := f.executeOn(p, q)
+	dur := time.Since(start)
+	delta := f.stats.Snapshot().Sub(before)
+	sp.SetInt("points_scanned", scanned)
+	sp.SetInt("rows", int64(len(rows)))
+	sp.SetInt("pool_hits", int64(delta.PoolHits))
+	sp.SetInt("pool_misses", int64(delta.PoolMisses))
+	if err != nil {
+		o.QueryErrors.Inc()
+		sp.SetStr("error", err.Error())
+	}
+	sp.End()
+	o.PointsScanned.Add(uint64(scanned))
+	o.QueryLatency.ObserveDuration(dur)
+	if o.Slow.Admits(dur) {
+		o.SlowQueries.Inc()
+		o.Slow.Record(obs.SlowQuery{
+			Time:     time.Now(),
+			Query:    q.String(),
+			View:     p.View.String(),
+			Duration: dur,
+			Scanned:  scanned,
+			Rows:     len(rows),
+			IO:       delta,
+		})
+	}
+	return rows, err
+}

@@ -19,9 +19,23 @@ import (
 // This is what makes replicas in different sort orders useful: each makes a
 // different predicate set cheap.
 func (f *Forest) Execute(q workload.Query) ([]workload.Row, error) {
+	if f.obs != nil {
+		return f.executeObserved(q)
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	best := f.choosePlacement(q)
+	if best < 0 {
+		return nil, fmt.Errorf("core: no placement covers %s", q)
+	}
+	rows, _, err := f.executeOn(&f.placements[best], q)
+	return rows, err
+}
+
+// choosePlacement returns the index of the cheapest placement covering q, or
+// -1 when none does.
+func (f *Forest) choosePlacement(q workload.Query) int {
 	best := -1
 	bestCost := math.MaxFloat64
 	for i := range f.placements {
@@ -35,10 +49,7 @@ func (f *Forest) Execute(q workload.Query) ([]workload.Row, error) {
 			best = i
 		}
 	}
-	if best < 0 {
-		return nil, fmt.Errorf("core: no placement covers %s", q)
-	}
-	return f.executeOn(&f.placements[best], q)
+	return best
 }
 
 // placementCost estimates work when answering q on p, in points touched.
@@ -83,8 +94,9 @@ func (f *Forest) placementCost(p *Placement, q workload.Query) float64 {
 }
 
 // executeOn runs q against placement p and aggregates the matching points
-// by the query's node attributes.
-func (f *Forest) executeOn(p *Placement, q workload.Query) ([]workload.Row, error) {
+// by the query's node attributes. It also returns the number of stored
+// points the search visited, for per-query observability.
+func (f *Forest) executeOn(p *Placement, q workload.Query) ([]workload.Row, int64, error) {
 	tree := f.trees[p.Tree]
 	dim := tree.Dim()
 	lo := make([]int64, dim)
@@ -111,14 +123,16 @@ func (f *Forest) executeOn(p *Placement, q workload.Query) ([]workload.Row, erro
 			}
 		}
 		if pos < 0 {
-			return nil, fmt.Errorf("core: attribute %q missing from %s", a, p.View)
+			return nil, 0, fmt.Errorf("core: attribute %q missing from %s", a, p.View)
 		}
 		groupPos[i] = pos
 	}
 
 	agg := workload.NewSchemaAggregator(len(q.Node), f.schema)
 	group := make([]int64, len(q.Node))
+	var scanned int64
 	err := tree.Search(lo, hi, func(coords, measures []int64) error {
+		scanned++
 		for i, pos := range groupPos {
 			group[i] = coords[pos]
 		}
@@ -126,9 +140,9 @@ func (f *Forest) executeOn(p *Placement, q workload.Query) ([]workload.Row, erro
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, scanned, err
 	}
-	return agg.Rows(), nil
+	return agg.Rows(), scanned, nil
 }
 
 // PlanInfo describes which placement the planner would use for q, for
@@ -143,23 +157,12 @@ func (f *Forest) Plan(q workload.Query) (PlanInfo, error) {
 	if err := q.Validate(); err != nil {
 		return PlanInfo{}, err
 	}
-	best := -1
-	bestCost := math.MaxFloat64
-	for i := range f.placements {
-		p := &f.placements[i]
-		if !p.View.Covers(q.Node) {
-			continue
-		}
-		cost := f.placementCost(p, q)
-		if cost < bestCost {
-			bestCost = cost
-			best = i
-		}
-	}
+	best := f.choosePlacement(q)
 	if best < 0 {
 		return PlanInfo{}, fmt.Errorf("core: no placement covers %s", q)
 	}
-	return PlanInfo{Placement: f.placements[best], EstLeaves: bestCost}, nil
+	p := &f.placements[best]
+	return PlanInfo{Placement: *p, EstLeaves: f.placementCost(p, q)}, nil
 }
 
 // fixedAt narrows [lo,hi] to an equality predicate's value, if present.
@@ -189,6 +192,9 @@ func rangeAt(q workload.Query, attr lattice.Attr, lo, hi *int64) bool {
 // forest is immutable once built and the buffer pool is sharded, so queries
 // only contend on the pool shards their pages map to.
 func (f *Forest) ExecuteBatch(qs []workload.Query, parallelism int) ([][]workload.Row, error) {
+	if f.obs != nil {
+		return workload.ExecuteBatchObserved(f, qs, parallelism, f.obs.Inflight, f.obs.Batches)
+	}
 	return workload.ExecuteBatch(f, qs, parallelism)
 }
 

@@ -54,15 +54,19 @@ func (f *Forest) MergeUpdate(newDir string, deltas map[string]*cube.ViewData, op
 	}
 	for t := range f.trees {
 		old := f.trees[t]
+		tsp := opts.Span.Child("merge-tree")
+		tsp.SetInt("tree", int64(t))
 		path := filepath.Join(newDir, fmt.Sprintf("tree%d.ct", t))
 		pf, err := pager.Create(path, opts.Stats)
 		if err != nil {
+			tsp.End()
 			nf.Close()
 			return nil, err
 		}
 		pool := pager.NewPool(pf, opts.PoolPages)
 		b, err := rtree.NewBuilder(pool, old.Dim(), rtree.Options{Measures: f.schema.Len(), Fanout: opts.Fanout})
 		if err != nil {
+			tsp.End()
 			pool.Close()
 			nf.Close()
 			return nil, err
@@ -109,21 +113,30 @@ func (f *Forest) MergeUpdate(newDir string, deltas map[string]*cube.ViewData, op
 		}
 		tree, err := b.Finish()
 		if err != nil {
+			tsp.End()
 			pool.Close()
 			nf.Close()
 			return nil, err
 		}
 		if err := tree.Close(); err != nil {
+			tsp.End()
 			pool.Close()
 			nf.Close()
 			return nil, err
 		}
 		// Durable before the new generation's catalog can name it.
+		fsp := tsp.Child("fsync")
 		if err := pf.Sync(); err != nil {
+			fsp.End()
+			tsp.End()
 			pool.Close()
 			nf.Close()
 			return nil, err
 		}
+		fsp.End()
+		tsp.SetInt("points", tree.Count())
+		tsp.SetInt("pages", int64(tree.Pages()))
+		tsp.End()
 		nf.trees = append(nf.trees, tree)
 		nf.pools = append(nf.pools, pool)
 	}

@@ -20,6 +20,7 @@ import (
 	"cubetree/internal/enc"
 	"cubetree/internal/extsort"
 	"cubetree/internal/lattice"
+	"cubetree/internal/obs"
 	"cubetree/internal/pager"
 )
 
@@ -114,6 +115,9 @@ type Options struct {
 	// (default 1; the paper's testbed was a single CPU, and sequential
 	// execution keeps I/O accounting deterministic).
 	Workers int
+	// Span, when non-nil, receives child spans for the pipeline's phases
+	// (fact scan, per-view aggregation and derivation, sorter spills).
+	Span *obs.Span
 }
 
 // Compute materializes the selected views from one pass over rows plus
@@ -175,9 +179,12 @@ func Compute(dir string, rows RowIter, views []lattice.View, opts Options) (map[
 			sorters[v.Key()] = newViewSorter(dir, v, opts)
 		}
 	}
+	scanSp := opts.Span.Child("fact-scan")
+	var nrows int64
 	vals := make([]int64, 0, 8)
 	mvec := make([]int64, opts.Schema.Len())
 	for rows.Next() {
+		nrows++
 		opts.Schema.Init(mvec, rows.Measure())
 		for i, v := range ordered {
 			if !fromFact[i] {
@@ -197,6 +204,8 @@ func Compute(dir string, rows RowIter, views []lattice.View, opts Options) (map[
 			}
 		}
 	}
+	scanSp.SetInt("rows", nrows)
+	scanSp.End()
 
 	result := make(map[string]*ViewData, len(ordered))
 	cleanup := func() {
@@ -217,7 +226,13 @@ func Compute(dir string, rows RowIter, views []lattice.View, opts Options) (map[
 		v := v
 		s := sorters[v.Key()]
 		aggTasks = append(aggTasks, func() (string, *ViewData, error) {
+			sp := opts.Span.Child("aggregate")
+			sp.SetStr("view", v.String())
 			vd, err := aggregateSorter(dir, v, s, opts)
+			if vd != nil {
+				sp.SetInt("rows", vd.Rows)
+			}
+			sp.End()
 			return v.Key(), vd, err
 		})
 	}
@@ -260,7 +275,14 @@ func Compute(dir string, rows RowIter, views []lattice.View, opts Options) (map[
 			}
 			v, parent := v, parent
 			round = append(round, func() (string, *ViewData, error) {
+				sp := opts.Span.Child("derive")
+				sp.SetStr("view", v.String())
+				sp.SetStr("parent", parent.View.String())
 				vd, err := deriveView(dir, v, parent, hs, opts)
+				if vd != nil {
+					sp.SetInt("rows", vd.Rows)
+				}
+				sp.End()
 				return v.Key(), vd, err
 			})
 		}
@@ -328,7 +350,9 @@ func runTasks(workers int, tasks []func() (string, *ViewData, error), result map
 func newViewSorter(dir string, v lattice.View, opts Options) *extsort.Sorter {
 	fields := packOrderFields(v.Arity())
 	width := enc.TupleSize(v.Arity() + opts.Schema.Len())
-	return extsort.NewSorter(dir, width, enc.LessByFields(fields), opts.MemLimit, opts.Stats)
+	s := extsort.NewSorter(dir, width, enc.LessByFields(fields), opts.MemLimit, opts.Stats)
+	s.SetSpan(opts.Span)
+	return s
 }
 
 // packOrderFields returns the field comparison order for pack order: the

@@ -23,6 +23,7 @@ import (
 	"cubetree/internal/cube"
 	"cubetree/internal/greedy"
 	"cubetree/internal/lattice"
+	"cubetree/internal/obs"
 	"cubetree/internal/pager"
 	"cubetree/internal/relstore"
 	"cubetree/internal/tpcd"
@@ -51,6 +52,10 @@ type Params struct {
 	Replicas bool
 	// Dir is the working directory. Empty means a fresh temp directory.
 	Dir string
+	// Obs, when set, instruments both configurations: query metrics,
+	// latency histograms, and the slow-query log flow into it, so a debug
+	// server attached to the observer exposes a live view of the run.
+	Obs *obs.Observer
 }
 
 func (p Params) withDefaults() Params {
@@ -258,6 +263,11 @@ func NewSetup(p Params) (*Setup, error) {
 	}
 	s.CubeWall = time.Since(start)
 	s.CubeIO = s.cubeStats.Snapshot().Sub(mark)
+
+	if p.Obs != nil {
+		s.Conv.SetObserver(p.Obs)
+		s.Forest.SetObserver(p.Obs)
+	}
 	return s, nil
 }
 

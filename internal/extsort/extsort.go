@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"cubetree/internal/enc"
+	"cubetree/internal/obs"
 	"cubetree/internal/pager"
 )
 
@@ -55,6 +56,7 @@ type Sorter struct {
 	less     enc.Less
 	memLimit int
 	stats    *pager.Stats
+	span     *obs.Span
 
 	buf   []byte
 	count int64
@@ -82,6 +84,11 @@ func NewSorter(dir string, width int, less enc.Less, memLimit int, stats *pager.
 	}
 	return &Sorter{dir: dir, width: width, less: less, memLimit: memLimit, stats: stats}
 }
+
+// SetSpan attaches a tracing span under which the sorter records its spilled
+// runs and final merge as child spans. A nil span (the default) disables
+// tracing at no cost; set it before the first Add.
+func (s *Sorter) SetSpan(sp *obs.Span) { s.span = sp }
 
 // Add appends one record (exactly the sorter's width) to the input.
 func (s *Sorter) Add(rec []byte) error {
@@ -186,6 +193,10 @@ func (s *Sorter) spillWorker() {
 // writeRun sorts buf and spills it to a fresh temp file through the reused
 // writer.
 func (s *Sorter) writeRun(buf []byte, w *bufio.Writer, tmp []byte) (string, error) {
+	sp := s.span.Child("spill-run")
+	sp.SetInt("bytes", int64(len(buf)))
+	sp.SetInt("records", int64(len(buf)/s.width))
+	defer sp.End()
 	sortBuf(buf, s.width, s.less, tmp)
 	f, err := os.CreateTemp(s.dir, "run-*.sort")
 	if err != nil {
@@ -215,7 +226,10 @@ func (s *Sorter) Sort() (Iterator, error) {
 	}
 	s.done = true
 	if s.spillCh == nil {
+		sp := s.span.Child("sort-mem")
+		sp.SetInt("records", s.count)
 		sortBuf(s.buf, s.width, s.less, make([]byte, s.width))
+		sp.End()
 		return &memIterator{buf: s.buf, width: s.width}, nil
 	}
 	if len(s.buf) > 0 {
@@ -227,7 +241,38 @@ func (s *Sorter) Sort() (Iterator, error) {
 	if err := s.err(); err != nil {
 		return nil, err
 	}
-	return newRunMerger(s.runs, s.width, s.less, s.stats)
+	it, err := newRunMerger(s.runs, s.width, s.less, s.stats)
+	if err != nil || s.span == nil {
+		return it, err
+	}
+	// The merge is consumed lazily through the iterator, so its span stays
+	// open until the caller closes the iterator.
+	sp := s.span.Child("merge")
+	sp.SetInt("runs", int64(len(s.runs)))
+	return &spanIterator{it: it, span: sp}, nil
+}
+
+// spanIterator wraps the merge iterator of a traced sort, counting delivered
+// records and ending the merge span when the caller closes it.
+type spanIterator struct {
+	it   Iterator
+	span *obs.Span
+	recs int64
+}
+
+func (si *spanIterator) Next() ([]byte, error) {
+	rec, err := si.it.Next()
+	if err == nil {
+		si.recs++
+	}
+	return rec, err
+}
+
+func (si *spanIterator) Close() error {
+	err := si.it.Close()
+	si.span.SetInt("records", si.recs)
+	si.span.End()
+	return err
 }
 
 // sortBuf sorts a packed record buffer in place. tmp is width-byte scratch.

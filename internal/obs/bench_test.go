@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNilInstrumentationAllocs pins the tentpole requirement that
+// instrumentation is free when no sink is attached: the nil-span and
+// nil-observer paths must not allocate at all.
+func TestNilInstrumentationAllocs(t *testing.T) {
+	var (
+		o    *Observer
+		tr   *Tracer
+		h    *Histogram
+		c    *Counter
+		slow *SlowLog
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := o.StartTrace("query")
+		sp = tr.StartRoot("query")
+		child := sp.Child("search")
+		child.SetInt("rows", 7)
+		child.End()
+		h.ObserveDuration(time.Microsecond)
+		c.Inc()
+		if slow.Admits(time.Microsecond) {
+			slow.Record(SlowQuery{})
+		}
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-sink instrumentation allocates %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v += 977
+		}
+	})
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkSpanTree(b *testing.B) {
+	tr := NewTracer(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartRoot("query")
+		c := sp.Child("search")
+		c.SetInt("rows", int64(i))
+		c.End()
+		sp.End()
+	}
+}
+
+func BenchmarkNilSpanTree(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartRoot("query")
+		c := sp.Child("search")
+		c.SetInt("rows", int64(i))
+		c.End()
+		sp.End()
+	}
+}

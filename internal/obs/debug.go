@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the HTTP mux for the debug endpoints of one observer:
+//
+//	/debug/metrics  — Registry.Snapshot as JSON (counters, gauges,
+//	                  histograms with p50/p95/p99, attached page I/O)
+//	/debug/traces   — recent and in-flight span trees, newest first
+//	/debug/slow     — the slow-query log, newest first
+//	/debug/pprof/…  — the standard runtime profiles
+//
+// Callers may register additional handlers (e.g. /debug/warehouse) on the
+// returned mux before serving it.
+func DebugMux(o *Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.snapshotRegistry())
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		var traces []SpanSnapshot
+		if o != nil {
+			traces = o.Tracer.Snapshot()
+		}
+		writeJSON(w, map[string]any{"traces": traces})
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		var entries []SlowQuery
+		var threshold int64
+		if o != nil {
+			entries = o.Slow.Snapshot()
+			threshold = int64(o.Slow.Threshold())
+		}
+		writeJSON(w, map[string]any{"threshold_ns": threshold, "slow_queries": entries})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (o *Observer) snapshotRegistry() Snapshot {
+	if o == nil {
+		return Snapshot{}
+	}
+	return o.Registry.Snapshot()
+}
+
+// writeJSON renders v with indentation — these endpoints are read by humans
+// with curl at debugging time, not scraped at volume.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

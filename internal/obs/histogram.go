@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log2 buckets. Bucket 0 holds the value 0;
+// bucket i (i >= 1) holds values in [2^(i-1), 2^i). 64 buckets cover the
+// whole non-negative int64 range, so no observation is ever clamped.
+const histBuckets = 64
+
+// Histogram is a lock-free latency histogram with logarithmic (power-of-two)
+// buckets. Observe is wait-free: one atomic add per counter touched.
+// Percentiles are extracted from the bucket counts with linear interpolation
+// inside the winning bucket, which bounds the relative error of any quantile
+// by the bucket width (a factor of two) and in practice keeps it far lower.
+//
+// Values are dimensionless int64s; the conventional unit is nanoseconds
+// (see ObserveDuration).
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketOf maps a value to its bucket index. Negative values count as 0.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketLo returns the inclusive lower bound of bucket i.
+func bucketLo(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1) << (i - 1)
+}
+
+// bucketHi returns the exclusive upper bound of bucket i.
+func bucketHi(i int) int64 {
+	if i == 0 {
+		return 1
+	}
+	if i >= 63 {
+		return int64(1)<<62 + (int64(1)<<62 - 1) // max int64, avoiding overflow
+	}
+	return int64(1) << i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(uint64(v))
+	if h.count.Add(1) == 1 {
+		// First observation seeds the extremes; racing observers fix them
+		// up below, so a transiently wrong seed cannot survive.
+		h.min.Store(v)
+		h.max.Store(v)
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: Count observations
+// with Lo <= value < Hi.
+type HistogramBucket struct {
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram with extracted
+// percentiles, ready for JSON.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     int64             `json:"sum"`
+	Min     int64             `json:"min"`
+	Max     int64             `json:"max"`
+	Mean    float64           `json:"mean"`
+	P50     int64             `json:"p50"`
+	P95     int64             `json:"p95"`
+	P99     int64             `json:"p99"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the bucket counts and extracts p50/p95/p99. Concurrent
+// Observes may land between bucket loads; the snapshot is a consistent-enough
+// view for monitoring, never a torn data structure.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s.Count = total
+	s.Sum = int64(h.sum.Load())
+	if total == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	s.Mean = float64(s.Sum) / float64(total)
+	s.P50 = quantile(&counts, total, 0.50)
+	s.P95 = quantile(&counts, total, 0.95)
+	s.P99 = quantile(&counts, total, 0.99)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{Lo: bucketLo(i), Hi: bucketHi(i), Count: c})
+		}
+	}
+	return s
+}
+
+// quantile returns the q-quantile (0 < q <= 1) of the bucketed distribution,
+// interpolating linearly inside the bucket that contains the target rank.
+func quantile(counts *[histBuckets]uint64, total uint64, q float64) int64 {
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if target <= next {
+			lo, hi := bucketLo(i), bucketHi(i)
+			frac := (target - cum) / float64(c)
+			v := lo + int64(frac*float64(hi-lo))
+			if v >= hi { // keep the estimate inside the winning bucket
+				v = hi - 1
+			}
+			return v
+		}
+		cum = next
+	}
+	// Rounding pushed the target past the last bucket; return its bound.
+	for i := histBuckets - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			return bucketHi(i)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cubetree/internal/pager"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4},
+		{1023, 10}, {1024, 11},
+		{1 << 40, 41},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	// Every value must satisfy lo <= v < hi of its own bucket.
+	for _, v := range []int64{0, 1, 2, 3, 5, 100, 4096, 1<<30 + 7} {
+		b := bucketOf(v)
+		if lo, hi := bucketLo(b), bucketHi(b); v < lo || v >= hi {
+			t.Errorf("value %d outside its bucket [%d,%d)", v, lo, hi)
+		}
+	}
+	if bucketLo(1) != 1 || bucketHi(1) != 2 {
+		t.Errorf("bucket 1 = [%d,%d), want [1,2)", bucketLo(1), bucketHi(1))
+	}
+	if bucketLo(11) != 1024 || bucketHi(11) != 2048 {
+		t.Errorf("bucket 11 = [%d,%d), want [1024,2048)", bucketLo(11), bucketHi(11))
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	// 100 observations of 1000 and one outlier of 1e9: p50/p95 must stay in
+	// the 1000s bucket and p99... with 101 samples rank 99.99 is still the
+	// low bucket; the outlier owns only the top rank.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(1_000_000_000)
+	s := h.Snapshot()
+	if s.Count != 101 {
+		t.Fatalf("count = %d, want 101", s.Count)
+	}
+	if s.Min != 1000 || s.Max != 1_000_000_000 {
+		t.Fatalf("min/max = %d/%d, want 1000/1e9", s.Min, s.Max)
+	}
+	// 1000 lands in bucket [512, 1024): p50 and p95 must stay inside it.
+	for _, q := range []struct {
+		name string
+		v    int64
+	}{{"p50", s.P50}, {"p95", s.P95}} {
+		if q.v < 512 || q.v >= 1024 {
+			t.Errorf("%s = %d, want within [512,1024)", q.name, q.v)
+		}
+	}
+	// The outlier's bucket is [2^29, 2^30); p100-ish ranks reach it only via
+	// the very top of the distribution.
+	if s.P99 >= 1<<29 {
+		t.Errorf("p99 = %d unexpectedly reached the outlier bucket", s.P99)
+	}
+
+	// A uniform spread: percentiles must be monotone and within range.
+	var u Histogram
+	for i := int64(1); i <= 1000; i++ {
+		u.Observe(i * 1000) // 1000..1000000
+	}
+	us := u.Snapshot()
+	if !(us.P50 <= us.P95 && us.P95 <= us.P99) {
+		t.Errorf("percentiles not monotone: p50=%d p95=%d p99=%d", us.P50, us.P95, us.P99)
+	}
+	if us.P50 < 1000 || us.P99 > 1<<21 {
+		t.Errorf("percentiles out of range: p50=%d p99=%d", us.P50, us.P99)
+	}
+	// Log-bucket interpolation is accurate to within one power of two.
+	if us.P50 < 250_000 || us.P50 > 1_000_000 {
+		t.Errorf("p50 = %d, want within a factor of two of the true median 500000", us.P50)
+	}
+}
+
+func TestHistogramEmptyAndSingle(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty histogram snapshot not zero: %+v", s)
+	}
+	h.Observe(42)
+	s = h.Snapshot()
+	if s.Count != 1 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("single-observation snapshot wrong: %+v", s)
+	}
+	if s.P50 < 32 || s.P50 >= 64 {
+		t.Fatalf("p50 = %d, want within bucket [32,64)", s.P50)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, each = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(int64(w*each + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*each {
+		t.Fatalf("count = %d, want %d", s.Count, workers*each)
+	}
+	var bucketTotal uint64
+	for _, b := range s.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestRegistrySharedAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total")
+	c2 := r.Counter("x_total")
+	if c1 != c2 {
+		t.Fatal("same-name counters are distinct")
+	}
+	c1.Add(3)
+	r.Gauge("g").Set(-7)
+	r.GaugeFunc("fn", func() int64 { return 99 })
+	r.Histogram("h_ns").Observe(100)
+	stats := &pager.Stats{}
+	stats.AddSequentialReads(5)
+	r.AttachStats(stats)
+
+	s := r.Snapshot()
+	if s.Counters["x_total"] != 3 {
+		t.Errorf("counter = %d, want 3", s.Counters["x_total"])
+	}
+	if s.Gauges["g"] != -7 || s.Gauges["fn"] != 99 {
+		t.Errorf("gauges = %v", s.Gauges)
+	}
+	if s.Histograms["h_ns"].Count != 1 {
+		t.Errorf("histogram count = %d", s.Histograms["h_ns"].Count)
+	}
+	if s.IO == nil || s.IO.SeqReads != 5 {
+		t.Errorf("io snapshot = %+v", s.IO)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot not JSON-able: %v", err)
+	}
+}
+
+func TestNilSinksAreNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Add(1)
+	r.Histogram("h").Observe(1)
+	r.GaugeFunc("f", func() int64 { return 1 })
+	if s := r.Snapshot(); s.Counters != nil {
+		t.Error("nil registry snapshot not empty")
+	}
+
+	var tr *Tracer
+	sp := tr.StartRoot("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	child := sp.Child("y")
+	child.SetInt("k", 1)
+	child.SetStr("s", "v")
+	child.End()
+	sp.End()
+	if d := sp.Duration(); d != 0 {
+		t.Errorf("nil span duration = %v", d)
+	}
+
+	var sl *SlowLog
+	if sl.Admits(time.Hour) {
+		t.Error("nil slow log admits")
+	}
+	sl.Record(SlowQuery{})
+	if sl.Snapshot() != nil || sl.Total() != 0 {
+		t.Error("nil slow log not empty")
+	}
+
+	var o *Observer
+	o.ObservePhase("p", o.StartTrace("t"))
+	if o.PhaseHistogram("p") != nil {
+		t.Error("nil observer returned a histogram")
+	}
+}
+
+func TestTracerRingAndSpanTree(t *testing.T) {
+	tr := NewTracer(2)
+	root := tr.StartRoot("refresh")
+	sort := root.Child("sort")
+	sort.SetInt("rows", 1000)
+	sort.End()
+	merge := root.Child("merge")
+	merge.SetStr("view", "ps")
+	merge.End()
+
+	// While the root is open it must show as running.
+	snaps := tr.Snapshot()
+	if len(snaps) != 1 || !snaps[0].Running {
+		t.Fatalf("active trace missing or not running: %+v", snaps)
+	}
+	root.End()
+	root.End() // idempotent
+
+	snaps = tr.Snapshot()
+	if len(snaps) != 1 || snaps[0].Running {
+		t.Fatalf("completed trace wrong: %+v", snaps)
+	}
+	if len(snaps[0].Children) != 2 || snaps[0].Children[0].Name != "sort" {
+		t.Fatalf("children wrong: %+v", snaps[0].Children)
+	}
+	if snaps[0].Children[0].Attrs["rows"] != int64(1000) {
+		t.Errorf("attr rows = %v", snaps[0].Children[0].Attrs["rows"])
+	}
+
+	// Ring evicts oldest: after three more roots only the last two remain.
+	for i := 0; i < 3; i++ {
+		tr.StartRoot("q").End()
+	}
+	snaps = tr.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("ring retained %d traces, want 2", len(snaps))
+	}
+}
+
+func TestSlowLogThresholdAndRing(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 2)
+	if l.Admits(5 * time.Millisecond) {
+		t.Error("admitted a fast query")
+	}
+	if !l.Admits(10 * time.Millisecond) {
+		t.Error("rejected a threshold-equal query")
+	}
+	for i := 0; i < 3; i++ {
+		l.Record(SlowQuery{Query: strings.Repeat("q", i+1), Duration: time.Duration(i) * time.Second})
+	}
+	if l.Total() != 3 {
+		t.Errorf("total = %d, want 3", l.Total())
+	}
+	got := l.Snapshot()
+	if len(got) != 2 || got[0].Query != "qqq" || got[1].Query != "qq" {
+		t.Fatalf("ring contents wrong: %+v", got)
+	}
+	l.SetThreshold(0)
+	if l.Admits(time.Hour) {
+		t.Error("disabled log still admits")
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	o := New(Options{SlowThreshold: time.Millisecond})
+	o.Queries.Add(2)
+	o.QueryLatency.Observe(12345)
+	sp := o.StartTrace("refresh")
+	o.ObservePhase("refresh_sort", sp.Child("sort"))
+	sp.End()
+	o.Slow.Record(SlowQuery{Query: "Q{partkey}", View: "ps", Duration: 2 * time.Millisecond})
+
+	srv := httptest.NewServer(DebugMux(o))
+	defer srv.Close()
+
+	get := func(path string) map[string]any {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v\n%s", path, err, body)
+		}
+		return m
+	}
+
+	metrics := get("/debug/metrics")
+	counters := metrics["counters"].(map[string]any)
+	if counters["query_total"].(float64) != 2 {
+		t.Errorf("metrics query_total = %v", counters["query_total"])
+	}
+	hists := metrics["histograms"].(map[string]any)
+	if _, ok := hists["refresh_sort_ns"]; !ok {
+		t.Errorf("metrics missing refresh_sort_ns: %v", hists)
+	}
+
+	traces := get("/debug/traces")
+	if n := len(traces["traces"].([]any)); n != 1 {
+		t.Errorf("traces = %d, want 1", n)
+	}
+
+	slow := get("/debug/slow")
+	if n := len(slow["slow_queries"].([]any)); n != 1 {
+		t.Errorf("slow queries = %d, want 1", n)
+	}
+}

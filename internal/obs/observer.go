@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"time"
+
+	"cubetree/internal/pager"
+)
+
+// Observer bundles the sinks one process attaches to a warehouse or engine:
+// a metrics registry, a tracer, and a slow-query log, with the hot-path
+// metrics pre-resolved so instrumented code never does a map lookup per
+// query. A nil *Observer disables all instrumentation; engines guard their
+// instrumented paths with one nil check.
+type Observer struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Slow     *SlowLog
+
+	// Pre-registered query-path metrics.
+	Queries       *Counter   // query_total
+	QueryErrors   *Counter   // query_errors_total
+	PointsScanned *Counter   // query_points_scanned_total
+	SlowQueries   *Counter   // query_slow_total
+	QueryLatency  *Histogram // query_latency_ns
+	Inflight      *Gauge     // query_inflight
+	Batches       *Counter   // query_batches_total
+}
+
+// Options configures New.
+type Options struct {
+	// TraceCapacity bounds the completed-trace ring (default 128).
+	TraceCapacity int
+	// SlowCapacity bounds the slow-query ring (default 64).
+	SlowCapacity int
+	// SlowThreshold gates the slow-query log; 0 disables it.
+	SlowThreshold time.Duration
+	// Stats, when set, is absorbed into metrics snapshots under "io".
+	Stats *pager.Stats
+}
+
+// New creates an Observer with every sink attached.
+func New(opts Options) *Observer {
+	reg := NewRegistry()
+	if opts.Stats != nil {
+		reg.AttachStats(opts.Stats)
+	}
+	o := &Observer{
+		Registry: reg,
+		Tracer:   NewTracer(opts.TraceCapacity),
+		Slow:     NewSlowLog(opts.SlowThreshold, opts.SlowCapacity),
+	}
+	o.Queries = reg.Counter("query_total")
+	o.QueryErrors = reg.Counter("query_errors_total")
+	o.PointsScanned = reg.Counter("query_points_scanned_total")
+	o.SlowQueries = reg.Counter("query_slow_total")
+	o.QueryLatency = reg.Histogram("query_latency_ns")
+	o.Inflight = reg.Gauge("query_inflight")
+	o.Batches = reg.Counter("query_batches_total")
+	return o
+}
+
+// PhaseHistogram returns the latency histogram for one named pipeline phase
+// (e.g. "refresh_sort"). Phases run at refresh frequency, so the registry
+// lookup cost is irrelevant; the histogram itself stays lock-free.
+func (o *Observer) PhaseHistogram(phase string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.Histogram(phase + "_ns")
+}
+
+// StartTrace begins a root span on the observer's tracer; nil-safe.
+func (o *Observer) StartTrace(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer.StartRoot(name)
+}
+
+// ObservePhase ends sp and records its duration in the named phase
+// histogram. Safe on a nil observer or span.
+func (o *Observer) ObservePhase(phase string, sp *Span) {
+	sp.End()
+	if o == nil {
+		return
+	}
+	o.PhaseHistogram(phase).ObserveDuration(sp.Duration())
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cubetree/internal/pager"
+)
+
+// SlowQuery is one slow-query log entry: the query, the view the planner
+// chose, the latency, the points scanned, and the page I/O the query itself
+// performed (a before/after delta of the engine's Stats — under concurrency
+// the delta may include pages of overlapping queries, which is stated in
+// docs/OBSERVABILITY.md).
+type SlowQuery struct {
+	Time     time.Time           `json:"time"`
+	Query    string              `json:"query"`
+	View     string              `json:"view"`
+	Duration time.Duration       `json:"duration_ns"`
+	Scanned  int64               `json:"points_scanned"`
+	Rows     int                 `json:"result_rows"`
+	IO       pager.StatsSnapshot `json:"io"`
+}
+
+// SlowLog retains the most recent queries slower than a configurable
+// threshold in a fixed-size ring. The threshold check is one atomic load, so
+// the fast path of a fast query costs ~nothing; only queries that cross the
+// threshold take the ring mutex. A nil *SlowLog never admits anything.
+type SlowLog struct {
+	threshold atomic.Int64 // ns; <= 0 disables the log
+	total     atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SlowQuery
+	next int
+	n    int
+}
+
+// DefaultSlowLogCapacity is the ring size used when NewSlowLog gets cap <= 0.
+const DefaultSlowLogCapacity = 64
+
+// NewSlowLog creates a slow-query log admitting queries at or above
+// threshold. A zero threshold disables the log until SetThreshold raises it.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = DefaultSlowLogCapacity
+	}
+	l := &SlowLog{ring: make([]SlowQuery, capacity)}
+	l.threshold.Store(int64(threshold))
+	return l
+}
+
+// Admits reports whether a query of duration d belongs in the log.
+func (l *SlowLog) Admits(d time.Duration) bool {
+	if l == nil {
+		return false
+	}
+	t := l.threshold.Load()
+	return t > 0 && int64(d) >= t
+}
+
+// Threshold returns the current admission threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return time.Duration(l.threshold.Load())
+}
+
+// SetThreshold changes the admission threshold (0 disables).
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	if l != nil {
+		l.threshold.Store(int64(d))
+	}
+}
+
+// Record appends one entry, evicting the oldest when full. Callers normally
+// gate on Admits first.
+func (l *SlowLog) Record(sq SlowQuery) {
+	if l == nil {
+		return
+	}
+	l.total.Add(1)
+	l.mu.Lock()
+	l.ring[l.next] = sq
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Total returns how many queries have crossed the threshold since creation,
+// including entries already evicted from the ring.
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.total.Load()
+}
+
+// Snapshot returns the retained entries, newest first.
+func (l *SlowLog) Snapshot() []SlowQuery {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.ring[(l.next-1-i+2*len(l.ring))%len(l.ring)])
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Tracer collects span trees. Completed root spans land in a fixed-size ring
+// buffer (oldest overwritten first); root spans still running are tracked
+// separately so a live refresh is visible in /debug/traces while it is in
+// flight. A nil *Tracer is a valid no-op sink: StartRoot on it returns a nil
+// span, and every *Span method is nil-safe, so uninstrumented runs pay only
+// a nil check.
+type Tracer struct {
+	mu     sync.Mutex
+	ring   []*Span
+	next   int
+	active map[*Span]struct{}
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer gets cap <= 0.
+const DefaultTraceCapacity = 128
+
+// NewTracer creates a tracer retaining the last capacity completed traces.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]*Span, capacity), active: map[*Span]struct{}{}}
+}
+
+// StartRoot begins a new root span. The span enters the ring when End is
+// called on it.
+func (t *Tracer) StartRoot(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.active[s] = struct{}{}
+	t.mu.Unlock()
+	return s
+}
+
+// StartRootShort begins a root span for a short-lived operation (a single
+// query): the span lands in the ring on End like any root, but it is not
+// tracked in the active set, so starting it is one allocation with no tracer
+// lock. Use StartRoot for long operations (a refresh) that should be visible
+// in /debug/traces while still running.
+func (t *Tracer) StartRootShort(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tracer: t, name: name, start: time.Now()}
+}
+
+// record moves a finished root span from the active set into the ring.
+func (t *Tracer) record(s *Span) {
+	t.mu.Lock()
+	delete(t.active, s)
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	t.mu.Unlock()
+}
+
+// Snapshot returns the active root spans followed by the completed ones,
+// newest first.
+func (t *Tracer) Snapshot() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := make([]*Span, 0, len(t.active)+len(t.ring))
+	for s := range t.active {
+		roots = append(roots, s)
+	}
+	// Active spans in start order (map iteration is unordered).
+	for i := 1; i < len(roots); i++ {
+		for j := i; j > 0 && roots[j].start.After(roots[j-1].start); j-- {
+			roots[j], roots[j-1] = roots[j-1], roots[j]
+		}
+	}
+	n := len(roots)
+	for i := 0; i < len(t.ring); i++ {
+		s := t.ring[(t.next-1-i+2*len(t.ring))%len(t.ring)]
+		if s == nil {
+			break
+		}
+		roots = append(roots, s)
+	}
+	t.mu.Unlock()
+
+	out := make([]SpanSnapshot, 0, len(roots))
+	for i, s := range roots {
+		out = append(out, s.snapshot(i < n))
+	}
+	return out
+}
+
+// spanAttr is one key/value annotation on a span: an integer when lazy is
+// nil, otherwise a fmt.Stringer rendered only when the span is snapshotted
+// for /debug/traces — string formatting stays off the query hot path, and the
+// struct stays small because spans inline an array of these.
+type spanAttr struct {
+	key  string
+	i    int64
+	lazy fmt.Stringer
+}
+
+// stringAttr adapts an already-rendered string to the lazy representation.
+type stringAttr string
+
+func (s stringAttr) String() string { return string(s) }
+
+// Span is one timed operation, optionally with attributes and child spans.
+// All methods are safe on a nil receiver (no-ops), which is how
+// instrumentation stays free when no tracer is attached. Child creation and
+// attribute setting are safe for concurrent use, so parallel workers may
+// annotate a shared parent.
+type Span struct {
+	tracer *Tracer // non-nil on root spans only
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []spanAttr
+	buf      [8]spanAttr // inline storage for the first attrs: no growth allocs
+	children []*Span
+}
+
+// Child starts a nested span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// addAttr appends one attribute, using the span's inline buffer first.
+// Callers hold s.mu.
+func (s *Span) addAttr(a spanAttr) {
+	if s.attrs == nil {
+		s.attrs = s.buf[:0]
+	}
+	s.attrs = append(s.attrs, a)
+}
+
+// SetInt annotates the span with an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.addAttr(spanAttr{key: key, i: v})
+	s.mu.Unlock()
+}
+
+// SetStr annotates the span with a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.addAttr(spanAttr{key: key, lazy: stringAttr(v)})
+	s.mu.Unlock()
+}
+
+// SetStringer annotates the span with a lazily rendered attribute: v.String()
+// runs only if the span is snapshotted, so hot paths annotate traces without
+// paying for string formatting. v must be immutable (or at least safe to
+// render later), which holds for the value types threaded here (queries,
+// views).
+func (s *Span) SetStringer(key string, v fmt.Stringer) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.addAttr(spanAttr{key: key, lazy: v})
+	s.mu.Unlock()
+}
+
+// End finishes the span. Ending a root span records its trace in the ring.
+// End is idempotent; the first call wins.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	done := !s.end.IsZero()
+	if !done {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+	if !done && s.tracer != nil {
+		s.tracer.record(s)
+	}
+}
+
+// Duration returns the span's elapsed time: end-start once finished, the
+// running elapsed time while open, 0 on a nil span.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// SpanSnapshot is a JSON-ready copy of one span subtree.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	Running    bool           `json:"running,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+func (s *Span) snapshot(running bool) SpanSnapshot {
+	s.mu.Lock()
+	snap := SpanSnapshot{
+		Name:    s.name,
+		Start:   s.start,
+		Running: running || s.end.IsZero(),
+	}
+	if s.end.IsZero() {
+		snap.DurationNS = int64(time.Since(s.start))
+	} else {
+		snap.DurationNS = int64(s.end.Sub(s.start))
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			if a.lazy != nil {
+				snap.Attrs[a.key] = a.lazy.String()
+			} else {
+				snap.Attrs[a.key] = a.i
+			}
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.snapshot(false))
+	}
+	return snap
+}

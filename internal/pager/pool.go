@@ -236,13 +236,17 @@ func (p *Pool) Unpin(fr *Frame, dirty bool) {
 // waitUnpinned blocks until a frame is unpinned somewhere in the pool (or a
 // short poll interval elapses, covering a notification race) and reports
 // ErrPoolExhausted once the bounded wait expires. The first call arms the
-// deadline.
+// deadline and counts one wait episode; the time spent blocked is charged to
+// Stats.PoolWaitTime so exhaustion stalls are visible in metrics, not just
+// in tail latency.
 func (p *Pool) waitUnpinned(deadline *time.Time) error {
 	now := time.Now()
 	if deadline.IsZero() {
 		*deadline = now.Add(exhaustedWait)
+		p.file.stats.recordPoolWait(0)
 	} else if now.After(*deadline) {
-		return ErrPoolExhausted
+		waited := now.Sub(deadline.Add(-exhaustedWait))
+		return fmt.Errorf("%w after waiting %v", ErrPoolExhausted, waited.Round(time.Millisecond))
 	}
 	p.waiters.Add(1)
 	defer p.waiters.Add(-1)
@@ -259,6 +263,7 @@ func (p *Pool) waitUnpinned(deadline *time.Time) error {
 	case <-ch:
 	case <-timer.C:
 	}
+	p.file.stats.poolWaitNanos.Add(uint64(time.Since(now)))
 	return nil
 }
 
@@ -345,6 +350,47 @@ func (p *Pool) frameFor(shIdx int) (*Frame, error) {
 		}
 	}
 	return nil, nil
+}
+
+// ShardInfo is a point-in-time occupancy summary of one pool shard.
+type ShardInfo struct {
+	// Frames is the number of resident frames in the shard.
+	Frames int `json:"frames"`
+	// Pinned counts resident frames with at least one pin.
+	Pinned int `json:"pinned"`
+	// Evictable counts unpinned frames on the shard's LRU list.
+	Evictable int `json:"evictable"`
+}
+
+// PoolInfo is a point-in-time occupancy summary of a whole pool, shaped for
+// the /debug/warehouse endpoint.
+type PoolInfo struct {
+	Capacity int         `json:"capacity"`
+	Frames   int         `json:"frames"`
+	Pinned   int         `json:"pinned"`
+	Shards   []ShardInfo `json:"shards"`
+}
+
+// Info reports the pool's current occupancy: total and per-shard frame and
+// pin counts. Each shard is locked briefly in turn, so the totals are a
+// near-consistent snapshot, adequate for monitoring.
+func (p *Pool) Info() PoolInfo {
+	info := PoolInfo{Capacity: p.capacity, Shards: make([]ShardInfo, len(p.shards))}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		si := ShardInfo{Frames: len(sh.frames), Evictable: sh.lru.Len()}
+		for _, fr := range sh.frames {
+			if fr.pins > 0 {
+				si.Pinned++
+			}
+		}
+		sh.mu.Unlock()
+		info.Shards[i] = si
+		info.Frames += si.Frames
+		info.Pinned += si.Pinned
+	}
+	return info
 }
 
 // evictFrom removes the least recently used unpinned frame from sh (whose

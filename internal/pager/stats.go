@@ -25,6 +25,11 @@ type Stats struct {
 	checksumFail atomic.Uint64
 	scrubbed     atomic.Uint64
 	staleRemoved atomic.Uint64
+
+	// Pool exhaustion waits: how often a Fetch/NewPage found every frame
+	// pinned and had to wait for an Unpin, and the total time spent blocked.
+	poolWaits     atomic.Uint64
+	poolWaitNanos atomic.Uint64
 }
 
 func (s *Stats) recordRead(sequential bool) {
@@ -114,6 +119,22 @@ func (s *Stats) PoolHits() uint64 { return s.poolHits.Load() }
 // PoolMisses returns the number of buffer-pool misses.
 func (s *Stats) PoolMisses() uint64 { return s.poolMisses.Load() }
 
+// recordPoolWait charges one exhaustion-wait episode of duration d.
+func (s *Stats) recordPoolWait(d time.Duration) {
+	s.poolWaits.Add(1)
+	if d > 0 {
+		s.poolWaitNanos.Add(uint64(d))
+	}
+}
+
+// PoolWaits returns how many Fetch/NewPage calls found every frame pinned
+// and had to wait for a concurrent Unpin.
+func (s *Stats) PoolWaits() uint64 { return s.poolWaits.Load() }
+
+// PoolWaitTime returns the total time callers spent blocked on pool
+// exhaustion.
+func (s *Stats) PoolWaitTime() time.Duration { return time.Duration(s.poolWaitNanos.Load()) }
+
 // Snapshot returns a point-in-time copy of the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
@@ -127,6 +148,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		ChecksumFailures:  s.ChecksumFailures(),
 		PagesScrubbed:     s.PagesScrubbed(),
 		StaleRemoved:      s.StaleRemoved(),
+		PoolWaits:         s.PoolWaits(),
+		PoolWaitNanos:     s.poolWaitNanos.Load(),
 	}
 }
 
@@ -142,6 +165,8 @@ func (s *Stats) Reset() {
 	s.checksumFail.Store(0)
 	s.scrubbed.Store(0)
 	s.staleRemoved.Store(0)
+	s.poolWaits.Store(0)
+	s.poolWaitNanos.Store(0)
 }
 
 // StatsSnapshot is an immutable copy of Stats counters.
@@ -157,7 +182,13 @@ type StatsSnapshot struct {
 	ChecksumFailures  uint64
 	PagesScrubbed     uint64
 	StaleRemoved      uint64
+
+	PoolWaits     uint64
+	PoolWaitNanos uint64
 }
+
+// PoolWaitTime returns the snapshot's total pool-exhaustion wait time.
+func (s StatsSnapshot) PoolWaitTime() time.Duration { return time.Duration(s.PoolWaitNanos) }
 
 // Sub returns the counter-wise difference s - o, i.e. the I/O performed
 // between the two snapshots.
@@ -173,6 +204,8 @@ func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
 		ChecksumFailures:  s.ChecksumFailures - o.ChecksumFailures,
 		PagesScrubbed:     s.PagesScrubbed - o.PagesScrubbed,
 		StaleRemoved:      s.StaleRemoved - o.StaleRemoved,
+		PoolWaits:         s.PoolWaits - o.PoolWaits,
+		PoolWaitNanos:     s.PoolWaitNanos - o.PoolWaitNanos,
 	}
 }
 

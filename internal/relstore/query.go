@@ -3,10 +3,12 @@ package relstore
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"cubetree/internal/enc"
 	"cubetree/internal/heapfile"
 	"cubetree/internal/lattice"
+	"cubetree/internal/obs"
 	"cubetree/internal/workload"
 )
 
@@ -21,17 +23,61 @@ import (
 // V{partkey,suppkey,custkey} plus I{partkey,suppkey,custkey} outruns
 // V{partkey,suppkey}.
 func (c *Config) Execute(q workload.Query) ([]workload.Row, error) {
+	if c.obs != nil {
+		return c.executeObserved(q)
+	}
+	rows, _, err := c.execute(q)
+	return rows, err
+}
+
+// execute plans and runs q, also returning the number of view tuples the
+// chosen access path examined.
+func (c *Config) execute(q workload.Query) ([]workload.Row, int64, error) {
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	plan, err := c.plan(q)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if plan.Index != nil {
 		return c.executeIndex(plan.MatView, plan.Index, plan.PrefixLen, plan.RangeExtended, q)
 	}
 	return c.executeScan(plan.MatView, q)
+}
+
+// executeObserved is Execute with the observer attached; it mirrors the
+// Cubetree engine's instrumentation so both configurations report comparable
+// metrics (query counts, latency percentiles, slow queries with I/O deltas).
+func (c *Config) executeObserved(q workload.Query) ([]workload.Row, error) {
+	o := c.obs
+	start := time.Now()
+	before := c.opts.Stats.Snapshot()
+	o.Queries.Inc()
+	rows, scanned, err := c.execute(q)
+	dur := time.Since(start)
+	if err != nil {
+		o.QueryErrors.Inc()
+	}
+	o.PointsScanned.Add(uint64(scanned))
+	o.QueryLatency.ObserveDuration(dur)
+	if o.Slow.Admits(dur) {
+		view := ""
+		if plan, perr := c.plan(q); perr == nil && plan.MatView != nil {
+			view = plan.MatView.View.String()
+		}
+		o.SlowQueries.Inc()
+		o.Slow.Record(obs.SlowQuery{
+			Time:     time.Now(),
+			Query:    q.String(),
+			View:     view,
+			Duration: dur,
+			Scanned:  scanned,
+			Rows:     len(rows),
+			IO:       c.opts.Stats.Snapshot().Sub(before),
+		})
+	}
+	return rows, err
 }
 
 // PlanChoice describes the planner's decision for a query.
@@ -169,21 +215,24 @@ func (f tupleFilter) match(tuple []byte) bool {
 	return true
 }
 
-// executeScan answers q by scanning the view's heap table.
-func (c *Config) executeScan(mv *MatView, q workload.Query) ([]workload.Row, error) {
+// executeScan answers q by scanning the view's heap table. It also returns
+// the number of heap tuples examined.
+func (c *Config) executeScan(mv *MatView, q workload.Query) ([]workload.Row, int64, error) {
 	nodePos, err := attrPositions(q.Node, mv.View.Attrs)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	filter, err := newTupleFilter(q, mv.View.Attrs)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	arity := mv.View.Arity()
 	agg := workload.NewSchemaAggregator(len(q.Node), c.opts.Schema)
 	group := make([]int64, len(q.Node))
 	measures := make([]int64, c.opts.Schema.Len())
+	var scanned int64
 	err = mv.heap.Scan(func(_ heapfile.RID, tuple []byte) error {
+		scanned++
 		if !filter.match(tuple) {
 			return nil
 		}
@@ -197,15 +246,15 @@ func (c *Config) executeScan(mv *MatView, q workload.Query) ([]workload.Row, err
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, scanned, err
 	}
-	return agg.Rows(), nil
+	return agg.Rows(), scanned, nil
 }
 
 // executeIndex answers q via a bounded index scan: equality values bind a
 // key prefix, an optional range predicate bounds the next key column, and
 // each matching entry costs a heap fetch plus residual filtering.
-func (c *Config) executeIndex(mv *MatView, ix *Index, prefixLen int, rangeExt bool, q workload.Query) ([]workload.Row, error) {
+func (c *Config) executeIndex(mv *MatView, ix *Index, prefixLen int, rangeExt bool, q workload.Query) ([]workload.Row, int64, error) {
 	k := len(ix.Order)
 	lo := make([]int64, k)
 	hi := make([]int64, k)
@@ -222,16 +271,17 @@ func (c *Config) executeIndex(mv *MatView, ix *Index, prefixLen int, rangeExt bo
 	}
 	nodePos, err := attrPositions(q.Node, mv.View.Attrs)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	filter, err := newTupleFilter(q, mv.View.Attrs)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	arity := mv.View.Arity()
 	agg := workload.NewSchemaAggregator(len(q.Node), c.opts.Schema)
 	group := make([]int64, len(q.Node))
 	measures := make([]int64, c.opts.Schema.Len())
+	var scanned int64
 	err = ix.tree.ScanRange(lo, hi, func(key []int64, val int64) error {
 		// Keys between the bounds can still fall outside a bounded middle
 		// column; skip them before paying the heap fetch.
@@ -244,6 +294,7 @@ func (c *Config) executeIndex(mv *MatView, ix *Index, prefixLen int, rangeExt bo
 		if err != nil {
 			return err
 		}
+		scanned++
 		if !filter.match(tuple) {
 			return nil
 		}
@@ -257,15 +308,18 @@ func (c *Config) executeIndex(mv *MatView, ix *Index, prefixLen int, rangeExt bo
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, scanned, err
 	}
-	return agg.Rows(), nil
+	return agg.Rows(), scanned, nil
 }
 
 // ExecuteBatch answers qs with up to parallelism concurrent workers. A
 // Config's views, indexes, and heap files are read-only after Build/Open,
 // so concurrent Executes contend only inside the sharded buffer pool.
 func (c *Config) ExecuteBatch(qs []workload.Query, parallelism int) ([][]workload.Row, error) {
+	if c.obs != nil {
+		return workload.ExecuteBatchObserved(c, qs, parallelism, c.obs.Inflight, c.obs.Batches)
+	}
 	return workload.ExecuteBatch(c, qs, parallelism)
 }
 

@@ -19,6 +19,7 @@ import (
 	"cubetree/internal/enc"
 	"cubetree/internal/heapfile"
 	"cubetree/internal/lattice"
+	"cubetree/internal/obs"
 	"cubetree/internal/pager"
 )
 
@@ -54,7 +55,13 @@ type Config struct {
 	views   map[string]*MatView // by View.Key()
 	order   []string            // view keys in load order, for stable reports
 	domains map[lattice.Attr]int64
+	obs     *obs.Observer
 }
+
+// SetObserver attaches an observability sink: every subsequent Execute is
+// counted, timed, and slow-logged. A nil observer (the default) keeps the
+// query path uninstrumented. Attach before serving queries.
+func (c *Config) SetObserver(o *obs.Observer) { c.obs = o }
 
 // MatView is one materialized view: a heap table, an optional primary index
 // (full key in view attribute order -> RID) used by incremental updates,

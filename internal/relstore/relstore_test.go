@@ -165,11 +165,11 @@ func TestIndexPlanAndExecution(t *testing.T) {
 		t.Fatalf("planner did not pick the custkey-leading index: %+v", plan)
 	}
 	// Index execution agrees with a forced scan.
-	indexed, err := c.executeIndex(plan.MatView, plan.Index, plan.PrefixLen, plan.RangeExtended, q)
+	indexed, _, err := c.executeIndex(plan.MatView, plan.Index, plan.PrefixLen, plan.RangeExtended, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	scanned, err := c.executeScan(plan.MatView, q)
+	scanned, _, err := c.executeScan(plan.MatView, q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,10 @@
 package workload
 
-import "sync"
+import (
+	"sync"
+
+	"cubetree/internal/obs"
+)
 
 // ExecuteBatch runs qs against e with up to parallelism concurrent workers
 // and returns one result slice per query, in query order. parallelism < 1
@@ -12,13 +16,32 @@ import "sync"
 // buffer pool). The first error wins and is returned after all in-flight
 // queries finish; results of failed or unstarted queries are nil.
 func ExecuteBatch(e Engine, qs []Query, parallelism int) ([][]Row, error) {
+	return executeBatch(e, qs, parallelism, nil)
+}
+
+// ExecuteBatchObserved is ExecuteBatch with batch-level metrics: batches
+// counts completed calls and inflight tracks the queries currently executing
+// (so a debug snapshot taken mid-batch shows live concurrency). Both sinks
+// are nil-safe, so callers may pass whatever subset they have.
+func ExecuteBatchObserved(e Engine, qs []Query, parallelism int, inflight *obs.Gauge, batches *obs.Counter) ([][]Row, error) {
+	batches.Inc()
+	return executeBatch(e, qs, parallelism, inflight)
+}
+
+func executeBatch(e Engine, qs []Query, parallelism int, inflight *obs.Gauge) ([][]Row, error) {
 	results := make([][]Row, len(qs))
+	run := func(q Query) ([]Row, error) {
+		inflight.Add(1)
+		rows, err := e.Execute(q)
+		inflight.Add(-1)
+		return rows, err
+	}
 	if parallelism > len(qs) {
 		parallelism = len(qs)
 	}
 	if parallelism <= 1 {
 		for i, q := range qs {
-			rows, err := e.Execute(q)
+			rows, err := run(q)
 			if err != nil {
 				return results, err
 			}
@@ -38,7 +61,7 @@ func ExecuteBatch(e Engine, qs []Query, parallelism int) ([][]Row, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rows, err := e.Execute(qs[i])
+				rows, err := run(qs[i])
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					continue

@@ -1,0 +1,20 @@
+package cubetree
+
+import (
+	"cubetree/internal/obs"
+)
+
+// Observer is the observability sink a process attaches to a warehouse (or
+// any engine): a metrics registry with lock-free counters, gauges, and
+// latency histograms; a tracer keeping a ring of recent span trees; and a
+// slow-query log. Attach one with Config.Obs or Warehouse.SetObserver, then
+// expose it with ServeDebug. A nil *Observer disables all instrumentation at
+// zero cost.
+type Observer = obs.Observer
+
+// ObserverOptions configures NewObserver.
+type ObserverOptions = obs.Options
+
+// NewObserver creates an observer with every sink attached: a registry
+// pre-populated with the query-path metrics, a tracer, and a slow-query log.
+func NewObserver(opts ObserverOptions) *Observer { return obs.New(opts) }

@@ -1,0 +1,55 @@
+// BenchmarkObsOverhead quantifies what attaching an Observer costs the query
+// path. Run with:
+//
+//	go test -bench=ObsOverhead -benchmem -count=5
+//
+// The "bare" variant is the uninstrumented path (nil observer, the default);
+// "observed" attaches a full observer — metrics registry, tracer ring, and
+// slow-query log with a threshold no query crosses — but no debug server, the
+// configuration a production process pays for continuously. The bar is that
+// "observed" stays within ~2% of "bare" wall clock; measured numbers are
+// recorded in EXPERIMENTS.md.
+package cubetree_test
+
+import (
+	"testing"
+	"time"
+
+	"cubetree/internal/obs"
+	"cubetree/internal/workload"
+
+	"cubetree/internal/experiment"
+)
+
+func BenchmarkObsOverhead(b *testing.B) {
+	s := concSetup(b)
+	gen := workload.NewGenerator(benchQGen, s.Dataset.Domains())
+	nodes := experiment.Nodes()
+	var queries []workload.Query
+	for i := 0; i < 8*len(nodes); i++ {
+		queries = append(queries, gen.ForNode(nodes[i%len(nodes)]))
+	}
+	// Warm the pool so both variants run at full cache hits and the
+	// comparison isolates CPU cost, not page I/O.
+	if _, err := s.Forest.ExecuteBatch(queries, 1); err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Forest.Execute(queries[i%len(queries)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) {
+		s.Forest.SetObserver(nil)
+		run(b)
+	})
+	b.Run("observed", func(b *testing.B) {
+		s.Forest.SetObserver(obs.New(obs.Options{SlowThreshold: time.Second}))
+		run(b)
+	})
+	s.Forest.SetObserver(nil)
+}

@@ -11,6 +11,7 @@ import (
 	"cubetree/internal/core"
 	"cubetree/internal/cube"
 	"cubetree/internal/lattice"
+	"cubetree/internal/obs"
 	"cubetree/internal/pager"
 	"cubetree/internal/workload"
 )
@@ -32,7 +33,52 @@ type Warehouse struct {
 	mu         sync.RWMutex
 	forest     *core.Forest
 	generation int
+
+	obs *obs.Observer
 }
+
+// SetObserver attaches an observability sink to the warehouse: queries are
+// counted, timed, and slow-logged; refreshes are traced phase by phase; and
+// the registry gains generation and buffer-pool occupancy gauges plus the
+// warehouse's I/O counters. Pass nil to detach. Attach before serving
+// queries; the call is not synchronized with in-flight ones.
+func (w *Warehouse) SetObserver(o *obs.Observer) {
+	w.obs = o
+	w.mu.RLock()
+	forest := w.forest
+	w.mu.RUnlock()
+	if forest != nil {
+		forest.SetObserver(o)
+	}
+	if o == nil {
+		return
+	}
+	if w.cfg.Stats != nil {
+		o.Registry.AttachStats(w.cfg.Stats)
+	}
+	o.Registry.GaugeFunc("generation", func() int64 { return int64(w.Generation()) })
+	pools := func(fn func(pager.PoolInfo) int64) int64 {
+		w.mu.RLock()
+		defer w.mu.RUnlock()
+		var n int64
+		for _, pi := range w.forest.PoolInfos() {
+			n += fn(pi)
+		}
+		return n
+	}
+	o.Registry.GaugeFunc("pool_capacity_frames", func() int64 {
+		return pools(func(pi pager.PoolInfo) int64 { return int64(pi.Capacity) })
+	})
+	o.Registry.GaugeFunc("pool_resident_frames", func() int64 {
+		return pools(func(pi pager.PoolInfo) int64 { return int64(pi.Frames) })
+	})
+	o.Registry.GaugeFunc("pool_pinned_frames", func() int64 {
+		return pools(func(pi pager.PoolInfo) int64 { return int64(pi.Pinned) })
+	})
+}
+
+// Observer returns the attached observability sink, or nil.
+func (w *Warehouse) Observer() *obs.Observer { return w.obs }
 
 // Schema returns the measure schema stored per aggregate point: SUM,
 // COUNT, then Config.ExtraMeasures in order.
@@ -82,33 +128,48 @@ func Materialize(cfg Config, views []View, rows RowIter) (*Warehouse, error) {
 	os.RemoveAll(scratch)
 	os.RemoveAll(w.genDir())
 
+	o := cfg.Obs
+	tr := o.StartTrace("materialize")
+	defer tr.End()
+
+	computeSp := tr.Child("compute")
 	data, err := cube.Compute(scratch, rows, w.views, cube.Options{
 		MemLimit:    cfg.MemLimit,
 		Stats:       cfg.Stats,
 		Schema:      schema,
 		Hierarchies: cfg.Hierarchies,
 		Workers:     cfg.Workers,
+		Span:        computeSp,
 	})
+	o.ObservePhase("materialize_compute", computeSp)
 	if err != nil {
+		tr.SetStr("error", err.Error())
 		return nil, err
 	}
 	defer removeAll(data, scratch)
 
 	sources, err := w.sources(data, scratch)
 	if err != nil {
+		tr.SetStr("error", err.Error())
 		return nil, err
 	}
+	buildSp := tr.Child("merge-pack")
 	forest, err := core.Build(w.genDir(), sources, core.BuildOptions{
 		PoolPages: cfg.PoolPages,
 		Domains:   cfg.Domains,
 		Stats:     cfg.Stats,
 		Workers:   cfg.Workers,
+		Span:      buildSp,
 	})
+	o.ObservePhase("materialize_build", buildSp)
 	if err != nil {
+		tr.SetStr("error", err.Error())
 		pager.RemoveAll(w.genDir())
 		return nil, err
 	}
 	w.forest = forest
+	swapSp := tr.Child("swap")
+	defer o.ObservePhase("materialize_swap", swapSp)
 	if err := w.writeCatalog(w.generation); err != nil {
 		forest.Close()
 		// The rename inside the atomic catalog write may have committed
@@ -118,8 +179,10 @@ func Materialize(cfg Config, views []View, rows RowIter) (*Warehouse, error) {
 		if pager.RemoveAll(filepath.Join(cfg.Dir, warehouseCatalog)) == nil {
 			pager.RemoveAll(w.genDir())
 		}
+		tr.SetStr("error", err.Error())
 		return nil, err
 	}
+	w.SetObserver(o)
 	return w, nil
 }
 
@@ -316,6 +379,9 @@ func (e queryEngine) Execute(q Query) ([]Row, error) { return e.w.Query(q) }
 // Serial and parallel batches return identical results for a fixed
 // generation; the first error is returned after in-flight queries drain.
 func (w *Warehouse) QueryBatch(qs []Query, parallelism int) ([][]Row, error) {
+	if w.obs != nil {
+		return workload.ExecuteBatchObserved(queryEngine{w}, qs, parallelism, w.obs.Inflight, w.obs.Batches)
+	}
 	return workload.ExecuteBatch(queryEngine{w}, qs, parallelism)
 }
 
@@ -326,16 +392,27 @@ func (w *Warehouse) QueryBatch(qs []Query, parallelism int) ([][]Row, error) {
 // concurrently with an Update (they see the old generation until the
 // switch); concurrent Updates are not supported.
 func (w *Warehouse) Update(rows RowIter) error {
+	o := w.obs
+	tr := o.StartTrace("refresh")
+	defer tr.End()
+	fail := func(err error) error {
+		tr.SetStr("error", err.Error())
+		return err
+	}
+
 	scratch := filepath.Join(w.cfg.Dir, "scratch")
+	sortSp := tr.Child("delta-sort")
 	perView, err := cube.Compute(scratch, rows, w.views, cube.Options{
 		MemLimit:    w.cfg.MemLimit,
 		Stats:       w.cfg.Stats,
 		Schema:      w.schema,
 		Hierarchies: w.cfg.Hierarchies,
 		Workers:     w.cfg.Workers,
+		Span:        sortSp,
 	})
+	o.ObservePhase("refresh_sort", sortSp)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	defer removeAll(perView, scratch)
 
@@ -343,24 +420,31 @@ func (w *Warehouse) Update(rows RowIter) error {
 	oldForest, oldGen := w.forest, w.generation
 	w.mu.RUnlock()
 
+	reorderSp := tr.Child("delta-reorder")
 	deltas, err := oldForest.DeltasFor(scratch, perView)
+	o.ObservePhase("refresh_reorder", reorderSp)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	newGen := oldGen + 1
 	newDir := filepath.Join(w.cfg.Dir, fmt.Sprintf("gen-%06d", newGen))
+	mergeSp := tr.Child("merge-pack")
 	next, err := oldForest.MergeUpdate(newDir, deltas, core.BuildOptions{
 		PoolPages: w.cfg.PoolPages,
 		Domains:   w.cfg.Domains,
 		Stats:     w.cfg.Stats,
+		Span:      mergeSp,
 	})
+	o.ObservePhase("refresh_merge", mergeSp)
 	if err != nil {
 		pager.RemoveAll(newDir) // don't leak the half-built generation
-		return err
+		return fail(err)
 	}
+	next.SetObserver(o)
 	// The catalog rename is the commit point. Write it before the in-memory
 	// switch: on failure the old generation stays authoritative on disk and
 	// in memory, and the new one is discarded.
+	swapSp := tr.Child("swap")
 	if err := w.writeCatalog(newGen); err != nil {
 		next.Close()
 		// The rename may have committed generation newGen before the
@@ -371,12 +455,15 @@ func (w *Warehouse) Update(rows RowIter) error {
 		if w.writeCatalog(oldGen) == nil {
 			pager.RemoveAll(newDir)
 		}
-		return err
+		o.ObservePhase("refresh_swap", swapSp)
+		return fail(err)
 	}
 	w.mu.Lock()
 	w.forest = next
 	w.generation = newGen
 	w.mu.Unlock()
+	o.ObservePhase("refresh_swap", swapSp)
+	tr.SetInt("generation", int64(newGen))
 	oldForest.Remove()
 	return nil
 }
@@ -409,6 +496,43 @@ func (w *Warehouse) Stat() Stat {
 		s.LeafFraction = float64(w.forest.LeafPages()) / float64(tp)
 	}
 	return s
+}
+
+// DebugInfo is the live warehouse state served at /debug/warehouse: the
+// committed generation, the view placements, point/byte totals, and
+// buffer-pool occupancy per tree (with per-shard detail).
+type DebugInfo struct {
+	Generation   int              `json:"generation"`
+	Trees        int              `json:"trees"`
+	Views        []string         `json:"views"`
+	Placements   []string         `json:"placements"`
+	Points       int64            `json:"points"`
+	Bytes        int64            `json:"bytes"`
+	LeafFraction float64          `json:"leaf_fraction"`
+	Pools        []pager.PoolInfo `json:"pools"`
+}
+
+// DebugInfo reports the warehouse's live state for the debug endpoint.
+func (w *Warehouse) DebugInfo() DebugInfo {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	d := DebugInfo{
+		Generation: w.generation,
+		Trees:      w.forest.Trees(),
+		Points:     w.forest.Points(),
+		Bytes:      w.forest.TotalBytes(),
+		Pools:      w.forest.PoolInfos(),
+	}
+	if tp := w.forest.TotalPages(); tp > 0 {
+		d.LeafFraction = float64(w.forest.LeafPages()) / float64(tp)
+	}
+	for _, v := range w.views {
+		d.Views = append(d.Views, v.String())
+	}
+	for _, p := range w.forest.Placements() {
+		d.Placements = append(d.Placements, fmt.Sprintf("%s @ tree%d", p.View, p.Tree))
+	}
+	return d
 }
 
 // Close flushes and closes the forest.
