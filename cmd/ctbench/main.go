@@ -36,6 +36,8 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write each artifact as CSV into this directory")
 		noRepl  = flag.Bool("no-replicas", false, "disable the top view's replica sort orders")
 		asJSON  = flag.Bool("json", false, "write machine-readable results (throughput -> BENCH_throughput.json)")
+		compare = flag.String("compare", "", "compare the throughput sweep against this BENCH_throughput.json baseline; exit 1 on regression")
+		thresh  = flag.Float64("compare-threshold", experiment.DefaultTrendThreshold, "fractional QPS drop flagged as a regression by -compare")
 		dbgAddr = flag.String("debug-addr", "", "serve /debug/metrics, /debug/traces, and pprof on this address while the run is live")
 		slow    = flag.Duration("slow", 0, "log queries at or above this latency to the slow-query log (0 = off)")
 	)
@@ -162,6 +164,18 @@ func main() {
 				fatal(err)
 			}
 			fmt.Println("wrote BENCH_throughput.json")
+		}
+		if *compare != "" {
+			base, err := experiment.LoadThroughput(*compare)
+			if err != nil {
+				fatal(err)
+			}
+			rep := experiment.CompareThroughput(base, tp, experiment.TrendOptions{Threshold: *thresh})
+			fmt.Print(rep)
+			if rep.Regressed() {
+				fatal(fmt.Errorf("%d throughput regression(s) beyond %.1f%% vs %s",
+					len(rep.Regressions()), 100*rep.Threshold, *compare))
+			}
 		}
 	}
 	if need("table7") {

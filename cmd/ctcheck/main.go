@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"cubetree/internal/core"
 	"cubetree/internal/obs"
@@ -34,12 +35,23 @@ type scrub struct {
 	out   io.Writer
 	stats *pager.Stats
 	reg   *obs.Registry
+	trees []treeScrub
 
 	filesScrubbed *obs.Counter // scrub_files_total
 	filesDamaged  *obs.Counter // scrub_files_damaged
 	pagesDamaged  *obs.Counter // scrub_pages_damaged
 	orphans       *obs.Counter // scrub_orphans
 	errors        *obs.Counter // scrub_errors_total
+}
+
+// treeScrub is one tree file's scrub measurement, reported per tree under
+// -json so slow or damaged trees stand out individually.
+type treeScrub struct {
+	Name         string `json:"name"`
+	Pages        uint64 `json:"pages"`
+	DamagedPages uint64 `json:"damaged_pages"`
+	DurationNS   int64  `json:"duration_ns"`
+	Checksummed  bool   `json:"checksummed"`
 }
 
 func newScrub(out io.Writer) *scrub {
@@ -59,6 +71,7 @@ type report struct {
 	OK               bool         `json:"ok"`
 	PagesScrubbed    uint64       `json:"pages_scrubbed"`
 	ChecksumFailures uint64       `json:"checksum_failures"`
+	Trees            []treeScrub  `json:"trees"`
 	Metrics          obs.Snapshot `json:"metrics"`
 }
 
@@ -95,6 +108,7 @@ func main() {
 			OK:               !damaged,
 			PagesScrubbed:    s.stats.PagesScrubbed(),
 			ChecksumFailures: s.stats.ChecksumFailures(),
+			Trees:            s.trees,
 			Metrics:          s.reg.Snapshot(),
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -190,6 +204,7 @@ func (s *scrub) scrubForest(dir string, verbose bool) bool {
 			fmt.Fprintf(s.out, "note: %s predates page checksums; contents cannot be verified\n", name)
 		}
 		bad := 0
+		start := time.Now()
 		buf := make([]byte, pager.PageSize)
 		for id := pager.PageID(0); id < pager.PageID(f.NumPages()); id++ {
 			if err := f.ReadPage(id, buf); err != nil {
@@ -198,6 +213,13 @@ func (s *scrub) scrubForest(dir string, verbose bool) bool {
 			}
 		}
 		s.stats.AddPagesScrubbed(uint64(f.NumPages()))
+		s.trees = append(s.trees, treeScrub{
+			Name:         name,
+			Pages:        uint64(f.NumPages()),
+			DamagedPages: uint64(bad),
+			DurationNS:   time.Since(start).Nanoseconds(),
+			Checksummed:  f.Checksummed(),
+		})
 		if bad > 0 {
 			damaged = true
 			s.filesDamaged.Inc()

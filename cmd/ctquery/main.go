@@ -35,6 +35,7 @@ func main() {
 		limit   = flag.Int("limit", 20, "max result rows to print")
 		dbgAddr = flag.String("debug-addr", "", "serve /debug/metrics, /debug/traces, /debug/warehouse, and pprof on this address")
 		slow    = flag.Duration("slow", 0, "log queries at or above this latency and print them at exit (0 = off)")
+		stats_  = flag.Bool("stats", false, "print a per-view breakdown (hits, scan volume, selectivity, pool hit ratio) at exit")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -49,9 +50,12 @@ func main() {
 	defer w.Close()
 
 	var o *cubetree.Observer
-	if *dbgAddr != "" || *slow > 0 {
+	if *dbgAddr != "" || *slow > 0 || *stats_ {
 		o = cubetree.NewObserver(cubetree.ObserverOptions{SlowThreshold: *slow, Stats: stats})
 		w.SetObserver(o)
+	}
+	if *stats_ {
+		defer printViewStats(w)
 	}
 	if *dbgAddr != "" {
 		srv, err := cubetree.ServeDebug(*dbgAddr, w, o)
@@ -156,6 +160,30 @@ func main() {
 			break
 		}
 		fmt.Printf("  %v  sum=%d count=%d avg=%.2f\n", r.Group, r.Sum, r.Count, r.Avg())
+	}
+}
+
+// printViewStats renders the per-view analytics accumulated over the run:
+// which views answered queries, how much they scanned versus returned
+// (selectivity), and how well their leaf pages stayed in the buffer pool.
+func printViewStats(w *cubetree.Warehouse) {
+	fmt.Println("\nper-view stats:")
+	fmt.Printf("  %-28s %4s %6s %12s %12s %6s\n",
+		"view", "tree", "hits", "avg scanned", "selectivity", "hit%")
+	for _, va := range w.ViewAnalytics() {
+		avgScanned, sel := 0.0, 0.0
+		if va.QueryHits > 0 {
+			avgScanned = float64(va.PointsScanned) / float64(va.QueryHits)
+		}
+		if va.PointsScanned > 0 {
+			sel = float64(va.RowsReturned) / float64(va.PointsScanned)
+		}
+		hitPct := 0.0
+		if va.LeafPageReads > 0 {
+			hitPct = 100 * float64(va.LeafPageReads-va.LeafPageMisses) / float64(va.LeafPageReads)
+		}
+		fmt.Printf("  %-28s %4d %6d %12.1f %12.4f %5.1f%%\n",
+			va.View, va.Tree, va.QueryHits, avgScanned, sel, hitPct)
 	}
 }
 

@@ -1,0 +1,78 @@
+// Command cttrend diffs two throughput baselines written by ctbench -json:
+//
+//	cttrend BENCH_throughput.json new/BENCH_throughput.json
+//	cttrend -threshold 0.05 -json base.json cur.json
+//
+// Rows are matched by client count and both engines' wall-clock QPS are
+// compared; a drop beyond the threshold (default 10%) is a regression.
+//
+// Exit status: 0 when no regression, 1 when a regression is flagged (0 with
+// -warn-only), 2 on usage or input errors — so CI can gate merges on it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cubetree/internal/experiment"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cttrend", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", experiment.DefaultTrendThreshold,
+		"fractional QPS drop flagged as a regression")
+	warnOnly := fs.Bool("warn-only", false,
+		"report regressions but exit 0 (PR-branch mode for the CI gate)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of a table")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: cttrend [flags] <baseline.json> <current.json>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	base, err := experiment.LoadThroughput(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "cttrend:", err)
+		return 2
+	}
+	cur, err := experiment.LoadThroughput(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "cttrend:", err)
+		return 2
+	}
+	rep := experiment.CompareThroughput(base, cur, experiment.TrendOptions{Threshold: *threshold})
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "cttrend:", err)
+			return 2
+		}
+	} else {
+		fmt.Fprint(stdout, rep)
+	}
+	if rep.Regressed() {
+		if *warnOnly {
+			fmt.Fprintf(stderr, "cttrend: %d regression(s) beyond %.1f%% (warn-only)\n",
+				len(rep.Regressions()), 100*rep.Threshold)
+			return 0
+		}
+		fmt.Fprintf(stderr, "cttrend: %d regression(s) beyond %.1f%%\n",
+			len(rep.Regressions()), 100*rep.Threshold)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cubetree/internal/experiment"
+)
+
+func writeBench(t *testing.T, name string, tp experiment.Throughput) string {
+	t.Helper()
+	data, err := json.MarshalIndent(tp, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(qps ...float64) experiment.Throughput {
+	tp := experiment.Throughput{SF: 0.01, Queries: 700}
+	clients := []int{1, 2, 4}
+	for i := 0; i+1 < len(qps); i += 2 {
+		tp.Rows = append(tp.Rows, experiment.ThroughputRow{
+			Clients: clients[i/2], ConvQPS: qps[i], CubeQPS: qps[i+1],
+		})
+	}
+	return tp
+}
+
+func TestRunIdenticalFilesPass(t *testing.T) {
+	base := writeBench(t, "base.json", bench(100, 200, 180, 390, 300, 700))
+	cur := writeBench(t, "cur.json", bench(100, 200, 180, 390, 300, 700))
+	var out, errOut strings.Builder
+	if code := run([]string{base, cur}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on identical files; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Throughput trend") {
+		t.Fatalf("no report printed: %q", out.String())
+	}
+	if strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("identical files marked regressed:\n%s", out.String())
+	}
+}
+
+func TestRunFlagsInjectedRegression(t *testing.T) {
+	base := writeBench(t, "base.json", bench(100, 200, 180, 390))
+	// Cube QPS at 2 clients drops 12% — beyond the 10% default threshold.
+	cur := writeBench(t, "cur.json", bench(100, 200, 180, 343.2))
+	var out, errOut strings.Builder
+	if code := run([]string{base, cur}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d on regressed input, want 1; stdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("regression not marked in report:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "regression") {
+		t.Fatalf("no regression summary on stderr: %q", errOut.String())
+	}
+}
+
+func TestRunWarnOnly(t *testing.T) {
+	base := writeBench(t, "base.json", bench(100, 200))
+	cur := writeBench(t, "cur.json", bench(100, 100)) // cube -50%
+	var out, errOut strings.Builder
+	if code := run([]string{"-warn-only", base, cur}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d with -warn-only, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "warn-only") {
+		t.Fatalf("warn-only summary missing: %q", errOut.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	base := writeBench(t, "base.json", bench(100, 200))
+	cur := writeBench(t, "cur.json", bench(100, 100))
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", base, cur}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var rep experiment.TrendReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.String())
+	}
+	if !rep.Regressed() {
+		t.Fatalf("parsed report not regressed: %+v", rep)
+	}
+}
+
+func TestRunThresholdFlag(t *testing.T) {
+	base := writeBench(t, "base.json", bench(100, 200))
+	cur := writeBench(t, "cur.json", bench(100, 184)) // cube -8%
+	var out, errOut strings.Builder
+	if code := run([]string{base, cur}, &out, &errOut); code != 0 {
+		t.Fatalf("8%% drop flagged at default threshold (exit %d)", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-threshold", "0.05", base, cur}, &out, &errOut); code != 1 {
+		t.Fatalf("8%% drop not flagged at 5%% threshold (exit %d)", code)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"a.json"}, &out, &errOut); code != 2 {
+		t.Fatalf("one arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"missing1.json", "missing2.json"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing files: exit %d, want 2", code)
+	}
+}

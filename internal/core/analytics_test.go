@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"cubetree/internal/lattice"
+	"cubetree/internal/obs"
+	"cubetree/internal/pager"
+	"cubetree/internal/workload"
+)
+
+// TestViewAnalyticsStorageInvariants pins the mapping analytics down:
+// every view placement resolves to exactly one (tree, leaf run), and the
+// per-view page and point counts partition the forest's totals.
+func TestViewAnalyticsStorageInvariants(t *testing.T) {
+	f, _ := buildTestForest(t, 0)
+	vas := f.ViewAnalytics()
+	if len(vas) != len(f.Placements()) {
+		t.Fatalf("analytics entries = %d, placements = %d", len(vas), len(f.Placements()))
+	}
+	var sumPages, sumReads uint64
+	var sumPoints int64
+	for i, va := range vas {
+		p := f.Placements()[i]
+		if va.Tree < 0 || va.Tree >= f.Trees() {
+			t.Fatalf("%s: tree %d out of range", va.View, va.Tree)
+		}
+		// The placement's run must appear exactly once among its tree's runs:
+		// one view, one contiguous leaf run.
+		matches := 0
+		for _, r := range f.Tree(va.Tree).Runs() {
+			if r == p.Run {
+				matches++
+			}
+		}
+		if matches != 1 {
+			t.Fatalf("%s: run matched %d times in tree %d, want exactly 1", va.View, matches, va.Tree)
+		}
+		if va.Arity != p.View.Arity() {
+			t.Fatalf("%s: arity %d, view arity %d", va.View, va.Arity, p.View.Arity())
+		}
+		if va.CompressionRatio <= 0 || va.CompressionRatio > 1 {
+			t.Fatalf("%s: compression ratio %v outside (0,1]", va.View, va.CompressionRatio)
+		}
+		if va.RunPoints > 0 && va.RunPages == 0 {
+			t.Fatalf("%s: %d points in zero pages", va.View, va.RunPoints)
+		}
+		sumPages += va.RunPages
+		sumPoints += va.RunPoints
+		sumReads += va.LeafPageReads
+	}
+	if sumPages != f.LeafPages() {
+		t.Fatalf("per-view pages sum to %d, forest has %d leaf pages", sumPages, f.LeafPages())
+	}
+	if sumPoints != f.Points() {
+		t.Fatalf("per-view points sum to %d, forest holds %d", sumPoints, f.Points())
+	}
+	if sumReads != 0 {
+		t.Fatal("page reads attributed without an observer attached")
+	}
+}
+
+// TestViewAnalyticsCounters checks that with an observer attached, query
+// traffic is attributed to the placement that answered it — including the
+// leaf-page reads observed at the buffer pool.
+func TestViewAnalyticsCounters(t *testing.T) {
+	f, _ := buildTestForest(t, 3)
+	o := obs.New(obs.Options{})
+	f.SetObserver(o)
+
+	q := workload.Query{Node: []lattice.Attr{"custkey"}}
+	rows, err := f.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Execute(q); err != nil {
+		t.Fatal(err)
+	}
+
+	var hit *ViewAnalytics
+	for i, va := range f.ViewAnalytics() {
+		va := va
+		if va.QueryHits > 0 {
+			if hit != nil {
+				t.Fatalf("two views credited for one query stream: %s and %s", hit.View, va.View)
+			}
+			hit = &va
+		}
+		_ = i
+	}
+	if hit == nil {
+		t.Fatal("no view credited with the queries")
+	}
+	if hit.View != "V{custkey}" {
+		t.Fatalf("credited view = %s, want V{custkey}", hit.View)
+	}
+	if hit.QueryHits != 2 {
+		t.Fatalf("hits = %d, want 2", hit.QueryHits)
+	}
+	if hit.RowsReturned != 2*uint64(len(rows)) {
+		t.Fatalf("rows returned = %d, want %d", hit.RowsReturned, 2*len(rows))
+	}
+	if hit.PointsScanned == 0 {
+		t.Fatal("no points scanned recorded")
+	}
+	if hit.LeafPageReads == 0 {
+		t.Fatal("no leaf-page reads attributed to the answering view")
+	}
+
+	// The same numbers must surface as labeled families in the registry.
+	snap := o.Registry.Snapshot()
+	fam, ok := snap.CounterVecs["view_query_hits_total"]
+	if !ok {
+		t.Fatalf("view_query_hits_total family missing: %v", snap.CounterVecs)
+	}
+	found := false
+	for _, lv := range fam.Values {
+		if len(lv.Labels) == 3 && lv.Labels[0] == "V{custkey}" && lv.Value == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("V{custkey} child not in family snapshot: %+v", fam.Values)
+	}
+	if _, ok := snap.GaugeVecs["view_run_leaf_pages"]; !ok {
+		t.Fatal("view_run_leaf_pages family missing")
+	}
+
+	// Detaching tears the attribution down and stops the counters.
+	f.SetObserver(nil)
+	before := hit.LeafPageReads
+	if _, err := f.Execute(q); err != nil {
+		t.Fatal(err)
+	}
+	for _, va := range f.ViewAnalytics() {
+		if va.QueryHits != 0 || va.LeafPageReads != 0 {
+			t.Fatalf("analytics counters nonzero after detach: %+v", va)
+		}
+	}
+	_ = before
+}
+
+// TestTreeAttributorBoundaries exercises the binary search directly: ids
+// below, between, inside, and above the runs.
+func TestTreeAttributorBoundaries(t *testing.T) {
+	mkvm := func() *viewMetrics {
+		return &viewMetrics{
+			hits: &obs.Counter{}, scanned: &obs.Counter{}, rows: &obs.Counter{},
+			pageReads: &obs.Counter{}, pageMisses: &obs.Counter{},
+		}
+	}
+	a, b := mkvm(), mkvm()
+	attr := &treeAttributor{ranges: []runRange{
+		{lo: 2, hi: 4, vm: a},
+		{lo: 7, hi: 7, vm: b},
+	}}
+	for _, id := range []uint32{0, 1, 5, 6, 8, 100} {
+		attr.PageAccess(pager.PageID(id), true)
+	}
+	if a.pageReads.Value() != 0 || b.pageReads.Value() != 0 {
+		t.Fatalf("out-of-run ids attributed: a=%d b=%d", a.pageReads.Value(), b.pageReads.Value())
+	}
+	attr.PageAccess(pager.PageID(2), true)
+	attr.PageAccess(pager.PageID(3), false)
+	attr.PageAccess(pager.PageID(4), true)
+	attr.PageAccess(pager.PageID(7), false)
+	if a.pageReads.Value() != 3 || a.pageMisses.Value() != 1 {
+		t.Fatalf("run a reads/misses = %d/%d, want 3/1", a.pageReads.Value(), a.pageMisses.Value())
+	}
+	if b.pageReads.Value() != 1 || b.pageMisses.Value() != 1 {
+		t.Fatalf("run b reads/misses = %d/%d, want 1/1", b.pageReads.Value(), b.pageMisses.Value())
+	}
+}

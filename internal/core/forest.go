@@ -59,13 +59,21 @@ type Forest struct {
 	poolPages  int
 	fanout     int
 	obs        *obs.Observer
+	// viewMetrics is parallel to placements; non-nil only while an observer
+	// is attached (see analytics.go).
+	viewMetrics []viewMetrics
 }
 
 // SetObserver attaches an observability sink: every subsequent Execute is
-// traced, timed, and slow-logged. A nil observer (the default) keeps the
-// query path entirely uninstrumented. Not safe to call concurrently with
-// queries; attach before serving.
-func (f *Forest) SetObserver(o *obs.Observer) { f.obs = o }
+// traced, timed, and slow-logged, per-view metric families are registered,
+// and the buffer pools attribute leaf-page reads to the views that own the
+// pages. A nil observer (the default) keeps the query path entirely
+// uninstrumented. Not safe to call concurrently with queries; attach before
+// serving.
+func (f *Forest) SetObserver(o *obs.Observer) {
+	f.obs = o
+	f.attachAnalytics(o)
+}
 
 // Observer returns the attached observability sink, or nil.
 func (f *Forest) Observer() *obs.Observer { return f.obs }

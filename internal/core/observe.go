@@ -56,6 +56,12 @@ func (f *Forest) executeObserved(q workload.Query) ([]workload.Row, error) {
 	sp.End()
 	o.PointsScanned.Add(uint64(scanned))
 	o.QueryLatency.ObserveDuration(dur)
+	if f.viewMetrics != nil {
+		vm := &f.viewMetrics[best]
+		vm.hits.Inc()
+		vm.scanned.Add(uint64(scanned))
+		vm.rows.Add(uint64(len(rows)))
+	}
 	if o.Slow.Admits(dur) {
 		o.SlowQueries.Inc()
 		o.Slow.Record(obs.SlowQuery{

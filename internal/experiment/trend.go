@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Trend analysis over throughput sweeps: two BENCH_throughput.json files are
+// compared row by row (client count × engine), and a QPS drop beyond a
+// configurable threshold is flagged as a regression. This is the arithmetic
+// behind cmd/cttrend and ctbench -compare, and the CI bench gate.
+
+// DefaultTrendThreshold is the fractional QPS drop that counts as a
+// regression when no threshold is given: 10%, comfortably above the run-to-
+// run noise of the smoke-scale sweep while catching real cliffs.
+const DefaultTrendThreshold = 0.10
+
+// TrendOptions configures a throughput comparison.
+type TrendOptions struct {
+	// Threshold is the fractional QPS drop flagged as a regression
+	// (0 = DefaultTrendThreshold).
+	Threshold float64
+}
+
+// TrendDelta compares one engine at one client count across two sweeps.
+type TrendDelta struct {
+	Clients int     `json:"clients"`
+	Engine  string  `json:"engine"` // "conv" or "cube"
+	BaseQPS float64 `json:"base_qps"`
+	CurQPS  float64 `json:"cur_qps"`
+	// Delta is the fractional change: positive = faster than baseline.
+	Delta     float64 `json:"delta"`
+	Regressed bool    `json:"regressed"`
+}
+
+// TrendReport is the outcome of comparing two throughput sweeps.
+type TrendReport struct {
+	Threshold float64      `json:"threshold"`
+	Deltas    []TrendDelta `json:"deltas"`
+	// MissingClients lists client counts present in only one sweep; they
+	// cannot be compared and are reported rather than silently dropped.
+	MissingClients []int `json:"missing_clients,omitempty"`
+}
+
+// Regressed reports whether any compared row crossed the threshold.
+func (r TrendReport) Regressed() bool {
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Regressions returns only the rows that crossed the threshold.
+func (r TrendReport) Regressions() []TrendDelta {
+	var out []TrendDelta
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CompareThroughput diffs two sweeps. Rows are matched by client count;
+// each matched row yields two deltas (conventional and Cubetree engines).
+func CompareThroughput(base, cur Throughput, opts TrendOptions) TrendReport {
+	if opts.Threshold <= 0 {
+		opts.Threshold = DefaultTrendThreshold
+	}
+	rep := TrendReport{Threshold: opts.Threshold}
+	baseBy := make(map[int]ThroughputRow, len(base.Rows))
+	for _, row := range base.Rows {
+		baseBy[row.Clients] = row
+	}
+	matched := make(map[int]bool)
+	for _, row := range cur.Rows {
+		b, ok := baseBy[row.Clients]
+		if !ok {
+			rep.MissingClients = append(rep.MissingClients, row.Clients)
+			continue
+		}
+		matched[row.Clients] = true
+		rep.Deltas = append(rep.Deltas,
+			trendDelta(row.Clients, "conv", b.ConvQPS, row.ConvQPS, opts.Threshold),
+			trendDelta(row.Clients, "cube", b.CubeQPS, row.CubeQPS, opts.Threshold))
+	}
+	for c := range baseBy {
+		if !matched[c] {
+			rep.MissingClients = append(rep.MissingClients, c)
+		}
+	}
+	sort.Ints(rep.MissingClients)
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		if rep.Deltas[i].Clients != rep.Deltas[j].Clients {
+			return rep.Deltas[i].Clients < rep.Deltas[j].Clients
+		}
+		return rep.Deltas[i].Engine < rep.Deltas[j].Engine
+	})
+	return rep
+}
+
+func trendDelta(clients int, engine string, base, cur, threshold float64) TrendDelta {
+	d := TrendDelta{Clients: clients, Engine: engine, BaseQPS: base, CurQPS: cur}
+	switch {
+	case base > 0:
+		d.Delta = (cur - base) / base
+	case cur > 0:
+		d.Delta = math.Inf(1)
+	}
+	d.Regressed = d.Delta < -threshold
+	return d
+}
+
+// String renders the comparison as a table, regressions marked.
+func (r TrendReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Throughput trend (regression threshold %.1f%%)\n", 100*r.Threshold)
+	fmt.Fprintf(&b, "%8s %6s %14s %14s %9s\n", "clients", "engine", "base q/s", "current q/s", "delta")
+	for _, d := range r.Deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(&b, "%8d %6s %14.0f %14.0f %+8.1f%%%s\n",
+			d.Clients, d.Engine, d.BaseQPS, d.CurQPS, 100*d.Delta, mark)
+	}
+	if len(r.MissingClients) > 0 {
+		fmt.Fprintf(&b, "not compared (present in only one sweep): clients %v\n", r.MissingClients)
+	}
+	return b.String()
+}
+
+// LoadThroughput reads a BENCH_throughput.json file written by ctbench.
+func LoadThroughput(path string) (Throughput, error) {
+	var t Throughput
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return t, fmt.Errorf("load throughput: %w", err)
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return t, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return t, nil
+}

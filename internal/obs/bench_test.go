@@ -14,6 +14,9 @@ func TestNilInstrumentationAllocs(t *testing.T) {
 		tr   *Tracer
 		h    *Histogram
 		c    *Counter
+		fg   *FloatGauge
+		cv   *CounterVec
+		gv   *GaugeVec
 		slow *SlowLog
 	)
 	allocs := testing.AllocsPerRun(1000, func() {
@@ -24,6 +27,9 @@ func TestNilInstrumentationAllocs(t *testing.T) {
 		child.End()
 		h.ObserveDuration(time.Microsecond)
 		c.Inc()
+		fg.Set(1.5)
+		cv.With("v", "0", "1").Inc()
+		gv.With("v", "0", "1").Set(2.5)
 		if slow.Admits(time.Microsecond) {
 			slow.Record(SlowQuery{})
 		}

@@ -8,11 +8,14 @@ import (
 
 // DebugMux builds the HTTP mux for the debug endpoints of one observer:
 //
-//	/debug/metrics  — Registry.Snapshot as JSON (counters, gauges,
-//	                  histograms with p50/p95/p99, attached page I/O)
-//	/debug/traces   — recent and in-flight span trees, newest first
-//	/debug/slow     — the slow-query log, newest first
-//	/debug/pprof/…  — the standard runtime profiles
+//	/debug/metrics             — Registry.Snapshot as JSON (counters, gauges,
+//	                             histograms with p50/p95/p99, labeled metric
+//	                             families, attached page I/O)
+//	/debug/metrics/prometheus  — the same snapshot in Prometheus text
+//	                             exposition format, for scraping
+//	/debug/traces              — recent and in-flight span trees, newest first
+//	/debug/slow                — the slow-query log, newest first
+//	/debug/pprof/…             — the standard runtime profiles
 //
 // Callers may register additional handlers (e.g. /debug/warehouse) on the
 // returned mux before serving it.
@@ -20,6 +23,10 @@ func DebugMux(o *Observer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, o.snapshotRegistry())
+	})
+	mux.HandleFunc("/debug/metrics/prometheus", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		WritePrometheus(w, o.snapshotRegistry())
 	})
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		var traces []SpanSnapshot

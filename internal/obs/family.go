@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// labelSep joins label values into a child key. It cannot appear in label
+// values coming from this codebase (view names, tree indexes, arities), and a
+// collision would only merge two children's counts, never corrupt state.
+const labelSep = "\x00"
+
+// FloatGauge is a lock-free instantaneous float64 value, the child type of
+// GaugeVec: labeled gauges here carry physical measurements (pages, points,
+// compression ratios) where float is the natural Prometheus-facing type.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// CounterVec is a labeled family of counters: one Counter child per distinct
+// label-value tuple. With is get-or-create under a mutex and is expected at
+// setup time; hot paths hold on to the returned *Counter and update it
+// lock-free. All methods are safe for concurrent use and nil-safe.
+type CounterVec struct {
+	name   string
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label values (one per label
+// name, in declaration order). A nil vec or a mismatched value count returns
+// nil, which is a valid no-op Counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil || len(values) != len(v.labels) {
+		return nil
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.children[key]
+	if c == nil {
+		c = &Counter{}
+		v.children[key] = c
+	}
+	return c
+}
+
+// GaugeVec is a labeled family of float gauges; see CounterVec for the
+// concurrency contract.
+type GaugeVec struct {
+	name   string
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]*FloatGauge
+}
+
+// With returns the child gauge for the given label values. A nil vec or a
+// mismatched value count returns nil, a valid no-op FloatGauge.
+func (v *GaugeVec) With(values ...string) *FloatGauge {
+	if v == nil || len(values) != len(v.labels) {
+		return nil
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g := v.children[key]
+	if g == nil {
+		g = &FloatGauge{}
+		v.children[key] = g
+	}
+	return g
+}
+
+// LabeledValue is one child of a family snapshot: its label values (parallel
+// to the family's label names) and its current value.
+type LabeledValue struct {
+	Labels []string `json:"labels"`
+	Value  float64  `json:"value"`
+}
+
+// FamilySnapshot is a point-in-time copy of one labeled family, children
+// sorted by label values for deterministic output.
+type FamilySnapshot struct {
+	LabelNames []string       `json:"label_names"`
+	Values     []LabeledValue `json:"values"`
+}
+
+func snapshotFamily[T any](labels []string, children map[string]T, value func(T) float64) FamilySnapshot {
+	s := FamilySnapshot{LabelNames: append([]string(nil), labels...)}
+	keys := make([]string, 0, len(children))
+	for k := range children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var vals []string
+		if k != "" || len(labels) > 0 {
+			vals = strings.Split(k, labelSep)
+		}
+		s.Values = append(s.Values, LabeledValue{Labels: vals, Value: value(children[k])})
+	}
+	return s
+}
+
+// Snapshot copies the family's children.
+func (v *CounterVec) Snapshot() FamilySnapshot {
+	if v == nil {
+		return FamilySnapshot{}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return snapshotFamily(v.labels, v.children, func(c *Counter) float64 { return float64(c.Value()) })
+}
+
+// Snapshot copies the family's children.
+func (v *GaugeVec) Snapshot() FamilySnapshot {
+	if v == nil {
+		return FamilySnapshot{}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return snapshotFamily(v.labels, v.children, (*FloatGauge).Value)
+}
+
+// CounterVec returns the named counter family, creating it if needed. The
+// label names are fixed at first registration; re-registering with different
+// labels returns the existing family (whose With will then reject mismatched
+// value counts by returning nil).
+func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.counterVecs[name]
+	if v == nil {
+		v = &CounterVec{name: name, labels: append([]string(nil), labels...),
+			children: map[string]*Counter{}}
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge family, creating it if needed; see
+// CounterVec for the label contract.
+func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.gaugeVecs[name]
+	if v == nil {
+		v = &GaugeVec{name: name, labels: append([]string(nil), labels...),
+			children: map[string]*FloatGauge{}}
+		r.gaugeVecs[name] = v
+	}
+	return v
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("view_hits", "view", "tree")
+	a := v.With("V{a}", "0")
+	b := v.With("V{b}", "1")
+	if a == nil || b == nil || a == b {
+		t.Fatalf("children not distinct: %p %p", a, b)
+	}
+	if again := v.With("V{a}", "0"); again != a {
+		t.Fatal("With is not get-or-create")
+	}
+	a.Add(3)
+	b.Inc()
+	s := v.Snapshot()
+	if !reflect.DeepEqual(s.LabelNames, []string{"view", "tree"}) {
+		t.Fatalf("label names = %v", s.LabelNames)
+	}
+	want := []LabeledValue{
+		{Labels: []string{"V{a}", "0"}, Value: 3},
+		{Labels: []string{"V{b}", "1"}, Value: 1},
+	}
+	if !reflect.DeepEqual(s.Values, want) {
+		t.Fatalf("snapshot = %+v, want %+v", s.Values, want)
+	}
+}
+
+func TestGaugeVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("run_pages", "view")
+	v.With("V{a}").Set(12.5)
+	v.With("V{a}").Set(13.5) // same child, last write wins
+	s := v.Snapshot()
+	if len(s.Values) != 1 || s.Values[0].Value != 13.5 {
+		t.Fatalf("snapshot = %+v", s.Values)
+	}
+}
+
+func TestVecNilAndMismatchedArity(t *testing.T) {
+	var nilC *CounterVec
+	var nilG *GaugeVec
+	if nilC.With("x") != nil || nilG.With("x") != nil {
+		t.Fatal("nil vec must return nil child")
+	}
+	nilC.With("x").Inc()  // must not panic
+	nilG.With("x").Set(1) // must not panic
+	_ = nilC.Snapshot()   // must not panic
+	_ = nilG.Snapshot()   // must not panic
+	r := NewRegistry()
+	v := r.CounterVec("m", "a", "b")
+	if v.With("only-one") != nil {
+		t.Fatal("mismatched label count must return nil child")
+	}
+}
+
+func TestVecZeroLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("plain")
+	v.With().Add(5)
+	s := v.Snapshot()
+	if len(s.Values) != 1 || s.Values[0].Value != 5 || len(s.Values[0].Labels) != 0 {
+		t.Fatalf("zero-label snapshot = %+v", s.Values)
+	}
+}
+
+func TestRegistryVecGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.CounterVec("f", "l") != r.CounterVec("f", "l") {
+		t.Fatal("CounterVec must be shared by name")
+	}
+	if r.GaugeVec("g", "l") != r.GaugeVec("g", "l") {
+		t.Fatal("GaugeVec must be shared by name")
+	}
+	names := r.Names()
+	if !reflect.DeepEqual(names, []string{"f", "g"}) {
+		t.Fatalf("names = %v", names)
+	}
+	s := r.Snapshot()
+	if _, ok := s.CounterVecs["f"]; !ok {
+		t.Fatalf("counter family missing from snapshot: %+v", s.CounterVecs)
+	}
+	if _, ok := s.GaugeVecs["g"]; !ok {
+		t.Fatalf("gauge family missing from snapshot: %+v", s.GaugeVecs)
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	var nilG *FloatGauge
+	nilG.Set(3) // no-op
+	if nilG.Value() != 0 {
+		t.Fatal("nil FloatGauge must read 0")
+	}
+	var g FloatGauge
+	g.Set(0.25)
+	if g.Value() != 0.25 {
+		t.Fatalf("value = %v", g.Value())
+	}
+}
+
+func TestVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("hits", "shard")
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	labels := []string{"a", "b", "c"}
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				v.With(labels[(w+i)%len(labels)]).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	var total float64
+	for _, lv := range v.Snapshot().Values {
+		total += lv.Value
+	}
+	if total != workers*each {
+		t.Fatalf("total = %v, want %d", total, workers*each)
+	}
+}

@@ -139,15 +139,29 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.Min = h.min.Load()
 	s.Max = h.max.Load()
 	s.Mean = float64(s.Sum) / float64(total)
-	s.P50 = quantile(&counts, total, 0.50)
-	s.P95 = quantile(&counts, total, 0.95)
-	s.P99 = quantile(&counts, total, 0.99)
+	s.P50 = clamp(quantile(&counts, total, 0.50), s.Min, s.Max)
+	s.P95 = clamp(quantile(&counts, total, 0.95), s.Min, s.Max)
+	s.P99 = clamp(quantile(&counts, total, 0.99), s.Min, s.Max)
 	for i, c := range counts {
 		if c > 0 {
 			s.Buckets = append(s.Buckets, HistogramBucket{Lo: bucketLo(i), Hi: bucketHi(i), Count: c})
 		}
 	}
 	return s
+}
+
+// clamp pins a bucket-interpolated quantile estimate inside the observed
+// value range: an empty histogram snapshots as all zeros, and a single-sample
+// histogram (min == max) reports that exact sample for every percentile
+// instead of a bucket-boundary approximation.
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // quantile returns the q-quantile (0 < q <= 1) of the bucketed distribution,

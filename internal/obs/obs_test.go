@@ -94,19 +94,56 @@ func TestHistogramPercentiles(t *testing.T) {
 	}
 }
 
-func TestHistogramEmptyAndSingle(t *testing.T) {
+func TestHistogramPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name          string
+		observe       []int64
+		p50, p95, p99 int64
+	}{
+		// Empty: every percentile is 0, never NaN or a bucket bound.
+		{name: "empty"},
+		// A single sample is reported exactly for every percentile, not as
+		// a bucket-boundary approximation.
+		{name: "single", observe: []int64{42}, p50: 42, p95: 42, p99: 42},
+		{name: "single zero", observe: []int64{0}},
+		{name: "single one", observe: []int64{1}, p50: 1, p95: 1, p99: 1},
+		{name: "single large", observe: []int64{1 << 40}, p50: 1 << 40, p95: 1 << 40, p99: 1 << 40},
+		// Repeated identical samples collapse to that sample (min == max).
+		{name: "repeated", observe: []int64{7, 7, 7, 7}, p50: 7, p95: 7, p99: 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			s := h.Snapshot()
+			if s.Count != uint64(len(tc.observe)) {
+				t.Fatalf("count = %d, want %d", s.Count, len(tc.observe))
+			}
+			if s.P50 != tc.p50 || s.P95 != tc.p95 || s.P99 != tc.p99 {
+				t.Fatalf("p50/p95/p99 = %d/%d/%d, want %d/%d/%d",
+					s.P50, s.P95, s.P99, tc.p50, tc.p95, tc.p99)
+			}
+			if len(tc.observe) == 0 && len(s.Buckets) != 0 {
+				t.Fatalf("empty histogram has buckets: %+v", s.Buckets)
+			}
+		})
+	}
+}
+
+func TestHistogramPercentilesWithinObservedRange(t *testing.T) {
+	// Whatever the interpolation does inside a bucket, no reported
+	// percentile may escape [Min, Max].
 	var h Histogram
+	for _, v := range []int64{100, 150, 900} {
+		h.Observe(v)
+	}
 	s := h.Snapshot()
-	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 || len(s.Buckets) != 0 {
-		t.Fatalf("empty histogram snapshot not zero: %+v", s)
-	}
-	h.Observe(42)
-	s = h.Snapshot()
-	if s.Count != 1 || s.Min != 42 || s.Max != 42 {
-		t.Fatalf("single-observation snapshot wrong: %+v", s)
-	}
-	if s.P50 < 32 || s.P50 >= 64 {
-		t.Fatalf("p50 = %d, want within bucket [32,64)", s.P50)
+	for name, p := range map[string]int64{"p50": s.P50, "p95": s.P95, "p99": s.P99} {
+		if p < s.Min || p > s.Max {
+			t.Fatalf("%s = %d outside observed range [%d,%d]", name, p, s.Min, s.Max)
+		}
 	}
 }
 

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promPrefix namespaces every exposed metric, following the Prometheus
+// convention that a process's metrics share an application prefix.
+const promPrefix = "cubetree_"
+
+// PrometheusContentType is the Content-Type of the text exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): plain counters and gauges, labeled
+// counter/gauge families, histograms with cumulative `le` buckets, and the
+// attached page-I/O counters under an io_ prefix. Families are emitted in
+// sorted name order and children in sorted label order, so the output is
+// deterministic for a fixed snapshot.
+//
+// Histogram values are dimensionless int64s (nanoseconds by convention, and
+// the metric names carry a _ns suffix rather than converting to the
+// Prometheus-preferred seconds — the JSON endpoint and the docs use the same
+// unit). Bucket bounds are the histogram's inclusive integer upper bounds, so
+// cumulative counts are exact, not approximated.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	pw := &promWriter{w: w}
+
+	for _, name := range sortedKeys(s.Counters) {
+		pw.typeLine(name, "counter")
+		pw.sample(name, nil, nil, float64(s.Counters[name]))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pw.typeLine(name, "gauge")
+		pw.sample(name, nil, nil, float64(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.CounterVecs) {
+		fam := s.CounterVecs[name]
+		pw.typeLine(name, "counter")
+		for _, lv := range fam.Values {
+			pw.sample(name, fam.LabelNames, lv.Labels, lv.Value)
+		}
+	}
+	for _, name := range sortedKeys(s.GaugeVecs) {
+		fam := s.GaugeVecs[name]
+		pw.typeLine(name, "gauge")
+		for _, lv := range fam.Values {
+			pw.sample(name, fam.LabelNames, lv.Labels, lv.Value)
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		pw.histogram(name, s.Histograms[name])
+	}
+	if s.IO != nil {
+		io := *s.IO
+		for _, c := range []struct {
+			name  string
+			value uint64
+		}{
+			{"io_seq_reads_total", io.SeqReads},
+			{"io_rand_reads_total", io.RandReads},
+			{"io_seq_writes_total", io.SeqWrites},
+			{"io_rand_writes_total", io.RandWrites},
+			{"io_pool_hits_total", io.PoolHits},
+			{"io_pool_misses_total", io.PoolMisses},
+			{"io_checksums_verified_total", io.ChecksumsVerified},
+			{"io_checksum_failures_total", io.ChecksumFailures},
+			{"io_pages_scrubbed_total", io.PagesScrubbed},
+			{"io_stale_removed_total", io.StaleRemoved},
+			{"io_pool_waits_total", io.PoolWaits},
+			{"io_pool_wait_ns_total", io.PoolWaitNanos},
+		} {
+			pw.typeLine(c.name, "counter")
+			pw.sample(c.name, nil, nil, float64(c.value))
+		}
+	}
+	return pw.err
+}
+
+// promWriter accumulates the first write error so rendering code stays flat.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (pw *promWriter) printf(format string, args ...any) {
+	if pw.err == nil {
+		_, pw.err = fmt.Fprintf(pw.w, format, args...)
+	}
+}
+
+func (pw *promWriter) typeLine(name, kind string) {
+	pw.printf("# TYPE %s%s %s\n", promPrefix, sanitizeMetricName(name), kind)
+}
+
+// sample writes one metric line; labelNames/labelValues may be nil.
+func (pw *promWriter) sample(name string, labelNames, labelValues []string, v float64) {
+	pw.printf("%s%s%s %s\n", promPrefix, sanitizeMetricName(name),
+		renderLabels(labelNames, labelValues), formatValue(v))
+}
+
+// histogram renders one log2-bucketed histogram as a Prometheus histogram:
+// cumulative bucket counts at each non-empty bucket's inclusive upper bound,
+// a final +Inf bucket equal to the count, then _sum and _count.
+func (pw *promWriter) histogram(name string, h HistogramSnapshot) {
+	n := sanitizeMetricName(name)
+	pw.printf("# TYPE %s%s histogram\n", promPrefix, n)
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		// Values in the bucket are integers in [Lo, Hi), so the inclusive
+		// Prometheus bound is Hi-1 and the cumulative count at it is exact.
+		pw.printf("%s%s_bucket{le=\"%s\"} %d\n", promPrefix, n, formatValue(float64(b.Hi-1)), cum)
+	}
+	pw.printf("%s%s_bucket{le=\"+Inf\"} %d\n", promPrefix, n, h.Count)
+	pw.printf("%s%s_sum %d\n", promPrefix, n, h.Sum)
+	pw.printf("%s%s_count %d\n", promPrefix, n, h.Count)
+}
+
+// renderLabels formats a label set as {a="x",b="y"}, or "" when empty. A
+// mismatch between names and values drops the extras rather than emitting an
+// invalid exposition.
+func renderLabels(names, values []string) string {
+	n := len(names)
+	if len(values) < n {
+		n = len(values)
+	}
+	if n == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(names[i]))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitizeMetricName maps arbitrary registry names onto the exposition
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	return sanitize(name, true)
+}
+
+// sanitizeLabelName maps arbitrary label names onto [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelName(name string) string {
+	return sanitize(name, false)
+}
+
+func sanitize(name string, allowColon bool) string {
+	if name == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(allowColon && c == ':') || (c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			if b == nil {
+				b = []byte(name)
+			}
+			b[i] = '_'
+		}
+	}
+	if b == nil {
+		return name
+	}
+	return string(b)
+}
+
+// escapeLabelValue escapes backslash, double-quote, and newline per the
+// exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

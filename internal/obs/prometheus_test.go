@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cubetree/internal/pager"
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePrometheus is a strict parser for the subset of the text exposition
+// format 0.0.4 the writer emits. It fails the test on any grammar violation:
+// malformed names, unquoted or badly escaped label values, samples without a
+// preceding # TYPE declaration, or unparsable values — so the test is a
+// round-trip check, not a string comparison.
+func parsePrometheus(t *testing.T, text string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = map[string]string{}
+	validName := func(name string, label bool) bool {
+		if name == "" {
+			return false
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(!label && c == ':') || (c >= '0' && c <= '9' && i > 0)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || parts[1] != "TYPE" {
+				t.Fatalf("line %d: bad comment %q", ln+1, line)
+			}
+			if !validName(parts[2], false) {
+				t.Fatalf("line %d: bad metric name %q", ln+1, parts[2])
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: bad type %q", ln+1, parts[3])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		s := promSample{labels: map[string]string{}}
+		rest := line
+		if i := strings.IndexAny(rest, "{ "); i < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		} else {
+			s.name = rest[:i]
+			rest = rest[i:]
+		}
+		if !validName(s.name, false) {
+			t.Fatalf("line %d: bad metric name %q", ln+1, s.name)
+		}
+		if strings.HasPrefix(rest, "{") {
+			end := strings.LastIndex(rest, "}")
+			if end < 0 {
+				t.Fatalf("line %d: unterminated label block in %q", ln+1, line)
+			}
+			body, tail := rest[1:end], rest[end+1:]
+			for body != "" {
+				eq := strings.Index(body, "=")
+				if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+					t.Fatalf("line %d: bad label pair in %q", ln+1, line)
+				}
+				lname := body[:eq]
+				if !validName(lname, true) {
+					t.Fatalf("line %d: bad label name %q", ln+1, lname)
+				}
+				// Scan the quoted value honoring backslash escapes.
+				var val strings.Builder
+				i, closed := eq+2, false
+				for ; i < len(body); i++ {
+					c := body[i]
+					if c == '\\' {
+						if i+1 >= len(body) {
+							t.Fatalf("line %d: dangling escape in %q", ln+1, line)
+						}
+						i++
+						switch body[i] {
+						case '\\':
+							val.WriteByte('\\')
+						case '"':
+							val.WriteByte('"')
+						case 'n':
+							val.WriteByte('\n')
+						default:
+							t.Fatalf("line %d: bad escape \\%c", ln+1, body[i])
+						}
+						continue
+					}
+					if c == '"' {
+						closed = true
+						break
+					}
+					val.WriteByte(c)
+				}
+				if !closed {
+					t.Fatalf("line %d: unterminated label value in %q", ln+1, line)
+				}
+				s.labels[lname] = val.String()
+				body = body[i+1:]
+				body = strings.TrimPrefix(body, ",")
+			}
+			rest = tail
+		}
+		rest = strings.TrimSpace(rest)
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil && rest != "+Inf" {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, rest, err)
+		}
+		s.value = v
+		// Histogram series carry suffixes; resolve to the declared family.
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if bt, ok := types[strings.TrimSuffix(s.name, suf)]; ok && bt == "histogram" {
+				base = strings.TrimSuffix(s.name, suf)
+				break
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding # TYPE", ln+1, s.name)
+		}
+		samples = append(samples, s)
+	}
+	return types, samples
+}
+
+func findSample(samples []promSample, name string, labels map[string]string) (promSample, bool) {
+	for _, s := range samples {
+		if s.name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s, true
+		}
+	}
+	return promSample{}, false
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	o := New(Options{Stats: &pager.Stats{}})
+	reg := o.Registry
+	reg.Counter("queries_total").Add(7)
+	reg.Gauge("generation").Set(3)
+	hits := reg.CounterVec("view_query_hits_total", "view", "tree", "arity")
+	hits.With(`V{partkey,suppkey}`, "0", "2").Add(11)
+	hits.With("weird\"view\\name\nx", "1", "1").Add(2)
+	pages := reg.GaugeVec("view_run_leaf_pages", "view", "tree", "arity")
+	pages.With(`V{partkey,suppkey}`, "0", "2").Set(128)
+	for _, v := range []int64{1, 5, 9, 100, 1023, 5000} {
+		reg.Histogram("query_latency_ns").Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parsePrometheus(t, sb.String())
+
+	if types["cubetree_queries_total"] != "counter" {
+		t.Fatalf("queries_total type = %q", types["cubetree_queries_total"])
+	}
+	if types["cubetree_view_query_hits_total"] != "counter" {
+		t.Fatal("per-view counter family not declared")
+	}
+	if types["cubetree_view_run_leaf_pages"] != "gauge" {
+		t.Fatal("per-view gauge family not declared")
+	}
+	if types["cubetree_query_latency_ns"] != "histogram" {
+		t.Fatal("histogram not declared")
+	}
+
+	s, ok := findSample(samples, "cubetree_view_query_hits_total",
+		map[string]string{"view": "V{partkey,suppkey}", "tree": "0", "arity": "2"})
+	if !ok || s.value != 11 {
+		t.Fatalf("labeled counter sample = %+v ok=%v", s, ok)
+	}
+	// Escaped label values round-trip back to the original string.
+	if _, ok := findSample(samples, "cubetree_view_query_hits_total",
+		map[string]string{"view": "weird\"view\\name\nx"}); !ok {
+		t.Fatal("escaped label value did not round-trip")
+	}
+	if s, ok = findSample(samples, "cubetree_view_run_leaf_pages",
+		map[string]string{"view": "V{partkey,suppkey}"}); !ok || s.value != 128 {
+		t.Fatalf("labeled gauge sample = %+v ok=%v", s, ok)
+	}
+
+	// Histogram: buckets cumulative and non-decreasing, +Inf equals _count,
+	// _sum equals the observed total.
+	var buckets []promSample
+	var sum, count float64
+	haveInf := false
+	for _, s := range samples {
+		switch s.name {
+		case "cubetree_query_latency_ns_bucket":
+			if s.labels["le"] == "+Inf" {
+				haveInf = true
+				count = s.value
+			} else {
+				buckets = append(buckets, s)
+			}
+		case "cubetree_query_latency_ns_sum":
+			sum = s.value
+		}
+	}
+	if !haveInf {
+		t.Fatal("histogram missing +Inf bucket")
+	}
+	if count != 6 {
+		t.Fatalf("+Inf bucket = %v, want 6", count)
+	}
+	if sum != 1+5+9+100+1023+5000 {
+		t.Fatalf("sum = %v", sum)
+	}
+	prev := -1.0
+	var prevCum float64
+	for _, b := range buckets {
+		le, err := strconv.ParseFloat(b.labels["le"], 64)
+		if err != nil {
+			t.Fatalf("bad le %q", b.labels["le"])
+		}
+		if le <= prev {
+			t.Fatalf("le bounds not increasing: %v after %v", le, prev)
+		}
+		if b.value < prevCum {
+			t.Fatalf("bucket counts not cumulative: %v after %v", b.value, prevCum)
+		}
+		prev, prevCum = le, b.value
+	}
+	if prevCum != count {
+		t.Fatalf("last bucket %v != count %v", prevCum, count)
+	}
+
+	// The attached pager stats surface as io_ counters.
+	if _, ok := types["cubetree_io_seq_reads_total"]; !ok {
+		t.Fatal("io counters not exposed")
+	}
+}
+
+func TestPrometheusNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":     "ok_name",
+		"bad-name.9":  "bad_name_9",
+		"9leading":    "_leading",
+		"":            "_",
+		"with:colons": "with:colons",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := sanitizeLabelName("with:colons"); got != "with_colons" {
+		t.Errorf("label colons must be replaced, got %q", got)
+	}
+}
+
+func TestPrometheusDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("f", "l")
+	for i := 0; i < 10; i++ {
+		v.With(fmt.Sprintf("c%d", i)).Add(uint64(i))
+	}
+	snap := reg.Snapshot()
+	var a, b strings.Builder
+	if err := WritePrometheus(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("output not deterministic for a fixed snapshot")
+	}
+}

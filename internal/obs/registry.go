@@ -70,21 +70,25 @@ func (g *Gauge) Value() int64 {
 // hot paths. All methods are safe for concurrent use and get-or-create, so
 // two components naming the same metric share it.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	gaugeFns map[string]func() int64
-	hists    map[string]*Histogram
-	stats    *pager.Stats
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	gaugeFns    map[string]func() int64
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	stats       *pager.Stats
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		gaugeFns: map[string]func() int64{},
-		hists:    map[string]*Histogram{},
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		gaugeFns:    map[string]func() int64{},
+		hists:       map[string]*Histogram{},
+		counterVecs: map[string]*CounterVec{},
+		gaugeVecs:   map[string]*GaugeVec{},
 	}
 }
 
@@ -159,10 +163,12 @@ func (r *Registry) AttachStats(s *pager.Stats) {
 
 // Snapshot is a point-in-time copy of every metric, shaped for JSON.
 type Snapshot struct {
-	Counters   map[string]uint64            `json:"counters,omitempty"`
-	Gauges     map[string]int64             `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
-	IO         *pager.StatsSnapshot         `json:"io,omitempty"`
+	Counters    map[string]uint64            `json:"counters,omitempty"`
+	Gauges      map[string]int64             `json:"gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	CounterVecs map[string]FamilySnapshot    `json:"counter_families,omitempty"`
+	GaugeVecs   map[string]FamilySnapshot    `json:"gauge_families,omitempty"`
+	IO          *pager.StatsSnapshot         `json:"io,omitempty"`
 }
 
 // Snapshot captures every registered metric. Gauge callbacks run outside the
@@ -189,11 +195,31 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, fn := range r.gaugeFns {
 		fns[name] = fn
 	}
+	cvecs := make(map[string]*CounterVec, len(r.counterVecs))
+	for name, v := range r.counterVecs {
+		cvecs[name] = v
+	}
+	gvecs := make(map[string]*GaugeVec, len(r.gaugeVecs))
+	for name, v := range r.gaugeVecs {
+		gvecs[name] = v
+	}
 	stats := r.stats
 	r.mu.Unlock()
 
 	for name, fn := range fns {
 		s.Gauges[name] = fn()
+	}
+	if len(cvecs) > 0 {
+		s.CounterVecs = make(map[string]FamilySnapshot, len(cvecs))
+		for name, v := range cvecs {
+			s.CounterVecs[name] = v.Snapshot()
+		}
+	}
+	if len(gvecs) > 0 {
+		s.GaugeVecs = make(map[string]FamilySnapshot, len(gvecs))
+		for name, v := range gvecs {
+			s.GaugeVecs[name] = v.Snapshot()
+		}
 	}
 	if stats != nil {
 		io := stats.Snapshot()
@@ -220,6 +246,12 @@ func (r *Registry) Names() []string {
 		names = append(names, n)
 	}
 	for n := range r.hists {
+		names = append(names, n)
+	}
+	for n := range r.counterVecs {
+		names = append(names, n)
+	}
+	for n := range r.gaugeVecs {
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -1,0 +1,92 @@
+package pager
+
+import (
+	"sync"
+	"testing"
+)
+
+// recordingAccess collects PageAccess callbacks for assertions.
+type recordingAccess struct {
+	mu     sync.Mutex
+	hits   map[PageID]int
+	misses map[PageID]int
+}
+
+func newRecordingAccess() *recordingAccess {
+	return &recordingAccess{hits: map[PageID]int{}, misses: map[PageID]int{}}
+}
+
+func (r *recordingAccess) PageAccess(id PageID, hit bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if hit {
+		r.hits[id]++
+	} else {
+		r.misses[id]++
+	}
+}
+
+func TestPoolAccessObserver(t *testing.T) {
+	f := newTestFile(t, nil)
+	p := NewPool(f, 4)
+	fr, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := fr.ID()
+	p.Unpin(fr, true)
+
+	// Attach after the page exists: the first fetch is a pool hit (NewPage
+	// left it resident), then evicting is impossible with capacity 4, so
+	// repeated fetches stay hits.
+	rec := newRecordingAccess()
+	p.SetAccessObserver(rec)
+	for i := 0; i < 3; i++ {
+		fr, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(fr, false)
+	}
+	if rec.hits[id] != 3 || rec.misses[id] != 0 {
+		t.Fatalf("hits/misses = %d/%d, want 3/0", rec.hits[id], rec.misses[id])
+	}
+
+	// Detach: further fetches are unobserved.
+	p.SetAccessObserver(nil)
+	fr, err = p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(fr, false)
+	if rec.hits[id] != 3 {
+		t.Fatalf("observer fired after detach: hits = %d", rec.hits[id])
+	}
+}
+
+func TestPoolAccessObserverMiss(t *testing.T) {
+	f := newTestFile(t, nil)
+	p := NewPool(f, 2)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		fr, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data()[0] = byte(i + 1)
+		ids = append(ids, fr.ID())
+		p.Unpin(fr, true)
+	}
+	rec := newRecordingAccess()
+	p.SetAccessObserver(rec)
+	// Page 0 was evicted by the third NewPage in a 2-frame pool, so this
+	// fetch goes to disk and must be reported as a miss.
+	fr, err := p.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(fr, false)
+	if rec.misses[ids[0]] != 1 {
+		t.Fatalf("misses[%d] = %d, want 1", ids[0], rec.misses[ids[0]])
+	}
+}

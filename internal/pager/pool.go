@@ -74,6 +74,11 @@ type Pool struct {
 	shards   []poolShard
 	mask     uint32
 
+	// access, when set, observes every Fetch for page-level attribution
+	// (e.g. charging leaf-run reads to the view that owns the run). The
+	// default-nil pointer keeps the uninstrumented path at one atomic load.
+	access atomic.Pointer[accessBox]
+
 	// nframes counts frames allocated across all shards; it never exceeds
 	// capacity.
 	nframes atomic.Int64
@@ -126,6 +131,29 @@ func shardCount(capacity int) int {
 	return n
 }
 
+// AccessObserver receives one callback per Fetch with the page id and
+// whether it was served from the pool (hit) or read from disk (miss).
+// Implementations must be safe for concurrent use and must not touch the
+// pool (the callback runs on the Fetch path, outside the shard locks).
+type AccessObserver interface {
+	PageAccess(id PageID, hit bool)
+}
+
+// accessBox wraps the interface so the pool can swap it with one atomic
+// pointer store.
+type accessBox struct{ ob AccessObserver }
+
+// SetAccessObserver installs (or, with nil, removes) the pool's page-access
+// observer. Safe to call concurrently with Fetch; in-flight fetches may
+// report to either the old or the new observer.
+func (p *Pool) SetAccessObserver(ob AccessObserver) {
+	if ob == nil {
+		p.access.Store(nil)
+		return
+	}
+	p.access.Store(&accessBox{ob: ob})
+}
+
 // File returns the underlying page file.
 func (p *Pool) File() *File { return p.file }
 
@@ -148,6 +176,9 @@ func (p *Pool) Fetch(id PageID) (*Frame, error) {
 			p.file.stats.recordPool(true)
 			sh.pinLocked(fr)
 			sh.mu.Unlock()
+			if box := p.access.Load(); box != nil {
+				box.ob.PageAccess(id, true)
+			}
 			return fr, nil
 		}
 		fr, err := p.frameFor(shIdx)
@@ -167,6 +198,9 @@ func (p *Pool) Fetch(id PageID) (*Frame, error) {
 			fr.dirty = false
 			sh.frames[id] = fr
 			sh.mu.Unlock()
+			if box := p.access.Load(); box != nil {
+				box.ob.PageAccess(id, false)
+			}
 			return fr, nil
 		}
 		sh.mu.Unlock()

@@ -26,24 +26,26 @@ func (c *Config) Execute(q workload.Query) ([]workload.Row, error) {
 	if c.obs != nil {
 		return c.executeObserved(q)
 	}
-	rows, _, err := c.execute(q)
+	rows, _, _, err := c.execute(q)
 	return rows, err
 }
 
-// execute plans and runs q, also returning the number of view tuples the
-// chosen access path examined.
-func (c *Config) execute(q workload.Query) ([]workload.Row, int64, error) {
+// execute plans and runs q, also returning the chosen view and the number of
+// view tuples the chosen access path examined.
+func (c *Config) execute(q workload.Query) ([]workload.Row, int64, *MatView, error) {
 	if err := q.Validate(); err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	plan, err := c.plan(q)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	if plan.Index != nil {
-		return c.executeIndex(plan.MatView, plan.Index, plan.PrefixLen, plan.RangeExtended, q)
+		rows, scanned, err := c.executeIndex(plan.MatView, plan.Index, plan.PrefixLen, plan.RangeExtended, q)
+		return rows, scanned, plan.MatView, err
 	}
-	return c.executeScan(plan.MatView, q)
+	rows, scanned, err := c.executeScan(plan.MatView, q)
+	return rows, scanned, plan.MatView, err
 }
 
 // executeObserved is Execute with the observer attached; it mirrors the
@@ -54,17 +56,24 @@ func (c *Config) executeObserved(q workload.Query) ([]workload.Row, error) {
 	start := time.Now()
 	before := c.opts.Stats.Snapshot()
 	o.Queries.Inc()
-	rows, scanned, err := c.execute(q)
+	rows, scanned, mv, err := c.execute(q)
 	dur := time.Since(start)
 	if err != nil {
 		o.QueryErrors.Inc()
 	}
 	o.PointsScanned.Add(uint64(scanned))
 	o.QueryLatency.ObserveDuration(dur)
+	if mv != nil && c.viewMetrics != nil {
+		if vm := c.viewMetrics[mv.View.Key()]; vm != nil {
+			vm.hits.Inc()
+			vm.scanned.Add(uint64(scanned))
+			vm.rows.Add(uint64(len(rows)))
+		}
+	}
 	if o.Slow.Admits(dur) {
 		view := ""
-		if plan, perr := c.plan(q); perr == nil && plan.MatView != nil {
-			view = plan.MatView.View.String()
+		if mv != nil {
+			view = mv.View.String()
 		}
 		o.SlowQueries.Inc()
 		o.Slow.Record(obs.SlowQuery{

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"cubetree/internal/btree"
 	"cubetree/internal/cube"
@@ -56,12 +57,47 @@ type Config struct {
 	order   []string            // view keys in load order, for stable reports
 	domains map[lattice.Attr]int64
 	obs     *obs.Observer
+	// viewMetrics holds per-view metric children keyed by View.Key();
+	// non-nil only while an observer is attached (see SetObserver).
+	viewMetrics map[string]*relViewMetrics
+}
+
+// relViewMetrics holds one materialized view's pre-resolved metric children.
+type relViewMetrics struct {
+	hits    *obs.Counter
+	scanned *obs.Counter
+	rows    *obs.Counter
 }
 
 // SetObserver attaches an observability sink: every subsequent Execute is
-// counted, timed, and slow-logged. A nil observer (the default) keeps the
-// query path uninstrumented. Attach before serving queries.
-func (c *Config) SetObserver(o *obs.Observer) { c.obs = o }
+// counted, timed, and slow-logged, and rel_view_* metric families record
+// per-view hits and scan volume. The families carry a rel_ prefix so a
+// shared observer (as in ctbench) keeps the conventional engine's traffic
+// separate from the Cubetree forest's view_* families. A nil observer (the
+// default) keeps the query path uninstrumented. Attach before serving
+// queries.
+func (c *Config) SetObserver(o *obs.Observer) {
+	c.obs = o
+	if o == nil {
+		c.viewMetrics = nil
+		return
+	}
+	reg := o.Registry
+	hits := reg.CounterVec("rel_view_query_hits_total", "view", "arity")
+	scanned := reg.CounterVec("rel_view_tuples_scanned_total", "view", "arity")
+	rows := reg.CounterVec("rel_view_rows_returned_total", "view", "arity")
+	c.viewMetrics = make(map[string]*relViewMetrics, len(c.order))
+	for _, key := range c.order {
+		mv := c.views[key]
+		view := mv.View.String()
+		arity := strconv.Itoa(mv.View.Arity())
+		c.viewMetrics[key] = &relViewMetrics{
+			hits:    hits.With(view, arity),
+			scanned: scanned.With(view, arity),
+			rows:    rows.With(view, arity),
+		}
+	}
+}
 
 // MatView is one materialized view: a heap table, an optional primary index
 // (full key in view attribute order -> RID) used by incremental updates,

@@ -1,8 +1,13 @@
 package cubetree
 
 import (
+	"cubetree/internal/core"
 	"cubetree/internal/obs"
 )
+
+// ViewAnalytics is one view placement's storage shape and attributed
+// workload traffic; see Warehouse.ViewAnalytics.
+type ViewAnalytics = core.ViewAnalytics
 
 // Observer is the observability sink a process attaches to a warehouse (or
 // any engine): a metrics registry with lock-free counters, gauges, and

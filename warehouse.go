@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cubetree/internal/core"
 	"cubetree/internal/cube"
@@ -34,7 +36,50 @@ type Warehouse struct {
 	forest     *core.Forest
 	generation int
 
+	// refresh tracks the merge-pack phase of an in-flight Update so the
+	// registry's progress/ETA gauges can report it; nil when idle.
+	refresh atomic.Pointer[refreshProgress]
+
 	obs *obs.Observer
+}
+
+// refreshProgress is a snapshot of one refresh's merge-pack phase: progress
+// is the fraction of ExpectedPages written (sequential writes since
+// StartWrites), and the ETA extrapolates the observed write rate. Expected
+// page counts come from the merge-pack arithmetic — the old forest's pages
+// scaled by the delta's relative size — so the estimate is coarse but derived
+// from real layout, not wall-clock guessing.
+type refreshProgress struct {
+	Start         time.Time
+	StartWrites   uint64
+	ExpectedPages uint64
+}
+
+// fraction returns completed ∈ [0,1] given the current write counter.
+func (rp *refreshProgress) fraction(writes uint64) float64 {
+	if rp.ExpectedPages == 0 {
+		return 0
+	}
+	done := float64(writes-rp.StartWrites) / float64(rp.ExpectedPages)
+	if done > 1 {
+		done = 1
+	}
+	return done
+}
+
+// etaNanos estimates the remaining merge-pack time from the write rate so
+// far; 0 until there is signal.
+func (rp *refreshProgress) etaNanos(writes uint64, now time.Time) int64 {
+	done := rp.fraction(writes)
+	elapsed := now.Sub(rp.Start)
+	if done <= 0 || elapsed <= 0 {
+		return 0
+	}
+	total := time.Duration(float64(elapsed) / done)
+	if total <= elapsed {
+		return 0
+	}
+	return int64(total - elapsed)
 }
 
 // SetObserver attaches an observability sink to the warehouse: queries are
@@ -74,6 +119,29 @@ func (w *Warehouse) SetObserver(o *obs.Observer) {
 	})
 	o.Registry.GaugeFunc("pool_pinned_frames", func() int64 {
 		return pools(func(pi pager.PoolInfo) int64 { return int64(pi.Pinned) })
+	})
+	// Refresh progress: 0/1 activity flag, merge-pack progress in permille
+	// (integer gauges can't carry a fraction), and an ETA extrapolated from
+	// the sequential-write rate against the expected page count.
+	o.Registry.GaugeFunc("refresh_active", func() int64 {
+		if w.refresh.Load() != nil {
+			return 1
+		}
+		return 0
+	})
+	o.Registry.GaugeFunc("refresh_progress_permille", func() int64 {
+		rp := w.refresh.Load()
+		if rp == nil || w.cfg.Stats == nil {
+			return 0
+		}
+		return int64(rp.fraction(w.cfg.Stats.SeqWrites()) * 1000)
+	})
+	o.Registry.GaugeFunc("refresh_eta_ns", func() int64 {
+		rp := w.refresh.Load()
+		if rp == nil || w.cfg.Stats == nil {
+			return 0
+		}
+		return rp.etaNanos(w.cfg.Stats.SeqWrites(), time.Now())
 	})
 }
 
@@ -429,6 +497,8 @@ func (w *Warehouse) Update(rows RowIter) error {
 	newGen := oldGen + 1
 	newDir := filepath.Join(w.cfg.Dir, fmt.Sprintf("gen-%06d", newGen))
 	mergeSp := tr.Child("merge-pack")
+	w.refresh.Store(newRefreshProgress(oldForest, deltas, w.cfg.Stats))
+	defer w.refresh.Store(nil)
 	next, err := oldForest.MergeUpdate(newDir, deltas, core.BuildOptions{
 		PoolPages: w.cfg.PoolPages,
 		Domains:   w.cfg.Domains,
@@ -468,6 +538,26 @@ func (w *Warehouse) Update(rows RowIter) error {
 	return nil
 }
 
+// newRefreshProgress sizes the merge-pack about to run: the new generation
+// rewrites every page of the old forest plus roughly proportional room for
+// the delta points, all as sequential writes on cfg.Stats.
+func newRefreshProgress(old *core.Forest, deltas map[string]*cube.ViewData, stats *pager.Stats) *refreshProgress {
+	rp := &refreshProgress{Start: time.Now()}
+	if stats != nil {
+		rp.StartWrites = stats.SeqWrites()
+	}
+	expected := float64(old.TotalPages())
+	if oldPoints := old.Points(); oldPoints > 0 {
+		var deltaRows int64
+		for _, vd := range deltas {
+			deltaRows += vd.Rows
+		}
+		expected *= 1 + float64(deltaRows)/float64(oldPoints)
+	}
+	rp.ExpectedPages = uint64(expected)
+	return rp
+}
+
 // Stat summarizes the warehouse's physical layout.
 type Stat struct {
 	// Trees is the number of Cubetrees in the forest.
@@ -499,17 +589,21 @@ func (w *Warehouse) Stat() Stat {
 }
 
 // DebugInfo is the live warehouse state served at /debug/warehouse: the
-// committed generation, the view placements, point/byte totals, and
-// buffer-pool occupancy per tree (with per-shard detail).
+// committed generation, the view placements, point/byte totals, buffer-pool
+// occupancy per tree (with per-shard detail), and the per-view I/O heatmap —
+// each leaf run's extent and the page-read traffic attributed to it, in
+// placement order, so a renderer can draw the forest's leaf space with hot
+// runs highlighted.
 type DebugInfo struct {
-	Generation   int              `json:"generation"`
-	Trees        int              `json:"trees"`
-	Views        []string         `json:"views"`
-	Placements   []string         `json:"placements"`
-	Points       int64            `json:"points"`
-	Bytes        int64            `json:"bytes"`
-	LeafFraction float64          `json:"leaf_fraction"`
-	Pools        []pager.PoolInfo `json:"pools"`
+	Generation   int                  `json:"generation"`
+	Trees        int                  `json:"trees"`
+	Views        []string             `json:"views"`
+	Placements   []string             `json:"placements"`
+	Points       int64                `json:"points"`
+	Bytes        int64                `json:"bytes"`
+	LeafFraction float64              `json:"leaf_fraction"`
+	Pools        []pager.PoolInfo     `json:"pools"`
+	ViewIO       []core.ViewAnalytics `json:"view_io,omitempty"`
 }
 
 // DebugInfo reports the warehouse's live state for the debug endpoint.
@@ -532,7 +626,19 @@ func (w *Warehouse) DebugInfo() DebugInfo {
 	for _, p := range w.forest.Placements() {
 		d.Placements = append(d.Placements, fmt.Sprintf("%s @ tree%d", p.View, p.Tree))
 	}
+	d.ViewIO = w.forest.ViewAnalytics()
 	return d
+}
+
+// ViewAnalytics reports per-view storage and workload analytics: each
+// placement's leaf-run shape (pages, points, compression ratio) plus the
+// query and page-read traffic attributed to it since the observer was
+// attached. Storage fields are always populated; traffic counters need
+// SetObserver.
+func (w *Warehouse) ViewAnalytics() []ViewAnalytics {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.forest.ViewAnalytics()
 }
 
 // Close flushes and closes the forest.
