@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cubetree/internal/lattice"
+	"cubetree/internal/server"
+	"cubetree/internal/workload"
+)
+
+// runServerSweep is the throughput sweep pointed at a running cubetreed:
+// the same mixed per-view query stream as the local experiment, but every
+// query travels over HTTP through the daemon's admission path, so what is
+// measured is the serving stack — parsing, gating, caching, shedding —
+// not just the engine. Shed responses are counted, retried by the client,
+// and reported; they are the expected behaviour past the admission limit,
+// not errors.
+func runServerSweep(base string, queries int, seed uint64, clients []int) error {
+	var retries atomic.Int64
+	c := &server.Client{
+		Base:    strings.TrimRight(base, "/"),
+		OnRetry: func(int, int, time.Duration) { retries.Add(1) },
+	}
+	ctx := context.Background()
+	views, err := c.Views(ctx)
+	if err != nil {
+		return fmt.Errorf("fetch /views: %w", err)
+	}
+	if len(views.Views) == 0 {
+		return fmt.Errorf("server at %s reports no views", base)
+	}
+	domains := map[lattice.Attr]int64{}
+	for a, d := range views.Domains {
+		domains[lattice.Attr(a)] = d
+	}
+
+	// One generator per served view, interleaved round-robin — the shape
+	// of the local RunThroughput batch.
+	gens := make([]*workload.Generator, len(views.Views))
+	nodes := make([][]lattice.Attr, len(views.Views))
+	for i, v := range views.Views {
+		gens[i] = workload.NewGenerator(seed+uint64(i)*7919, domains)
+		for _, a := range v.Attrs {
+			nodes[i] = append(nodes[i], lattice.Attr(a))
+		}
+	}
+	var sqls []string
+	for q := 0; q < queries; q++ {
+		for i := range views.Views {
+			sqls = append(sqls, server.SQLFor(gens[i].ForNode(nodes[i])))
+		}
+	}
+
+	fmt.Printf("server throughput sweep against %s: %d queries over %d views (generation %d)\n",
+		c.Base, len(sqls), len(views.Views), views.Generation)
+	fmt.Printf("  %8s %10s %10s %8s %8s %8s\n", "clients", "qps", "wall", "cached", "retries", "shed")
+	for _, nClients := range clients {
+		retries.Store(0)
+		var (
+			wg     sync.WaitGroup
+			next   = make(chan string)
+			cached atomic.Int64
+			shed   atomic.Int64
+			fail   atomic.Value
+		)
+		start := time.Now()
+		for w := 0; w < nClients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for sql := range next {
+					res, err := c.Query(ctx, sql)
+					if err != nil {
+						if apiErr, ok := err.(*server.APIError); ok && (apiErr.Status == 429 || apiErr.Status == 503) {
+							shed.Add(1)
+							continue
+						}
+						fail.CompareAndSwap(nil, err)
+						continue
+					}
+					if res.Cached {
+						cached.Add(1)
+					}
+				}
+			}()
+		}
+		for _, sql := range sqls {
+			next <- sql
+		}
+		close(next)
+		wg.Wait()
+		if err, ok := fail.Load().(error); ok && err != nil {
+			return fmt.Errorf("@%d clients: %w", nClients, err)
+		}
+		wall := time.Since(start)
+		fmt.Printf("  %8d %10.1f %10v %8d %8d %8d\n",
+			nClients, float64(len(sqls))/wall.Seconds(), wall.Round(time.Millisecond),
+			cached.Load(), retries.Load(), shed.Load())
+	}
+	return nil
+}

@@ -36,8 +36,16 @@ func main() {
 		dbgAddr = flag.String("debug-addr", "", "serve /debug/metrics, /debug/traces, /debug/warehouse, and pprof on this address")
 		slow    = flag.Duration("slow", 0, "log queries at or above this latency and print them at exit (0 = off)")
 		stats_  = flag.Bool("stats", false, "print a per-view breakdown (hits, scan volume, selectivity, pool hit ratio) at exit")
+		srvURL  = flag.String("server", "", "query a running cubetreed at this URL over HTTP instead of opening -dir")
 	)
 	flag.Parse()
+	if *srvURL != "" {
+		runServerMode(serverOpts{
+			base: *srvURL, sql: *sql, node: *node, fix: *fix,
+			random: *random, par: *par, limit: *limit, seed: *seed,
+		})
+		return
+	}
 	if *dir == "" {
 		fatal(fmt.Errorf("-dir is required"))
 	}

@@ -1,0 +1,118 @@
+// Command cubetreed serves a Cubetree warehouse over HTTP: sqlish queries
+// on POST /query, the warehouse description on GET /views, CSV deltas on
+// POST /admin/refresh, health/readiness probes, and the debug endpoints
+// (metrics, Prometheus exposition, traces, pprof) on /debug/ — one port,
+// one process.
+//
+//	cubetreed -dir ./wh -addr :8347
+//
+// The server is built to stay up under abuse: bounded admission with load
+// shedding (429/503 + Retry-After), per-client rate limiting, per-request
+// timeouts that actually cancel the underlying scans, panic recovery, and
+// graceful drain on SIGTERM/SIGINT (stop accepting, finish in-flight,
+// exit).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cubetree"
+	"cubetree/internal/server"
+)
+
+func main() {
+	var (
+		dir        = flag.String("dir", "", "warehouse directory (required; build one with ctload)")
+		addr       = flag.String("addr", ":8347", "listen address")
+		inflight   = flag.Int("max-inflight", 16, "max concurrently executing requests")
+		queue      = flag.Int("max-queue", 0, "max requests queued for admission (0 = 4x max-inflight)")
+		queueWait  = flag.Duration("queue-wait", time.Second, "max time a request waits for an execution slot")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request execution timeout")
+		rate       = flag.Float64("rate", 0, "per-client requests/sec (0 = unlimited)")
+		burst      = flag.Int("burst", 0, "per-client burst (0 = 2x rate)")
+		cacheSize  = flag.Int("cache", 1024, "result cache entries (negative = disabled)")
+		batchPar   = flag.Int("batch-parallel", 4, "workers per request's statement batch")
+		poolWait   = flag.Duration("pool-wait", 0, "buffer-pool exhaustion wait before shedding (0 = engine default)")
+		slow       = flag.Duration("slow", 100*time.Millisecond, "slow-query log threshold (0 = off)")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "max time to finish in-flight requests on shutdown")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "cubetreed: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	stats := &cubetree.Stats{}
+	w, err := cubetree.Open(*dir, stats)
+	if err != nil {
+		log.Fatalf("cubetreed: open warehouse: %v", err)
+	}
+	defer w.Close()
+	if *poolWait > 0 {
+		w.SetExhaustionWait(*poolWait)
+	}
+
+	o := cubetree.NewObserver(cubetree.ObserverOptions{SlowThreshold: *slow, Stats: stats})
+	w.SetObserver(o)
+
+	srv := server.New(server.Config{
+		Store:            w,
+		MaxInFlight:      *inflight,
+		MaxQueue:         *queue,
+		QueueWait:        *queueWait,
+		RequestTimeout:   *timeout,
+		RatePerSec:       *rate,
+		RateBurst:        *burst,
+		CacheEntries:     *cacheSize,
+		BatchParallelism: *batchPar,
+		Obs:              o,
+		Debug:            cubetree.DebugMux(w, o),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("cubetreed: listen: %v", err)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	log.Printf("cubetreed: serving %s on http://%s (views=%d gen=%d)",
+		*dir, ln.Addr(), len(w.Views()), w.Generation())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-done:
+		log.Fatalf("cubetreed: serve: %v", err)
+	case s := <-sig:
+		log.Printf("cubetreed: %v: draining (grace %v)", s, *drainGrace)
+	}
+
+	// Drain first — new queries shed with 503, readiness flips so load
+	// balancers stop routing here — then close the listener once in-flight
+	// work is done. Shutdown also waits for handlers still writing.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("cubetreed: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("cubetreed: shutdown: %v", err)
+	}
+	log.Printf("cubetreed: stopped")
+}

@@ -29,6 +29,8 @@
 package cubetree
 
 import (
+	"time"
+
 	"cubetree/internal/cube"
 	"cubetree/internal/lattice"
 	"cubetree/internal/pager"
@@ -117,6 +119,12 @@ type Config struct {
 	// PoolPages is the buffer pool capacity per Cubetree (default 256
 	// pages of 8 KiB).
 	PoolPages int
+	// ExhaustionWait bounds how long a query blocked on a fully pinned
+	// buffer pool waits for a frame before failing with
+	// pager.ErrPoolExhausted (default 200ms). The returned error carries
+	// the waited duration, so an admission layer can translate exhaustion
+	// into an honest Retry-After.
+	ExhaustionWait time.Duration
 	// MemLimit bounds the external sorter's memory during materialization
 	// and updates (default 16 MiB).
 	MemLimit int

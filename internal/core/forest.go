@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"cubetree/internal/cube"
 	"cubetree/internal/lattice"
@@ -26,6 +27,9 @@ type Placement struct {
 type BuildOptions struct {
 	// PoolPages is the buffer pool capacity per tree (default 256 pages).
 	PoolPages int
+	// ExhaustionWait bounds the buffer pools' pinned-frame wait before
+	// reporting pager.ErrPoolExhausted (0 = pager.DefaultExhaustionWait).
+	ExhaustionWait time.Duration
 	// Fanout caps node capacity for tests (0 = page capacity).
 	Fanout int
 	// Domains provides attribute domain sizes for the query planner's
@@ -77,6 +81,16 @@ func (f *Forest) SetObserver(o *obs.Observer) {
 
 // Observer returns the attached observability sink, or nil.
 func (f *Forest) Observer() *obs.Observer { return f.obs }
+
+// SetExhaustionWait retunes every tree pool's pinned-frame wait bound; d <= 0
+// restores the pager default. Safe on a live forest.
+func (f *Forest) SetExhaustionWait(d time.Duration) {
+	for _, p := range f.pools {
+		if p != nil {
+			p.SetExhaustionWait(d)
+		}
+	}
+}
 
 // PoolInfos reports buffer-pool occupancy per tree, for debug endpoints.
 func (f *Forest) PoolInfos() []pager.PoolInfo {
@@ -165,7 +179,7 @@ func Build(dir string, sources []*cube.ViewData, opts BuildOptions) (*Forest, er
 		if err != nil {
 			return err
 		}
-		pool := pager.NewPool(pf, opts.PoolPages)
+		pool := pager.NewPoolConfig(pf, opts.PoolPages, pager.Config{ExhaustionWait: opts.ExhaustionWait})
 		fail := func(err error) error {
 			pool.Close()
 			return err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,7 +16,7 @@ import (
 // before/after snapshot of the forest's shared Stats, so under concurrent
 // queries it may include pages of overlapping queries (see
 // docs/OBSERVABILITY.md).
-func (f *Forest) executeObserved(q workload.Query) ([]workload.Row, error) {
+func (f *Forest) executeObserved(ctx context.Context, q workload.Query) ([]workload.Row, error) {
 	o := f.obs
 	start := time.Now()
 	before := f.stats.Snapshot()
@@ -35,14 +36,14 @@ func (f *Forest) executeObserved(q workload.Query) ([]workload.Row, error) {
 	}
 	best := f.choosePlacement(q)
 	if best < 0 {
-		return fail(fmt.Errorf("core: no placement covers %s", q))
+		return fail(fmt.Errorf("%w: %s", ErrNoPlacement, q))
 	}
 	p := &f.placements[best]
 	// &p.View: boxing the pointer avoids copying the View into the interface.
 	sp.SetStringer("view", &p.View)
 	sp.SetInt("tree", int64(p.Tree))
 
-	rows, scanned, err := f.executeOn(p, q)
+	rows, scanned, err := f.executeOn(ctx, p, q)
 	dur := time.Since(start)
 	delta := f.stats.Snapshot().Sub(before)
 	sp.SetInt("points_scanned", scanned)

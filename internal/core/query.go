@@ -1,12 +1,24 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"cubetree/internal/lattice"
 	"cubetree/internal/workload"
 )
+
+// ErrNoPlacement is wrapped into the error returned when no materialized
+// view (or replica) covers a query's node — a client-side query mistake, not
+// an engine failure; a server maps it to a 4xx.
+var ErrNoPlacement = errors.New("core: no placement covers query")
+
+// cancelCheckInterval is how many scanned points pass between context
+// checks during a leaf scan: rare enough to stay off the profile, frequent
+// enough that a cancelled query stops within a few pages.
+const cancelCheckInterval = 1024
 
 // Execute answers a slice query against the forest. It implements
 // workload.Engine.
@@ -19,17 +31,26 @@ import (
 // This is what makes replicas in different sort orders useful: each makes a
 // different predicate set cheap.
 func (f *Forest) Execute(q workload.Query) ([]workload.Row, error) {
+	return f.ExecuteCtx(context.Background(), q)
+}
+
+// ExecuteCtx is Execute under a context: once ctx is cancelled or past its
+// deadline the leaf scan stops within cancelCheckInterval points and the
+// context's error is returned, so a timed-out or disconnected client stops
+// consuming I/O instead of scanning to completion. It implements
+// workload.EngineCtx.
+func (f *Forest) ExecuteCtx(ctx context.Context, q workload.Query) ([]workload.Row, error) {
 	if f.obs != nil {
-		return f.executeObserved(q)
+		return f.executeObserved(ctx, q)
 	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	best := f.choosePlacement(q)
 	if best < 0 {
-		return nil, fmt.Errorf("core: no placement covers %s", q)
+		return nil, fmt.Errorf("%w: %s", ErrNoPlacement, q)
 	}
-	rows, _, err := f.executeOn(&f.placements[best], q)
+	rows, _, err := f.executeOn(ctx, &f.placements[best], q)
 	return rows, err
 }
 
@@ -95,8 +116,12 @@ func (f *Forest) placementCost(p *Placement, q workload.Query) float64 {
 
 // executeOn runs q against placement p and aggregates the matching points
 // by the query's node attributes. It also returns the number of stored
-// points the search visited, for per-query observability.
-func (f *Forest) executeOn(p *Placement, q workload.Query) ([]workload.Row, int64, error) {
+// points the search visited, for per-query observability. ctx is polled
+// every cancelCheckInterval points so cancellation interrupts the scan.
+func (f *Forest) executeOn(ctx context.Context, p *Placement, q workload.Query) ([]workload.Row, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	tree := f.trees[p.Tree]
 	dim := tree.Dim()
 	lo := make([]int64, dim)
@@ -133,6 +158,11 @@ func (f *Forest) executeOn(p *Placement, q workload.Query) ([]workload.Row, int6
 	var scanned int64
 	err := tree.Search(lo, hi, func(coords, measures []int64) error {
 		scanned++
+		if scanned%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		for i, pos := range groupPos {
 			group[i] = coords[pos]
 		}

@@ -12,15 +12,44 @@ import (
 )
 
 // ErrPoolExhausted is returned when every frame in the pool is pinned and a
-// new page is requested. The pool first waits up to exhaustedWait for a
-// concurrent Unpin before giving up.
+// new page is requested. The pool first waits up to Config.ExhaustionWait
+// for a concurrent Unpin before giving up. The error returned from
+// Fetch/NewPage is an *ExhaustedError wrapping this sentinel, so callers
+// match with errors.Is and recover the wait bound with errors.As.
 var ErrPoolExhausted = errors.New("pager: buffer pool exhausted (all frames pinned)")
 
-// exhaustedWait bounds how long Fetch/NewPage waits for a concurrent Unpin
-// when every frame is pinned before failing with ErrPoolExhausted. A
-// transiently full pool (another goroutine about to unpin) should not fail
-// the caller; a genuinely wedged one must not block it forever.
-const exhaustedWait = 200 * time.Millisecond
+// ExhaustedError reports a failed frame allocation after the bounded
+// exhaustion wait expired. Wait is how long the caller was held before the
+// pool gave up — an admission layer can turn it into an honest Retry-After,
+// since a client retrying sooner than one full wait bound will most likely
+// hit the same pinned pool.
+type ExhaustedError struct {
+	// Wait is the duration the allocation waited before failing.
+	Wait time.Duration
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("%v after waiting %v", ErrPoolExhausted, e.Wait.Round(time.Millisecond))
+}
+
+// Unwrap makes errors.Is(err, ErrPoolExhausted) hold.
+func (e *ExhaustedError) Unwrap() error { return ErrPoolExhausted }
+
+// DefaultExhaustionWait is the exhaustion wait bound used when
+// Config.ExhaustionWait is zero. A transiently full pool (another goroutine
+// about to unpin) should not fail the caller; a genuinely wedged one must
+// not block it forever.
+const DefaultExhaustionWait = 200 * time.Millisecond
+
+// Config tunes a Pool beyond its capacity.
+type Config struct {
+	// ExhaustionWait bounds how long Fetch/NewPage waits for a concurrent
+	// Unpin when every frame is pinned before failing with an
+	// *ExhaustedError (default DefaultExhaustionWait). A server sizes this
+	// against its latency budget: shorter sheds load faster, longer rides
+	// out pin spikes.
+	ExhaustionWait time.Duration
+}
 
 // exhaustedPoll caps one wait slice so the waiter re-attempts allocation
 // periodically even if it raced with the unpin notification.
@@ -83,6 +112,11 @@ type Pool struct {
 	// capacity.
 	nframes atomic.Int64
 
+	// exhaustionWait is the configured wait bound in nanoseconds (0 means
+	// DefaultExhaustionWait). Atomic so SetExhaustionWait may retune a live
+	// pool without racing in-flight fetches.
+	exhaustionWait atomic.Int64
+
 	// Exhaustion waiters: Unpin rotates unpinCh (close + replace) when a
 	// frame becomes evictable and someone is waiting for one.
 	waiters atomic.Int32
@@ -90,13 +124,38 @@ type Pool struct {
 	unpinCh chan struct{}
 }
 
-// NewPool creates a buffer pool of the given capacity (in pages) over file.
-// Capacity must be at least 1.
+// NewPool creates a buffer pool of the given capacity (in pages) over file
+// with default tuning. Capacity must be at least 1.
 func NewPool(file *File, capacity int) *Pool {
+	return NewPoolConfig(file, capacity, Config{})
+}
+
+// NewPoolConfig creates a buffer pool with explicit tuning.
+func NewPoolConfig(file *File, capacity int, cfg Config) *Pool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return newPool(file, capacity, shardCount(capacity))
+	p := newPool(file, capacity, shardCount(capacity))
+	p.SetExhaustionWait(cfg.ExhaustionWait)
+	return p
+}
+
+// SetExhaustionWait retunes the exhaustion wait bound on a live pool; d <= 0
+// restores DefaultExhaustionWait. Safe to call concurrently with Fetch;
+// in-flight waiters keep the bound they armed with.
+func (p *Pool) SetExhaustionWait(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.exhaustionWait.Store(int64(d))
+}
+
+// exhaustedWait returns the effective wait bound.
+func (p *Pool) exhaustedWait() time.Duration {
+	if d := p.exhaustionWait.Load(); d > 0 {
+		return time.Duration(d)
+	}
+	return DefaultExhaustionWait
 }
 
 // newPool builds a pool with an explicit power-of-two shard count (tests
@@ -275,12 +334,12 @@ func (p *Pool) Unpin(fr *Frame, dirty bool) {
 // in tail latency.
 func (p *Pool) waitUnpinned(deadline *time.Time) error {
 	now := time.Now()
+	bound := p.exhaustedWait()
 	if deadline.IsZero() {
-		*deadline = now.Add(exhaustedWait)
+		*deadline = now.Add(bound)
 		p.file.stats.recordPoolWait(0)
 	} else if now.After(*deadline) {
-		waited := now.Sub(deadline.Add(-exhaustedWait))
-		return fmt.Errorf("%w after waiting %v", ErrPoolExhausted, waited.Round(time.Millisecond))
+		return &ExhaustedError{Wait: now.Sub(deadline.Add(-bound))}
 	}
 	p.waiters.Add(1)
 	defer p.waiters.Add(-1)

@@ -47,7 +47,7 @@ func TestPoolWaitsForUnpin(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Fetch after concurrent Unpin: %v", err)
 		}
-	case <-time.After(2 * exhaustedWait):
+	case <-time.After(2 * DefaultExhaustionWait):
 		t.Fatal("Fetch did not wake up after Unpin")
 	}
 }
@@ -70,8 +70,8 @@ func TestPoolExhaustedAfterWait(t *testing.T) {
 	if !errors.Is(err, ErrPoolExhausted) {
 		t.Fatalf("err = %v, want ErrPoolExhausted", err)
 	}
-	if waited := time.Since(start); waited < exhaustedWait/2 {
-		t.Fatalf("failed after %v, want a bounded wait of ~%v first", waited, exhaustedWait)
+	if waited := time.Since(start); waited < DefaultExhaustionWait/2 {
+		t.Fatalf("failed after %v, want a bounded wait of ~%v first", waited, DefaultExhaustionWait)
 	}
 	p.Unpin(a, false)
 }
@@ -206,5 +206,51 @@ func TestShardCount(t *testing.T) {
 		if n > 1 && capacity/n < 8 {
 			t.Fatalf("shardCount(%d) = %d starves shards (%d frames each)", capacity, n, capacity/n)
 		}
+	}
+}
+
+// TestPoolExhaustionWaitConfigurable pins the PR 5 contract the server's
+// Retry-After depends on: the wait bound is tunable per pool, and the typed
+// ExhaustedError reports how long was actually waited.
+func TestPoolExhaustionWaitConfigurable(t *testing.T) {
+	f, err := Create(filepath.Join(t.TempDir(), "x.pg"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := NewPoolConfig(f, 1, Config{ExhaustionWait: 20 * time.Millisecond})
+	a, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Unpin(a, false)
+
+	start := time.Now()
+	_, err = p.NewPage()
+	waited := time.Since(start)
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *ExhaustedError", err)
+	}
+	if ex.Wait < 20*time.Millisecond {
+		t.Fatalf("ExhaustedError.Wait = %v, want >= the configured 20ms", ex.Wait)
+	}
+	if waited >= DefaultExhaustionWait {
+		t.Fatalf("waited %v; the configured 20ms bound was ignored for the default %v",
+			waited, DefaultExhaustionWait)
+	}
+
+	// Retuning a live pool applies to subsequent waits.
+	p.SetExhaustionWait(40 * time.Millisecond)
+	start = time.Now()
+	_, err = p.NewPage()
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+	if waited := time.Since(start); waited < 40*time.Millisecond {
+		t.Fatalf("waited only %v after SetExhaustionWait(40ms)", waited)
 	}
 }

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cubetree/internal/workload"
+)
+
+// Client is a retrying HTTP client for cubetreed. Shed responses (429 and
+// 503) are retried with backoff, honoring the server's Retry-After when it
+// is shorter than the next backoff step — the server's estimate of when
+// capacity returns is better than a blind schedule. 4xx client errors are
+// never retried; they would fail identically forever.
+type Client struct {
+	// Base is the server root, e.g. "http://localhost:8347".
+	Base string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after the first try (default 4).
+	MaxRetries int
+	// Backoff is the initial retry delay, doubled each attempt
+	// (default 100ms).
+	Backoff time.Duration
+	// OnRetry, when set, observes each retry (attempt is 1-based).
+	OnRetry func(attempt int, status int, wait time.Duration)
+}
+
+// APIError is a structured error response from the server.
+type APIError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+func (c *Client) retries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 4
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.Backoff <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.Backoff
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Query executes one sqlish statement and returns its result.
+func (c *Client) Query(ctx context.Context, sql string) (*StatementResult, error) {
+	resp, err := c.QueryBatch(ctx, []string{sql})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != 1 {
+		return nil, fmt.Errorf("server: expected 1 result, got %d", len(resp.Results))
+	}
+	return &resp.Results[0], nil
+}
+
+// QueryBatch executes statements as one request and returns the full
+// response envelope (results in statement order, plus the generation they
+// came from).
+func (c *Client) QueryBatch(ctx context.Context, sqls []string) (*QueryResponse, error) {
+	body, err := json.Marshal(QueryRequest{Batch: sqls})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.do(ctx, http.MethodPost, "/query", "application/json", body)
+	if err != nil {
+		return nil, err
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("server: bad response body: %v", err)
+	}
+	if len(resp.Results) != len(sqls) {
+		return nil, fmt.Errorf("server: expected %d results, got %d", len(sqls), len(resp.Results))
+	}
+	return &resp, nil
+}
+
+// Views fetches the warehouse description.
+func (c *Client) Views(ctx context.Context) (*ViewsResponse, error) {
+	raw, err := c.do(ctx, http.MethodGet, "/views", "", nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp ViewsResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("server: bad response body: %v", err)
+	}
+	return &resp, nil
+}
+
+// Refresh streams a CSV delta to /admin/refresh. Refreshes are not retried:
+// the request body is consumed and a conflict (another refresh running) is
+// a caller decision, not a transient fault.
+func (c *Client) Refresh(ctx context.Context, csv io.Reader, measure string) (*RefreshResponse, error) {
+	url := c.Base + "/admin/refresh"
+	if measure != "" {
+		url += "?measure=" + measure
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, csv)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	res, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := readResponse(res)
+	if err != nil {
+		return nil, err
+	}
+	var resp RefreshResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("server: bad response body: %v", err)
+	}
+	return &resp, nil
+}
+
+// do issues one request with retries on shed responses and transport
+// errors.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
+	var lastErr error
+	wait := c.backoff()
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		res, err := c.httpClient().Do(req)
+		var status int
+		var retryAfter time.Duration
+		if err != nil {
+			lastErr = err // transport error: server restarting, listener draining
+		} else {
+			raw, rerr := readResponse(res)
+			var apiErr *APIError
+			if rerr == nil {
+				return raw, nil
+			}
+			if !asAPIError(rerr, &apiErr) || !retryable(apiErr.Status) {
+				return nil, rerr
+			}
+			lastErr, status, retryAfter = rerr, apiErr.Status, apiErr.RetryAfter
+		}
+		if attempt >= c.retries() {
+			return nil, lastErr
+		}
+		sleep := wait
+		if retryAfter > 0 && retryAfter < sleep {
+			sleep = retryAfter
+		}
+		if c.OnRetry != nil {
+			c.OnRetry(attempt+1, status, sleep)
+		}
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		wait *= 2
+	}
+}
+
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+func asAPIError(err error, out **APIError) bool {
+	if e, ok := err.(*APIError); ok {
+		*out = e
+		return true
+	}
+	return false
+}
+
+// readResponse drains one response, turning non-2xx statuses into *APIError
+// (decoding the structured body when the server sent one).
+func readResponse(res *http.Response) ([]byte, error) {
+	defer res.Body.Close()
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		return nil, err
+	}
+	if res.StatusCode >= 200 && res.StatusCode < 300 {
+		return raw, nil
+	}
+	apiErr := &APIError{Status: res.StatusCode, Code: CodeInternal, Message: strings.TrimSpace(string(raw))}
+	var envelope ErrorResponse
+	if json.Unmarshal(raw, &envelope) == nil && envelope.Error.Code != "" {
+		apiErr.Code = envelope.Error.Code
+		apiErr.Message = envelope.Error.Message
+		apiErr.RetryAfter = time.Duration(envelope.Error.RetryAfterMS) * time.Millisecond
+	}
+	if apiErr.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(res.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return raw, apiErr
+}
+
+// SQLFor renders a slice query as sqlish text, so tools that think in
+// workload.Query terms (the bench driver, the query shell) can speak to the
+// server without a second wire format. The rendering round-trips through
+// sqlish.Parse back to an equivalent query.
+func SQLFor(q workload.Query) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for _, a := range q.Node {
+		b.WriteString(string(a))
+		b.WriteString(", ")
+	}
+	b.WriteString("sum(m)")
+	if len(q.Node) == 0 {
+		b.WriteString(", count(*)")
+	}
+	b.WriteString(" FROM facts")
+	if len(q.Fixed) > 0 || len(q.Ranges) > 0 {
+		b.WriteString(" WHERE ")
+		preds := make([]string, 0, len(q.Fixed)+len(q.Ranges))
+		for _, p := range q.Fixed {
+			preds = append(preds, fmt.Sprintf("%s = %d", p.Attr, p.Value))
+		}
+		for _, r := range q.Ranges {
+			preds = append(preds, fmt.Sprintf("%s BETWEEN %d AND %d", r.Attr, r.Lo, r.Hi))
+		}
+		sort.Strings(preds)
+		b.WriteString(strings.Join(preds, " AND "))
+	}
+	if len(q.Node) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, a := range q.Node {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(string(a))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Error codes returned in the structured error body. Clients branch on the
+// code, not the message.
+const (
+	CodeBadRequest    = "bad_request"    // malformed request envelope
+	CodeBadSQL        = "bad_sql"        // SQL failed to parse or validate
+	CodeUnknownView   = "unknown_view"   // no materialized view covers the query
+	CodeBodyTooLarge  = "body_too_large" // request body over the configured limit
+	CodeRateLimited   = "rate_limited"   // per-client token bucket empty
+	CodeOverloaded    = "overloaded"     // admission queue full or wait expired
+	CodePoolExhausted = "pool_exhausted" // buffer pool had no frame within its wait bound
+	CodeDraining      = "draining"       // server is draining and accepts no new work
+	CodeDeadline      = "deadline"       // per-request timeout expired mid-query
+	CodeCanceled      = "canceled"       // client went away mid-query
+	CodeRefreshBusy   = "refresh_busy"   // another refresh is in flight
+	CodeInternal      = "internal"       // bug: panic or unclassified failure
+	CodeNotFound      = "not_found"      // unknown endpoint
+	CodeMethod        = "method"         // wrong HTTP method
+)
+
+// ErrorBody is the structured error every non-2xx response carries.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS mirrors the Retry-After header for clients that prefer
+	// the body; 0 means the request is not worth retrying as-is.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorResponse is the JSON envelope of an error.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// writeError emits one structured error response. retryAfter > 0 also sets
+// the Retry-After header (whole seconds, rounded up, minimum 1) so shed
+// clients back off honestly instead of hammering.
+func writeError(w http.ResponseWriter, status int, code, message string, retryAfter time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: ErrorBody{
+		Code:         code,
+		Message:      message,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	}})
+}

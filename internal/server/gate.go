@@ -1,0 +1,75 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errQueueFull is returned by acquire when the wait queue is at capacity:
+// admitting the request would make queueing unbounded, so it is shed
+// immediately.
+var errQueueFull = errors.New("server: admission queue full")
+
+// errQueueTimeout is returned when a queued request's wait bound expires
+// before a slot frees up: the server is saturated and holding the client
+// longer would just move the timeout downstream.
+var errQueueTimeout = errors.New("server: admission wait expired")
+
+// gate is the admission controller: a semaphore of execution slots plus a
+// bounded, deadline-aware wait queue. Requests that cannot get a slot
+// immediately wait at most queueWait while at most maxQueue of them are
+// parked; everything beyond that is shed so memory and tail latency stay
+// bounded no matter the offered load.
+type gate struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+}
+
+func newGate(maxInFlight, maxQueue int) *gate {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &gate{slots: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+}
+
+// acquire claims one execution slot, waiting up to queueWait in the bounded
+// queue. On success it returns the release func and the time spent queued;
+// on failure the error is errQueueFull, errQueueTimeout, or the context's
+// error (client gone while queued).
+func (g *gate) acquire(ctx context.Context, queueWait time.Duration) (release func(), waited time.Duration, err error) {
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, 0, nil
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return nil, 0, errQueueFull
+	}
+	defer g.queued.Add(-1)
+	start := time.Now()
+	timer := time.NewTimer(queueWait)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, time.Since(start), nil
+	case <-timer.C:
+		return nil, time.Since(start), errQueueTimeout
+	case <-ctx.Done():
+		return nil, time.Since(start), ctx.Err()
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+// depth reports how many requests are parked in the queue right now.
+func (g *gate) depth() int64 { return g.queued.Load() }
+
+// inUse reports how many execution slots are currently claimed.
+func (g *gate) inUse() int64 { return int64(len(g.slots)) }

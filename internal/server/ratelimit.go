@@ -1,0 +1,79 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token-bucket rate limiter. Each client key (the
+// remote IP) owns a bucket of capacity burst refilled at rate tokens/sec;
+// a request costs one token. Buckets are created on first sight and pruned
+// once they are both full and stale, so the map stays proportional to the
+// set of recently active clients.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// pruneAbove bounds the bucket map: past this many clients, a take() sweeps
+// out buckets idle long enough to have refilled completely.
+const pruneAbove = 4096
+
+func newLimiter(rate float64, burst int) *limiter {
+	if rate <= 0 {
+		return nil // nil limiter = unlimited; take() is nil-safe
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+// take spends one token from key's bucket. When the bucket is empty it
+// reports false plus the time until one token refills — the honest
+// Retry-After for this client.
+func (l *limiter) take(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= pruneAbove {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// pruneLocked drops buckets idle long enough to be full again — their state
+// is indistinguishable from a fresh bucket, so forgetting them is free.
+func (l *limiter) pruneLocked(now time.Time) {
+	fullAfter := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > fullAfter {
+			delete(l.buckets, k)
+		}
+	}
+}

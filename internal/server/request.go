@@ -1,0 +1,114 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// maxBatchStatements bounds one request's batch so a single client cannot
+// monopolize the executor with an enormous batch that passes admission as
+// one request.
+const maxBatchStatements = 256
+
+// QueryRequest is the /query request envelope. Exactly one of SQL or Batch
+// must be set. A request whose body is not a JSON object is treated as raw
+// SQL text, so `curl -d 'SELECT ...' /query` works without JSON quoting.
+type QueryRequest struct {
+	// SQL is a single statement in the sqlish dialect.
+	SQL string `json:"sql,omitempty"`
+	// Batch lists statements executed as one admission unit; results come
+	// back in order.
+	Batch []string `json:"batch,omitempty"`
+	// TimeoutMS optionally lowers the server's per-request timeout for
+	// this request; it can never raise it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// statements returns the request's statements, normalizing the two forms.
+func (q *QueryRequest) statements() []string {
+	if q.SQL != "" {
+		return []string{q.SQL}
+	}
+	return q.Batch
+}
+
+// decodeQueryRequest parses a /query body. JSON object bodies use the
+// QueryRequest envelope with unknown fields rejected (a typo'd field name
+// silently ignored would be a debugging trap); anything else is taken as
+// raw SQL text. Errors are client errors: the caller maps them to 400.
+func decodeQueryRequest(body []byte) (*QueryRequest, error) {
+	trimmed := bytes.TrimSpace(body)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("empty request body (send SQL text or a JSON {\"sql\": ...} envelope)")
+	}
+	if trimmed[0] != '{' {
+		return &QueryRequest{SQL: string(trimmed)}, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	var req QueryRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad JSON envelope: %v", err)
+	}
+	// Trailing garbage after the object would silently vanish otherwise.
+	if dec.More() {
+		return nil, fmt.Errorf("bad JSON envelope: trailing data after object")
+	}
+	if req.SQL != "" && len(req.Batch) > 0 {
+		return nil, fmt.Errorf("set either sql or batch, not both")
+	}
+	if req.SQL == "" && len(req.Batch) == 0 {
+		return nil, fmt.Errorf("empty request: set sql or batch")
+	}
+	for i, s := range req.Batch {
+		if strings.TrimSpace(s) == "" {
+			return nil, fmt.Errorf("batch[%d] is empty", i)
+		}
+	}
+	if len(req.Batch) > maxBatchStatements {
+		return nil, fmt.Errorf("batch of %d statements exceeds the limit of %d", len(req.Batch), maxBatchStatements)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("negative timeout_ms")
+	}
+	return &req, nil
+}
+
+// StatementResult is one statement's answer.
+type StatementResult struct {
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	// Cached marks an answer served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// QueryResponse is the /query response envelope. Results are in statement
+// order. Generation is the forest generation the answers came from, so a
+// client can detect refreshes between requests.
+type QueryResponse struct {
+	Generation int               `json:"generation"`
+	Results    []StatementResult `json:"results"`
+}
+
+// ViewDef is one materialized view in the /views listing.
+type ViewDef struct {
+	Name  string   `json:"name,omitempty"`
+	Attrs []string `json:"attrs"`
+}
+
+// ViewsResponse describes the warehouse to clients: enough for a load
+// generator to synthesize valid queries without out-of-band configuration.
+type ViewsResponse struct {
+	Generation int              `json:"generation"`
+	Views      []ViewDef        `json:"views"`
+	Domains    map[string]int64 `json:"domains,omitempty"`
+	Measures   []string         `json:"measures,omitempty"`
+}
+
+// RefreshResponse is the /admin/refresh success envelope.
+type RefreshResponse struct {
+	Generation int   `json:"generation"`
+	Rows       int64 `json:"rows"`
+}

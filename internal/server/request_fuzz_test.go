@@ -1,0 +1,75 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"cubetree/internal/sqlish"
+)
+
+// FuzzDecodeRequest hammers the /query body decoder (and, for bodies that
+// decode, the SQL parser behind it): whatever the bytes, the pipeline must
+// return a value or an error — never panic — and an accepted request must
+// carry at least one non-empty statement within the batch bound.
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		// Raw SQL forms.
+		"SELECT sum(quantity) FROM facts",
+		"SELECT partkey, sum(q) FROM f WHERE suppkey = 3 GROUP BY partkey",
+		"SELECT sum(q) FROM f WHERE partkey BETWEEN 1 AND 5 LIMIT 10",
+		"SELEC nonsense",
+		"",
+		"   \t\n  ",
+		// JSON envelope forms, valid and broken.
+		`{"sql": "SELECT sum(q) FROM f"}`,
+		`{"sql": "SELECT sum(q) FROM f", "timeout_ms": 250}`,
+		`{"batch": ["SELECT sum(q) FROM f", "SELECT count(*) FROM f"]}`,
+		`{"batch": []}`,
+		`{"batch": [""]}`,
+		`{"sql": "a", "batch": ["b"]}`,
+		`{"unknown_field": true}`,
+		`{"sql": "SELECT sum(q) FROM f"} trailing garbage`,
+		`{"sql": "SELECT sum(q) FROM f"`,
+		`{"timeout_ms": -1, "sql": "x"}`,
+		`{"timeout_ms": 9223372036854775807, "sql": "x"}`,
+		`{`,
+		`{}`,
+		"{\"sql\": \"SELECT sum(q) FROM f\xff\"}",
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := decodeQueryRequest(body)
+		if err != nil {
+			if req != nil {
+				t.Fatal("decode returned both a request and an error")
+			}
+			return
+		}
+		stmts := req.statements()
+		if len(stmts) == 0 {
+			t.Fatalf("accepted request with no statements: %q", body)
+		}
+		if len(stmts) > maxBatchStatements {
+			t.Fatalf("accepted batch of %d statements past the bound", len(stmts))
+		}
+		if req.TimeoutMS < 0 {
+			t.Fatalf("accepted negative timeout: %d", req.TimeoutMS)
+		}
+		for _, sql := range stmts {
+			if strings.TrimSpace(sql) == "" && len(stmts) > 1 {
+				t.Fatalf("accepted blank batch statement: %q", body)
+			}
+			// The parser downstream must fail cleanly, never panic, on
+			// whatever the decoder let through.
+			st, err := sqlish.Parse(sql)
+			if err == nil && st == nil {
+				t.Fatal("sqlish.Parse returned nil statement and nil error")
+			}
+			_ = utf8.ValidString(sql)
+		}
+	})
+}

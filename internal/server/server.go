@@ -1,0 +1,612 @@
+// Package server is the production front door over a Cubetree warehouse: an
+// HTTP API that accepts the internal/sqlish dialect and is robust by
+// construction. Every request passes, in order, a draining check, a
+// per-client token-bucket rate limit, a body-size limit, the SQL parser,
+// and a semaphore-gated admission queue with a bounded deadline-aware wait;
+// admitted queries run under a per-request timeout whose cancellation
+// actually stops the leaf scan. Results are cached keyed on (generation,
+// normalized statement), so the warehouse's atomic generation swap
+// invalidates the cache for free. Shedding is explicit: 429 or 503 with an
+// honest Retry-After, never an unbounded queue, never a panic escaping as a
+// torn response.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cubetree"
+	"cubetree/internal/core"
+	"cubetree/internal/cube"
+	"cubetree/internal/lattice"
+	"cubetree/internal/obs"
+	"cubetree/internal/pager"
+	"cubetree/internal/sqlish"
+	"cubetree/internal/workload"
+)
+
+// Store is the warehouse surface the server needs; *cubetree.Warehouse
+// implements it. Tests substitute fakes with controllable latency.
+type Store interface {
+	QueryCtx(ctx context.Context, q workload.Query) ([]workload.Row, error)
+	QueryBatchCtx(ctx context.Context, qs []workload.Query, parallelism int) ([][]workload.Row, error)
+	Generation() int
+	Views() []lattice.View
+	Domains() map[lattice.Attr]int64
+	Schema() []lattice.Agg
+	Update(rows cube.RowIter) error
+}
+
+// Config tunes the server. The zero value of every field has a production
+// default; only Store is required.
+type Config struct {
+	// Store is the warehouse being served. Required.
+	Store Store
+
+	// MaxInFlight caps concurrently executing requests (default 16).
+	MaxInFlight int
+	// MaxQueue caps requests parked waiting for a slot (default
+	// 4*MaxInFlight). Arrivals beyond slots+queue are shed with 429.
+	MaxQueue int
+	// QueueWait bounds how long one request waits for a slot before being
+	// shed with 429 (default 1s).
+	QueueWait time.Duration
+	// RequestTimeout bounds one request's execution after admission
+	// (default 10s). A request's timeout_ms can lower it, never raise it.
+	RequestTimeout time.Duration
+	// RatePerSec is the per-client token refill rate; 0 disables rate
+	// limiting. RateBurst is the bucket size (default 2*RatePerSec, min 1).
+	RatePerSec float64
+	RateBurst  int
+	// MaxBodyBytes caps a /query body (default 1 MiB); larger bodies get
+	// 413. MaxRefreshBytes caps an /admin/refresh body (default 1 GiB).
+	MaxBodyBytes    int64
+	MaxRefreshBytes int64
+	// CacheEntries caps the result cache (default 1024); negative disables
+	// caching.
+	CacheEntries int
+	// BatchParallelism is the worker count for one request's statement
+	// batch (default 4, capped by MaxInFlight intent: batches share the
+	// single admission slot they were granted).
+	BatchParallelism int
+
+	// Obs, when set, registers the server_* metric families on its
+	// registry and counts every admission decision. Optional.
+	Obs *obs.Observer
+	// Debug, when set, is mounted at /debug/ so one port serves queries,
+	// the debug endpoints, and Prometheus exposition. Optional.
+	Debug http.Handler
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 16
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.RateBurst <= 0 {
+		cfg.RateBurst = int(2 * cfg.RatePerSec)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxRefreshBytes <= 0 {
+		cfg.MaxRefreshBytes = 1 << 30
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 1024
+	}
+	if cfg.BatchParallelism <= 0 {
+		cfg.BatchParallelism = 4
+	}
+	return cfg
+}
+
+// metrics are the server_* families; every field is nil (and so a no-op)
+// when no observer is configured.
+type metrics struct {
+	requests    *obs.Counter
+	admitted    *obs.Counter
+	shed        *obs.CounterVec
+	queueWait   *obs.Histogram
+	latency     *obs.Histogram
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	panics      *obs.Counter
+	inflight    *obs.Gauge
+	refreshes   *obs.Counter
+}
+
+// Server is the hardened HTTP front door; see the package comment for the
+// request lifecycle. Create with New, serve Handler(), stop with Drain.
+type Server struct {
+	cfg     Config
+	store   Store
+	gate    *gate
+	limiter *limiter
+	cache   *resultCache
+	mux     *http.ServeMux
+	m       metrics
+
+	// draining rejects new work; inflight counts admitted-or-deciding
+	// requests so Drain can wait for exactly the work the server accepted.
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	// refreshMu serializes refreshes: the engine supports one Update at a
+	// time (queries keep flowing against the old generation).
+	refreshMu sync.Mutex
+}
+
+// New builds a Server from cfg. It panics if cfg.Store is nil — that is a
+// wiring bug, not a runtime condition.
+func New(cfg Config) *Server {
+	if cfg.Store == nil {
+		panic("server: Config.Store is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   cfg.Store,
+		gate:    newGate(cfg.MaxInFlight, cfg.MaxQueue),
+		limiter: newLimiter(cfg.RatePerSec, cfg.RateBurst),
+		cache:   newResultCache(cfg.CacheEntries),
+	}
+	if o := cfg.Obs; o != nil {
+		r := o.Registry
+		s.m = metrics{
+			requests:    r.Counter("server_requests_total"),
+			admitted:    r.Counter("server_admitted_total"),
+			shed:        r.CounterVec("server_shed_total", "reason"),
+			queueWait:   r.Histogram("server_queue_wait_ns"),
+			latency:     r.Histogram("server_request_latency_ns"),
+			cacheHits:   r.Counter("server_cache_hits_total"),
+			cacheMisses: r.Counter("server_cache_misses_total"),
+			panics:      r.Counter("server_panics_total"),
+			inflight:    r.Gauge("server_inflight"),
+			refreshes:   r.Counter("server_refresh_total"),
+		}
+		r.GaugeFunc("server_queue_depth", s.gate.depth)
+		r.GaugeFunc("server_slots_in_use", s.gate.inUse)
+		r.GaugeFunc("server_cache_entries", func() int64 { return int64(s.cache.len()) })
+		r.GaugeFunc("server_draining", func() int64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.recovered(s.handleQuery))
+	mux.HandleFunc("/views", s.recovered(s.handleViews))
+	mux.HandleFunc("/admin/refresh", s.recovered(s.handleRefresh))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining", 0)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ready"}` + "\n"))
+	})
+	if cfg.Debug != nil {
+		mux.Handle("/debug/", cfg.Debug)
+	}
+	mux.HandleFunc("/", s.recovered(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no endpoint %s", r.URL.Path), 0)
+	}))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain switches the server to draining — /query and /admin/refresh shed
+// with 503, /readyz reports not-ready so load balancers stop routing here —
+// and waits until every already-accepted request has completed or ctx
+// expires. Drain is idempotent; the daemon calls it on SIGTERM before
+// shutting the listener down, and a refresh orchestrator can use the same
+// mechanism to quiesce writers.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain: %d requests still in flight: %w", s.inflight.Load(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// recovered wraps a handler with panic recovery: a panicking request is
+// counted and answered with a structured 500 instead of tearing down the
+// connection (or, under http.Server, killing nothing but still losing the
+// response).
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.m.panics.Inc()
+				writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Sprintf("panic: %v", v), 0)
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// begin registers one unit of accepted work for Drain accounting. It
+// increments before checking the drain flag, so Drain can never observe a
+// zero counter while a request that passed the check is still untracked;
+// ok=false means the server is draining and the request must be shed.
+func (s *Server) begin() (end func(), ok bool) {
+	s.inflight.Add(1)
+	if s.draining.Load() {
+		s.inflight.Add(-1)
+		return nil, false
+	}
+	return func() { s.inflight.Add(-1) }, true
+}
+
+// clientKey extracts the rate-limit key: the remote IP without the port, so
+// one misbehaving host shares a bucket across its connections.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethod, "POST the SQL (raw text or JSON envelope) to /query", 0)
+		return
+	}
+	end, ok := s.begin()
+	if !ok {
+		s.m.shed.With("draining").Inc()
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining", time.Second)
+		return
+	}
+	defer end()
+	start := time.Now()
+	defer func() { s.m.latency.ObserveDuration(time.Since(start)) }()
+
+	if ok, retry := s.limiter.take(clientKey(r), start); !ok {
+		s.m.shed.With("rate").Inc()
+		writeError(w, http.StatusTooManyRequests, CodeRateLimited,
+			"per-client rate limit exceeded", retry)
+		return
+	}
+
+	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes), 0)
+		return
+	}
+	req, err := decodeQueryRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error(), 0)
+		return
+	}
+	stmts := make([]*sqlish.Statement, len(req.statements()))
+	keys := make([]string, len(stmts))
+	for i, sql := range req.statements() {
+		st, err := sqlish.Parse(sql)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadSQL, err.Error(), 0)
+			return
+		}
+		stmts[i] = st
+		keys[i] = canonicalStatement(st)
+	}
+
+	// Admission: one slot per request, however many statements it carries;
+	// the bounded wait keeps a saturated server's queue from growing
+	// without limit.
+	release, waited, err := s.gate.acquire(r.Context(), s.cfg.QueueWait)
+	s.m.queueWait.ObserveDuration(waited)
+	if err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.m.shed.With("queue_full").Inc()
+			writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+				"admission queue full", s.cfg.QueueWait)
+		case errors.Is(err, errQueueTimeout):
+			s.m.shed.With("queue_timeout").Inc()
+			writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+				fmt.Sprintf("no execution slot within %v", s.cfg.QueueWait), s.cfg.QueueWait)
+		default: // client hung up while queued
+			s.m.shed.With("client_gone").Inc()
+		}
+		return
+	}
+	defer release()
+	s.m.admitted.Inc()
+	s.m.inflight.Add(1)
+	defer s.m.inflight.Add(-1)
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	resp, err := s.executeStatements(ctx, stmts, keys)
+	if err != nil {
+		status, code, retry := s.mapQueryError(ctx, err)
+		if status == 0 {
+			return // client gone; nobody is listening for a response
+		}
+		writeError(w, status, code, err.Error(), retry)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// executeStatements answers each parsed statement, consulting the result
+// cache first. Cache keys carry the generation read before execution; a
+// refresh landing mid-request flips the generation, in which case results
+// are returned but not cached (each individual answer is still exactly one
+// generation's, the library QueryBatch guarantee).
+func (s *Server) executeStatements(ctx context.Context, stmts []*sqlish.Statement, keys []string) (*QueryResponse, error) {
+	gen := s.store.Generation()
+	schema := lattice.Schema(s.store.Schema())
+	resp := &QueryResponse{Generation: gen, Results: make([]StatementResult, len(stmts))}
+
+	var missIdx []int
+	for i, key := range keys {
+		if res, ok := s.cache.get(cacheKey{generation: gen, statement: key}); ok {
+			s.m.cacheHits.Inc()
+			resp.Results[i] = *res
+			resp.Results[i].Cached = true
+			continue
+		}
+		s.m.cacheMisses.Inc()
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return resp, nil
+	}
+
+	var rowSets [][]workload.Row
+	if len(missIdx) == 1 {
+		rows, err := s.store.QueryCtx(ctx, stmts[missIdx[0]].Query)
+		if err != nil {
+			return nil, err
+		}
+		rowSets = [][]workload.Row{rows}
+	} else {
+		qs := make([]workload.Query, len(missIdx))
+		for j, i := range missIdx {
+			qs[j] = stmts[i].Query
+		}
+		var err error
+		rowSets, err = s.store.QueryBatchCtx(ctx, qs, s.cfg.BatchParallelism)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cacheable := s.store.Generation() == gen
+	for j, i := range missIdx {
+		headers, rows, err := stmts[i].Format(rowSets[j], schema)
+		if err != nil {
+			return nil, err
+		}
+		if rows == nil {
+			rows = [][]string{} // JSON [] beats null for empty results
+		}
+		res := StatementResult{Headers: headers, Rows: rows}
+		resp.Results[i] = res
+		if cacheable {
+			s.cache.put(cacheKey{generation: gen, statement: keys[i]}, &res)
+		}
+	}
+	return resp, nil
+}
+
+// mapQueryError classifies an execution error into a structured response.
+// status 0 means the client is gone and no response should be written.
+func (s *Server) mapQueryError(ctx context.Context, err error) (status int, code string, retryAfter time.Duration) {
+	var ex *pager.ExhaustedError
+	switch {
+	case errors.As(err, &ex):
+		// The pool's wait bound already passed without a frame freeing up;
+		// retrying sooner than another full bound would likely re-fail.
+		s.m.shed.With("pool_exhausted").Inc()
+		return http.StatusServiceUnavailable, CodePoolExhausted, ex.Wait
+	case errors.Is(err, pager.ErrPoolExhausted):
+		s.m.shed.With("pool_exhausted").Inc()
+		return http.StatusServiceUnavailable, CodePoolExhausted, pager.DefaultExhaustionWait
+	case errors.Is(err, core.ErrNoPlacement):
+		return http.StatusBadRequest, CodeUnknownView, 0
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, CodeDeadline, 0
+	case errors.Is(err, context.Canceled):
+		if ctx.Err() != nil {
+			return 0, "", 0 // request context cancelled: client disconnected
+		}
+		return http.StatusServiceUnavailable, CodeCanceled, 0
+	default:
+		return http.StatusInternalServerError, CodeInternal, 0
+	}
+}
+
+func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethod, "GET /views", 0)
+		return
+	}
+	resp := ViewsResponse{
+		Generation: s.store.Generation(),
+		Domains:    map[string]int64{},
+	}
+	for _, v := range s.store.Views() {
+		vd := ViewDef{Name: v.Name, Attrs: []string{}}
+		for _, a := range v.Attrs {
+			vd.Attrs = append(vd.Attrs, string(a))
+		}
+		resp.Views = append(resp.Views, vd)
+	}
+	for a, d := range s.store.Domains() {
+		resp.Domains[string(a)] = d
+	}
+	resp.Measures = lattice.Schema(s.store.Schema()).Strings()
+	writeJSON(w, resp)
+}
+
+// handleRefresh applies a CSV delta (the dbgen/ctupdate format: header row
+// naming attributes, ?measure= picking the measure column) as one warehouse
+// Update. One refresh runs at a time; queries keep flowing against the old
+// generation until the atomic swap, which also invalidates the result
+// cache by construction.
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethod, "POST CSV fact rows to /admin/refresh", 0)
+		return
+	}
+	end, ok := s.begin()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining", 0)
+		return
+	}
+	defer end()
+	if !s.refreshMu.TryLock() {
+		writeError(w, http.StatusConflict, CodeRefreshBusy, "another refresh is in flight", 0)
+		return
+	}
+	defer s.refreshMu.Unlock()
+
+	measure := r.URL.Query().Get("measure")
+	if measure == "" {
+		measure = "quantity"
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRefreshBytes)
+	src, err := cubetree.CSVRows(r.Body, measure)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error(), 0)
+		return
+	}
+	counted := &countedRows{inner: src}
+	if err := s.store.Update(counted); err != nil {
+		if src.Err() != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("bad CSV delta: %v", src.Err()), 0)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
+		return
+	}
+	if err := src.Err(); err != nil {
+		// The iterator failed mid-stream and the engine treated it as EOF;
+		// the refresh that committed is from a truncated delta. Surface it.
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("bad CSV delta: %v", err), 0)
+		return
+	}
+	s.m.refreshes.Inc()
+	writeJSON(w, RefreshResponse{Generation: s.store.Generation(), Rows: counted.n})
+}
+
+// countedRows counts fact rows as they stream through, for the refresh
+// response.
+type countedRows struct {
+	inner cube.RowIter
+	n     int64
+}
+
+func (c *countedRows) Next() bool {
+	if c.inner.Next() {
+		c.n++
+		return true
+	}
+	return false
+}
+func (c *countedRows) Value(a lattice.Attr) (int64, error) { return c.inner.Value(a) }
+func (c *countedRows) Measure() int64                      { return c.inner.Measure() }
+
+// canonicalStatement renders a parsed statement into its cache-key form:
+// projection labels, the canonical query string, and the limit. Two SQL
+// spellings that parse identically (case, whitespace, clause order slack)
+// share one key.
+func canonicalStatement(st *sqlish.Statement) string {
+	var b strings.Builder
+	for i, c := range st.Columns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(c.Label)
+	}
+	b.WriteByte('|')
+	b.WriteString(st.Query.String())
+	if st.HasLimit {
+		b.WriteString("|limit=")
+		b.WriteString(strconv.Itoa(st.Limit))
+	}
+	return b.String()
+}
+
+// readBody reads at most max bytes of r's body; an over-limit body is the
+// only error surfaced (client disconnects mid-body produce a best-effort
+// empty read that fails SQL parsing downstream).
+func readBody(w http.ResponseWriter, r *http.Request, max int64) ([]byte, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, max)
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeJSON renders one success response. The value is encoded to a buffer
+// first so an encoding failure cannot emit half a body after a 200.
+func writeJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}

@@ -1,10 +1,20 @@
 package workload
 
 import (
+	"context"
 	"sync"
 
 	"cubetree/internal/obs"
 )
+
+// EngineCtx is implemented by engines whose execution honours cancellation:
+// once ctx is done, a running query stops scanning and returns the context's
+// error. ExecuteBatchCtx uses it when available; engines without it are
+// still batched, but individual queries run to completion.
+type EngineCtx interface {
+	Engine
+	ExecuteCtx(ctx context.Context, q Query) ([]Row, error)
+}
 
 // ExecuteBatch runs qs against e with up to parallelism concurrent workers
 // and returns one result slice per query, in query order. parallelism < 1
@@ -16,7 +26,16 @@ import (
 // buffer pool). The first error wins and is returned after all in-flight
 // queries finish; results of failed or unstarted queries are nil.
 func ExecuteBatch(e Engine, qs []Query, parallelism int) ([][]Row, error) {
-	return executeBatch(e, qs, parallelism, nil)
+	return executeBatch(context.Background(), e, qs, parallelism, nil)
+}
+
+// ExecuteBatchCtx is ExecuteBatch under a context: queries not yet started
+// when ctx is done are never dispatched, and engines implementing EngineCtx
+// abandon in-flight scans. The context's error is returned (taking
+// precedence over individual query errors, which at that point are
+// cancellations themselves).
+func ExecuteBatchCtx(ctx context.Context, e Engine, qs []Query, parallelism int) ([][]Row, error) {
+	return executeBatch(ctx, e, qs, parallelism, nil)
 }
 
 // ExecuteBatchObserved is ExecuteBatch with batch-level metrics: batches
@@ -25,22 +44,34 @@ func ExecuteBatch(e Engine, qs []Query, parallelism int) ([][]Row, error) {
 // are nil-safe, so callers may pass whatever subset they have.
 func ExecuteBatchObserved(e Engine, qs []Query, parallelism int, inflight *obs.Gauge, batches *obs.Counter) ([][]Row, error) {
 	batches.Inc()
-	return executeBatch(e, qs, parallelism, inflight)
+	return executeBatch(context.Background(), e, qs, parallelism, inflight)
 }
 
-func executeBatch(e Engine, qs []Query, parallelism int, inflight *obs.Gauge) ([][]Row, error) {
+// ExecuteBatchObservedCtx combines ExecuteBatchCtx and ExecuteBatchObserved.
+func ExecuteBatchObservedCtx(ctx context.Context, e Engine, qs []Query, parallelism int, inflight *obs.Gauge, batches *obs.Counter) ([][]Row, error) {
+	batches.Inc()
+	return executeBatch(ctx, e, qs, parallelism, inflight)
+}
+
+func executeBatch(ctx context.Context, e Engine, qs []Query, parallelism int, inflight *obs.Gauge) ([][]Row, error) {
 	results := make([][]Row, len(qs))
+	ec, hasCtx := e.(EngineCtx)
 	run := func(q Query) ([]Row, error) {
 		inflight.Add(1)
-		rows, err := e.Execute(q)
-		inflight.Add(-1)
-		return rows, err
+		defer inflight.Add(-1)
+		if hasCtx {
+			return ec.ExecuteCtx(ctx, q)
+		}
+		return e.Execute(q)
 	}
 	if parallelism > len(qs) {
 		parallelism = len(qs)
 	}
 	if parallelism <= 1 {
 		for i, q := range qs {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
 			rows, err := run(q)
 			if err != nil {
 				return results, err
@@ -70,10 +101,18 @@ func executeBatch(e Engine, qs []Query, parallelism int, inflight *obs.Gauge) ([
 			}
 		}()
 	}
+dispatch:
 	for i := range qs {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
 	return results, firstErr
 }

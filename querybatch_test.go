@@ -1,6 +1,8 @@
 package cubetree_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"cubetree"
@@ -115,5 +117,34 @@ loop:
 	}
 	if w.Generation() != 2 {
 		t.Fatalf("generation = %d, want 2", w.Generation())
+	}
+}
+
+// TestQueryCtxCancellation pins the context plumbing added for the server:
+// a cancelled context must stop query execution and surface ctx.Err, both
+// for single queries and batches.
+func TestQueryCtxCancellation(t *testing.T) {
+	w, err := cubetree.Materialize(testConfig(t), testViews(), facts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.QueryCtx(ctx, cubetree.Query{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryCtx with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := w.QueryBatchCtx(ctx, batchQueries(), 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryBatchCtx with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, _, err := w.QuerySQLCtx(ctx, "SELECT sum(quantity) FROM facts"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QuerySQLCtx with cancelled ctx = %v, want context.Canceled", err)
+	}
+
+	// A live context still works through the same paths.
+	rows, err := w.QueryCtx(context.Background(), cubetree.Query{})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("QueryCtx = %v, %v", rows, err)
 	}
 }

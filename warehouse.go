@@ -1,6 +1,7 @@
 package cubetree
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -223,11 +224,12 @@ func Materialize(cfg Config, views []View, rows RowIter) (*Warehouse, error) {
 	}
 	buildSp := tr.Child("merge-pack")
 	forest, err := core.Build(w.genDir(), sources, core.BuildOptions{
-		PoolPages: cfg.PoolPages,
-		Domains:   cfg.Domains,
-		Stats:     cfg.Stats,
-		Workers:   cfg.Workers,
-		Span:      buildSp,
+		PoolPages:      cfg.PoolPages,
+		ExhaustionWait: cfg.ExhaustionWait,
+		Domains:        cfg.Domains,
+		Stats:          cfg.Stats,
+		Workers:        cfg.Workers,
+		Span:           buildSp,
 	})
 	o.ObservePhase("materialize_build", buildSp)
 	if err != nil {
@@ -400,6 +402,18 @@ func sweepStale(dir string, generation int, stats *Stats) {
 // Views returns the warehouse's view definitions.
 func (w *Warehouse) Views() []View { return append([]View(nil), w.views...) }
 
+// SetExhaustionWait retunes how long a query blocked on a fully pinned
+// buffer pool waits before failing with pager.ErrPoolExhausted; d <= 0
+// restores the 200ms default. Useful after Open, where the tuning is not
+// part of the persisted catalog; it carries over refreshes.
+func (w *Warehouse) SetExhaustionWait(d time.Duration) {
+	w.mu.Lock()
+	w.cfg.ExhaustionWait = d
+	forest := w.forest
+	w.mu.Unlock()
+	forest.SetExhaustionWait(d)
+}
+
 // UseHierarchies re-declares attribute hierarchies after Open (hierarchy
 // mapping functions are not persisted in the catalog). It affects only the
 // efficiency of subsequent Updates, never results.
@@ -427,9 +441,17 @@ func (w *Warehouse) Generation() int {
 // Query answers a slice query from the best-placed view or replica. It is
 // safe for concurrent use, including while an Update is in progress.
 func (w *Warehouse) Query(q Query) ([]Row, error) {
+	return w.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query under a context: when ctx is cancelled or past its
+// deadline, an in-flight leaf scan stops within a bounded number of points
+// and the context's error is returned. Servers use it to enforce
+// per-request timeouts that actually stop the work.
+func (w *Warehouse) QueryCtx(ctx context.Context, q Query) ([]Row, error) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	return w.forest.Execute(q)
+	return w.forest.ExecuteCtx(ctx, q)
 }
 
 // queryEngine adapts Warehouse's per-query locking to workload.Engine so
@@ -437,6 +459,10 @@ func (w *Warehouse) Query(q Query) ([]Row, error) {
 type queryEngine struct{ w *Warehouse }
 
 func (e queryEngine) Execute(q Query) ([]Row, error) { return e.w.Query(q) }
+
+func (e queryEngine) ExecuteCtx(ctx context.Context, q Query) ([]Row, error) {
+	return e.w.QueryCtx(ctx, q)
+}
 
 // QueryBatch answers qs with up to parallelism concurrent workers (<= 1
 // means serial) and returns one result slice per query, in query order.
@@ -447,10 +473,17 @@ func (e queryEngine) Execute(q Query) ([]Row, error) { return e.w.Query(q) }
 // Serial and parallel batches return identical results for a fixed
 // generation; the first error is returned after in-flight queries drain.
 func (w *Warehouse) QueryBatch(qs []Query, parallelism int) ([][]Row, error) {
+	return w.QueryBatchCtx(context.Background(), qs, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a context: queries not yet started when
+// ctx is done are never dispatched, in-flight scans are abandoned, and the
+// context's error is returned.
+func (w *Warehouse) QueryBatchCtx(ctx context.Context, qs []Query, parallelism int) ([][]Row, error) {
 	if w.obs != nil {
-		return workload.ExecuteBatchObserved(queryEngine{w}, qs, parallelism, w.obs.Inflight, w.obs.Batches)
+		return workload.ExecuteBatchObservedCtx(ctx, queryEngine{w}, qs, parallelism, w.obs.Inflight, w.obs.Batches)
 	}
-	return workload.ExecuteBatch(queryEngine{w}, qs, parallelism)
+	return workload.ExecuteBatchCtx(ctx, queryEngine{w}, qs, parallelism)
 }
 
 // Update applies an increment: the delta of every view is computed from
@@ -500,10 +533,11 @@ func (w *Warehouse) Update(rows RowIter) error {
 	w.refresh.Store(newRefreshProgress(oldForest, deltas, w.cfg.Stats))
 	defer w.refresh.Store(nil)
 	next, err := oldForest.MergeUpdate(newDir, deltas, core.BuildOptions{
-		PoolPages: w.cfg.PoolPages,
-		Domains:   w.cfg.Domains,
-		Stats:     w.cfg.Stats,
-		Span:      mergeSp,
+		PoolPages:      w.cfg.PoolPages,
+		ExhaustionWait: w.cfg.ExhaustionWait,
+		Domains:        w.cfg.Domains,
+		Stats:          w.cfg.Stats,
+		Span:           mergeSp,
 	})
 	o.ObservePhase("refresh_merge", mergeSp)
 	if err != nil {
