@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cubetree"
 
@@ -41,6 +42,8 @@ func main() {
 		dbgAddr = flag.String("debug-addr", "", "serve /debug/metrics, /debug/traces, and pprof on this address while the run is live")
 		slow    = flag.Duration("slow", 0, "log queries at or above this latency to the slow-query log (0 = off)")
 		srvURL  = flag.String("server", "", "run the throughput sweep against a running cubetreed at this URL instead of building a local setup")
+		packFmt = flag.Int("pack-format", 0, "Cubetree leaf format: 1 = row-major v1, 2 = columnar v2 (0 = library default)")
+		measure = flag.Duration("measure", time.Second, "minimum measurement window per throughput-sweep row (batch repeats to fill it; 0 = single pass)")
 	)
 	flag.Parse()
 
@@ -63,6 +66,8 @@ func main() {
 		Model:          m,
 		Replicas:       !*noRepl,
 		Dir:            *dir,
+		PackFormat:     *packFmt,
+		MinMeasure:     *measure,
 	}
 	if p.PoolPages <= 0 {
 		// ~3% of the top view's pages, min 8 — the paper's memory:data ratio.

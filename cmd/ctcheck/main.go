@@ -52,6 +52,12 @@ type treeScrub struct {
 	DamagedPages uint64 `json:"damaged_pages"`
 	DurationNS   int64  `json:"duration_ns"`
 	Checksummed  bool   `json:"checksummed"`
+	// Leaf-format census from the decode-verify pass: which layout the
+	// tree's leaves use (1 = row-major, 2 = columnar) and the per-format
+	// page counts. Zero when the structural pass could not run.
+	LeafFormat int    `json:"leaf_format,omitempty"`
+	V1Leaves   uint64 `json:"v1_leaves,omitempty"`
+	V2Leaves   uint64 `json:"v2_leaves,omitempty"`
 }
 
 func newScrub(out io.Writer) *scrub {
@@ -249,9 +255,32 @@ func (s *scrub) checkInvariants(dir string, verbose bool) bool {
 		fmt.Fprintf(s.out, "error: %v\n", err)
 		return true
 	}
+	damaged := false
+	for i := 0; i < f.Trees(); i++ {
+		// Decode-verify every leaf: node kinds must be known, and v2 column
+		// blocks must parse in bounds with zone maps matching the decoded
+		// data. Validate already walked the points; this catches format-level
+		// corruption that still decodes to structurally valid points.
+		info, err := f.Tree(i).ScrubLeaves()
+		if err != nil {
+			s.errors.Inc()
+			fmt.Fprintf(s.out, "error: tree %d: %v\n", i, err)
+			damaged = true
+			continue
+		}
+		if i < len(s.trees) {
+			s.trees[i].LeafFormat = info.Format()
+			s.trees[i].V1Leaves = info.V1Leaves
+			s.trees[i].V2Leaves = info.V2Leaves
+		}
+		if verbose {
+			fmt.Fprintf(s.out, "tree %d: leaf format v%d (%d v1 leaves, %d v2 leaves, %d points)\n",
+				i, info.Format(), info.V1Leaves, info.V2Leaves, info.Points)
+		}
+	}
 	if verbose {
 		fmt.Fprintf(s.out, "catalog: %d trees, %d placements, %d points\n",
 			f.Trees(), len(f.Placements()), f.Points())
 	}
-	return false
+	return damaged
 }

@@ -23,10 +23,10 @@ import (
 
 func main() {
 	var (
-		dir    = flag.String("dir", "", "warehouse directory (required)")
-		sf     = flag.Float64("sf", 0.01, "TPC-D scale factor (must match ctload)")
-		seed   = flag.Uint64("seed", 1998, "random seed (must match ctload)")
-		frac   = flag.Float64("frac", 0.1, "increment size as a fraction of the fact table")
+		dir     = flag.String("dir", "", "warehouse directory (required)")
+		sf      = flag.Float64("sf", 0.01, "TPC-D scale factor (must match ctload)")
+		seed    = flag.Uint64("seed", 1998, "random seed (must match ctload)")
+		frac    = flag.Float64("frac", 0.1, "increment size as a fraction of the fact table")
 		gen     = flag.Uint64("gen", 1, "increment generation number (vary per day)")
 		verify  = flag.Bool("verify", false, "validate forest invariants after the merge")
 		dbgAddr = flag.String("debug-addr", "", "serve /debug/metrics, /debug/traces, /debug/warehouse, and pprof on this address during the refresh")

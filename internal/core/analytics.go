@@ -50,6 +50,9 @@ func (f *Forest) attachAnalytics(o *obs.Observer) {
 	runPages := reg.GaugeVec("view_run_leaf_pages", "view", "tree", "arity")
 	runPoints := reg.GaugeVec("view_run_points", "view", "tree", "arity")
 	ratio := reg.GaugeVec("view_compression_ratio", "view", "tree", "arity")
+	leafFormat := reg.GaugeVec("view_run_leaf_format", "view", "tree", "arity")
+	ptsPerPage := reg.GaugeVec("view_points_per_leaf_page", "view", "tree", "arity")
+	bytesPerPoint := reg.GaugeVec("view_encoded_bytes_per_point", "view", "tree", "arity")
 
 	f.viewMetrics = make([]viewMetrics, len(f.placements))
 	perTree := make([][]runRange, len(f.trees))
@@ -71,6 +74,10 @@ func (f *Forest) attachAnalytics(o *obs.Observer) {
 		runPages.With(view, tree, arity).Set(float64(runLeafPages(p.Run)))
 		runPoints.With(view, tree, arity).Set(float64(p.Run.Points))
 		ratio.With(view, tree, arity).Set(f.compressionRatio(p))
+		format, ppp, bpp := f.runShape(p)
+		leafFormat.With(view, tree, arity).Set(float64(format))
+		ptsPerPage.With(view, tree, arity).Set(ppp)
+		bytesPerPoint.With(view, tree, arity).Set(bpp)
 
 		if p.Run.FirstLeaf <= p.Run.LastLeaf {
 			perTree[p.Tree] = append(perTree[p.Tree],
@@ -97,6 +104,25 @@ func (f *Forest) compressionRatio(p *Placement) float64 {
 		return 1
 	}
 	return float64(enc.TupleSize(p.Run.Arity+t.Measures())) / float64(full)
+}
+
+// runShape summarizes the physical shape of a placement's leaf run: the
+// leaf format actually on disk, the packing density (points per leaf page),
+// and the effective encoded bytes per point — total page bytes the run
+// occupies divided by its points. The last two are how the v2 columnar
+// layout's space win shows up in /debug/warehouse without re-reading the
+// run: v2 packs more points per page, so bytes per point drops.
+func (f *Forest) runShape(p *Placement) (format int, pointsPerPage, bytesPerPoint float64) {
+	format, err := f.trees[p.Tree].RunFormat(p.Run)
+	if err != nil {
+		format = 0
+	}
+	pages := runLeafPages(p.Run)
+	if pages > 0 && p.Run.Points > 0 {
+		pointsPerPage = float64(p.Run.Points) / float64(pages)
+		bytesPerPoint = float64(pages) * float64(pager.PageSize) / float64(p.Run.Points)
+	}
+	return format, pointsPerPage, bytesPerPoint
 }
 
 // runLeafPages returns the number of leaf pages a run occupies.
@@ -154,6 +180,9 @@ type ViewAnalytics struct {
 	RunPages         uint64  `json:"run_leaf_pages"`
 	RunPoints        int64   `json:"run_points"`
 	CompressionRatio float64 `json:"compression_ratio"`
+	LeafFormat       int     `json:"leaf_format"`
+	PointsPerPage    float64 `json:"points_per_leaf_page"`
+	BytesPerPoint    float64 `json:"encoded_bytes_per_point"`
 	QueryHits        uint64  `json:"query_hits"`
 	PointsScanned    uint64  `json:"points_scanned"`
 	RowsReturned     uint64  `json:"rows_returned"`
@@ -176,6 +205,7 @@ func (f *Forest) ViewAnalytics() []ViewAnalytics {
 			RunPoints:        p.Run.Points,
 			CompressionRatio: f.compressionRatio(p),
 		}
+		va.LeafFormat, va.PointsPerPage, va.BytesPerPoint = f.runShape(p)
 		if f.viewMetrics != nil {
 			vm := &f.viewMetrics[i]
 			va.QueryHits = vm.hits.Value()

@@ -153,9 +153,43 @@ func (f *Forest) executeOn(ctx context.Context, p *Placement, q workload.Query) 
 		groupPos[i] = pos
 	}
 
+	var scanned int64
+	if len(q.Node) == arity {
+		// The view's dimensions are exactly the query's group-by set, so
+		// every point the search visits is a distinct group (a view's points
+		// are unique by coordinates): nothing ever folds, and the rows can be
+		// emitted directly without an aggregation map.
+		var rows []workload.Row
+		err := tree.Search(lo, hi, func(coords, measures []int64) error {
+			scanned++
+			if scanned%cancelCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			row := workload.Row{
+				Group: make([]int64, len(groupPos)),
+				Sum:   measures[0],
+				Count: measures[1],
+			}
+			for i, pos := range groupPos {
+				row.Group[i] = coords[pos]
+			}
+			if len(measures) > 2 {
+				row.Extra = append([]int64(nil), measures[2:]...)
+			}
+			rows = append(rows, row)
+			return nil
+		})
+		if err != nil {
+			return nil, scanned, err
+		}
+		workload.SortRows(rows)
+		return rows, scanned, nil
+	}
+
 	agg := workload.NewSchemaAggregator(len(q.Node), f.schema)
 	group := make([]int64, len(q.Node))
-	var scanned int64
 	err := tree.Search(lo, hi, func(coords, measures []int64) error {
 		scanned++
 		if scanned%cancelCheckInterval == 0 {

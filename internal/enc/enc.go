@@ -38,13 +38,12 @@ func Tuple(buf []byte, n int) []int64 {
 }
 
 // AppendTuple appends the encoding of vals to dst and returns the extended
-// slice.
+// slice. The slice is grown once and encoded in place, rather than appending
+// a temporary buffer per field.
 func AppendTuple(dst []byte, vals []int64) []byte {
-	for _, v := range vals {
-		var b [FieldSize]byte
-		binary.LittleEndian.PutUint64(b[:], uint64(v))
-		dst = append(dst, b[:]...)
-	}
+	n := len(dst)
+	dst = append(dst, make([]byte, TupleSize(len(vals)))...)
+	PutTuple(dst[n:], vals)
 	return dst
 }
 

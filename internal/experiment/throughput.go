@@ -19,11 +19,18 @@ import (
 // with cores, and its JSON output is the perf baseline later PRs diff
 // against.
 type Throughput struct {
-	SF         float64         `json:"sf"`
-	PoolPages  int             `json:"pool_pages"`
-	GoMaxProcs int             `json:"gomaxprocs"`
-	Queries    int             `json:"queries"`
-	Rows       []ThroughputRow `json:"rows"`
+	SF         float64 `json:"sf"`
+	PoolPages  int     `json:"pool_pages"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Queries    int     `json:"queries"`
+	// PackFormat is the Cubetree leaf layout the sweep ran against
+	// (rtree.FormatV1 or rtree.FormatV2; 0 in baselines recorded before the
+	// field existed, which implies v1).
+	PackFormat int `json:"pack_format,omitempty"`
+	// CubePointsPerLeafPage is the forest's packing density; the columnar
+	// format raises it, which is what turns into fewer leaf reads per query.
+	CubePointsPerLeafPage float64         `json:"cube_points_per_leaf_page,omitempty"`
+	Rows                  []ThroughputRow `json:"rows"`
 }
 
 // ThroughputRow is one client count's measurement over both engines.
@@ -60,6 +67,10 @@ func (s *Setup) RunThroughput(clients []int) (Throughput, error) {
 		SF:         s.Params.SF,
 		PoolPages:  s.Params.PoolPages,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		PackFormat: s.Forest.PackFormat(),
+	}
+	if lp := s.Forest.LeafPages(); lp > 0 {
+		out.CubePointsPerLeafPage = float64(s.Forest.Points()) / float64(lp)
 	}
 
 	// One generator per node, interleaved round-robin into a mixed batch.
@@ -101,9 +112,18 @@ func (s *Setup) RunThroughput(clients []int) (Throughput, error) {
 		if err != nil {
 			return out, fmt.Errorf("conventional @%d clients: %w", c, err)
 		}
-		row.ConvQPS = throughput(len(queries), time.Since(start))
+		// The I/O snapshot covers exactly one batch — page counts are
+		// deterministic per batch, so repetitions would just scale them.
 		row.ConvIO = s.convStats.Snapshot().Sub(convMark)
 		row.ConvHitRatio = hitRatio(row.ConvIO)
+		reps := 1
+		for time.Since(start) < s.Params.MinMeasure {
+			if _, err := s.Conv.ExecuteBatch(queries, c); err != nil {
+				return out, fmt.Errorf("conventional @%d clients: %w", c, err)
+			}
+			reps++
+		}
+		row.ConvQPS = throughput(reps*len(queries), time.Since(start))
 		for i := range queries {
 			if !workload.EqualRows(got[i], refConv[i]) {
 				return out, fmt.Errorf("conventional @%d clients: %s differs from serial answer", c, queries[i])
@@ -116,9 +136,16 @@ func (s *Setup) RunThroughput(clients []int) (Throughput, error) {
 		if err != nil {
 			return out, fmt.Errorf("cubetree @%d clients: %w", c, err)
 		}
-		row.CubeQPS = throughput(len(queries), time.Since(start))
 		row.CubeIO = s.cubeStats.Snapshot().Sub(cubeMark)
 		row.CubeHitRatio = hitRatio(row.CubeIO)
+		reps = 1
+		for time.Since(start) < s.Params.MinMeasure {
+			if _, err := s.Forest.ExecuteBatch(queries, c); err != nil {
+				return out, fmt.Errorf("cubetree @%d clients: %w", c, err)
+			}
+			reps++
+		}
+		row.CubeQPS = throughput(reps*len(queries), time.Since(start))
 		for i := range queries {
 			if !workload.EqualRows(got[i], refCube[i]) {
 				return out, fmt.Errorf("cubetree @%d clients: %s differs from serial answer", c, queries[i])

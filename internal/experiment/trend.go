@@ -35,6 +35,11 @@ type TrendDelta struct {
 	// Delta is the fractional change: positive = faster than baseline.
 	Delta     float64 `json:"delta"`
 	Regressed bool    `json:"regressed"`
+	// BaseHitRatio and CurHitRatio track the engine's buffer-pool hit ratio
+	// across the two sweeps. Informational: hit-ratio shifts explain QPS
+	// moves (e.g. denser leaves fit the pool better) but do not gate.
+	BaseHitRatio float64 `json:"base_pool_hit_ratio,omitempty"`
+	CurHitRatio  float64 `json:"cur_pool_hit_ratio,omitempty"`
 }
 
 // TrendReport is the outcome of comparing two throughput sweeps.
@@ -44,6 +49,13 @@ type TrendReport struct {
 	// MissingClients lists client counts present in only one sweep; they
 	// cannot be compared and are reported rather than silently dropped.
 	MissingClients []int `json:"missing_clients,omitempty"`
+	// Storage-shape context: leaf format and packing density of each sweep.
+	// Informational — format changes legitimately move these — but surfaced
+	// so a density regression is visible next to the QPS it explains.
+	BasePackFormat        int     `json:"base_pack_format,omitempty"`
+	CurPackFormat         int     `json:"cur_pack_format,omitempty"`
+	BasePointsPerLeafPage float64 `json:"base_points_per_leaf_page,omitempty"`
+	CurPointsPerLeafPage  float64 `json:"cur_points_per_leaf_page,omitempty"`
 }
 
 // Regressed reports whether any compared row crossed the threshold.
@@ -73,7 +85,13 @@ func CompareThroughput(base, cur Throughput, opts TrendOptions) TrendReport {
 	if opts.Threshold <= 0 {
 		opts.Threshold = DefaultTrendThreshold
 	}
-	rep := TrendReport{Threshold: opts.Threshold}
+	rep := TrendReport{
+		Threshold:             opts.Threshold,
+		BasePackFormat:        base.PackFormat,
+		CurPackFormat:         cur.PackFormat,
+		BasePointsPerLeafPage: base.CubePointsPerLeafPage,
+		CurPointsPerLeafPage:  cur.CubePointsPerLeafPage,
+	}
 	baseBy := make(map[int]ThroughputRow, len(base.Rows))
 	for _, row := range base.Rows {
 		baseBy[row.Clients] = row
@@ -86,9 +104,11 @@ func CompareThroughput(base, cur Throughput, opts TrendOptions) TrendReport {
 			continue
 		}
 		matched[row.Clients] = true
-		rep.Deltas = append(rep.Deltas,
-			trendDelta(row.Clients, "conv", b.ConvQPS, row.ConvQPS, opts.Threshold),
-			trendDelta(row.Clients, "cube", b.CubeQPS, row.CubeQPS, opts.Threshold))
+		conv := trendDelta(row.Clients, "conv", b.ConvQPS, row.ConvQPS, opts.Threshold)
+		conv.BaseHitRatio, conv.CurHitRatio = b.ConvHitRatio, row.ConvHitRatio
+		cube := trendDelta(row.Clients, "cube", b.CubeQPS, row.CubeQPS, opts.Threshold)
+		cube.BaseHitRatio, cube.CurHitRatio = b.CubeHitRatio, row.CubeHitRatio
+		rep.Deltas = append(rep.Deltas, conv, cube)
 	}
 	for c := range baseBy {
 		if !matched[c] {
@@ -121,19 +141,35 @@ func trendDelta(clients int, engine string, base, cur, threshold float64) TrendD
 func (r TrendReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Throughput trend (regression threshold %.1f%%)\n", 100*r.Threshold)
-	fmt.Fprintf(&b, "%8s %6s %14s %14s %9s\n", "clients", "engine", "base q/s", "current q/s", "delta")
+	if r.BasePackFormat != 0 || r.CurPackFormat != 0 || r.BasePointsPerLeafPage != 0 || r.CurPointsPerLeafPage != 0 {
+		fmt.Fprintf(&b, "cube leaf format v%d -> v%d, points/leaf page %.1f -> %.1f\n",
+			packFormatOrV1(r.BasePackFormat), packFormatOrV1(r.CurPackFormat),
+			r.BasePointsPerLeafPage, r.CurPointsPerLeafPage)
+	}
+	fmt.Fprintf(&b, "%8s %6s %14s %14s %9s %16s\n",
+		"clients", "engine", "base q/s", "current q/s", "delta", "pool hit%")
 	for _, d := range r.Deltas {
 		mark := ""
 		if d.Regressed {
 			mark = "  REGRESSION"
 		}
-		fmt.Fprintf(&b, "%8d %6s %14.0f %14.0f %+8.1f%%%s\n",
-			d.Clients, d.Engine, d.BaseQPS, d.CurQPS, 100*d.Delta, mark)
+		fmt.Fprintf(&b, "%8d %6s %14.0f %14.0f %+8.1f%% %6.1f%% -> %5.1f%%%s\n",
+			d.Clients, d.Engine, d.BaseQPS, d.CurQPS, 100*d.Delta,
+			100*d.BaseHitRatio, 100*d.CurHitRatio, mark)
 	}
 	if len(r.MissingClients) > 0 {
 		fmt.Fprintf(&b, "not compared (present in only one sweep): clients %v\n", r.MissingClients)
 	}
 	return b.String()
+}
+
+// packFormatOrV1 maps the zero value of Throughput.PackFormat (baselines
+// recorded before the field existed) to v1 for display.
+func packFormatOrV1(f int) int {
+	if f == 0 {
+		return 1
+	}
+	return f
 }
 
 // LoadThroughput reads a BENCH_throughput.json file written by ctbench.

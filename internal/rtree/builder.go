@@ -3,6 +3,7 @@ package rtree
 import (
 	"fmt"
 
+	"cubetree/internal/enc"
 	"cubetree/internal/pager"
 )
 
@@ -14,6 +15,9 @@ type Options struct {
 	// Fanout, if non-zero, caps node capacity. Tests use 3 to reproduce the
 	// paper's Figure 8.
 	Fanout int
+	// PackFormat selects the leaf layout: FormatV1 (row-major fixed width)
+	// or FormatV2 (column-major compressed). Zero means DefaultFormat.
+	PackFormat int
 }
 
 // Builder bulk-loads a packed R-tree. Points are supplied one sorted run per
@@ -26,8 +30,9 @@ type Options struct {
 // at every run boundary so that each leaf belongs to exactly one view,
 // enabling zero-coordinate compression.
 type Builder struct {
-	pool *pager.Pool
-	t    *Tree
+	pool   *pager.Pool
+	t      *Tree
+	format int
 
 	inRun    bool
 	arity    int
@@ -39,6 +44,11 @@ type Builder struct {
 	runPts   int64
 	prev     []int64
 	havePrev bool
+
+	// v2 leaves are buffered column-wise and written only when sealed,
+	// because the packed column widths are not known until then.
+	cols    []enc.ColumnBuilder
+	measBuf [][]int64
 
 	leaves []childEntry // MBR + page of every finished leaf, in order
 }
@@ -59,6 +69,13 @@ func NewBuilder(pool *pager.Pool, dim int, opts Options) (*Builder, error) {
 	if measures <= 0 {
 		measures = 2
 	}
+	format := opts.PackFormat
+	if format == 0 {
+		format = DefaultFormat
+	}
+	if format != FormatV1 && format != FormatV2 {
+		return nil, fmt.Errorf("rtree: unknown pack format %d", opts.PackFormat)
+	}
 	meta, err := pool.NewPage()
 	if err != nil {
 		return nil, err
@@ -76,8 +93,11 @@ func NewBuilder(pool *pager.Pool, dim int, opts Options) (*Builder, error) {
 		leafHi:   0, // empty until first leaf
 		fanout:   opts.Fanout,
 	}
-	return &Builder{pool: pool, t: t}, nil
+	return &Builder{pool: pool, t: t, format: format}, nil
 }
+
+// Format reports the leaf format the builder emits.
+func (b *Builder) Format() int { return b.format }
 
 // BeginRun starts a new view run whose points carry arity coordinates
 // (1 <= arity <= dim). Arity 0 is allowed for the scalar "none" view, whose
@@ -91,7 +111,23 @@ func (b *Builder) BeginRun(arity int) error {
 	}
 	b.inRun = true
 	b.arity = arity
-	b.leafCap = b.t.leafCap(arity)
+	if b.format == FormatV2 {
+		// v2 leaves are sealed by encoded size, not a fixed entry count; the
+		// cap only reflects the count field's range and any test fanout.
+		b.leafCap = 1<<16 - 1
+		if b.t.fanout > 1 {
+			b.leafCap = b.t.fanout
+		}
+		for len(b.cols) < arity {
+			b.cols = append(b.cols, enc.ColumnBuilder{})
+		}
+		for j := 0; j < arity; j++ {
+			b.cols[j].Reset()
+		}
+		b.curN = 0
+	} else {
+		b.leafCap = b.t.leafCap(arity)
+	}
 	b.runFirst = pager.InvalidPage
 	b.runLast = pager.InvalidPage
 	b.runPts = 0
@@ -120,6 +156,15 @@ func (b *Builder) Add(coords []int64, measures []int64) error {
 	}
 	copy(b.prev, full)
 	b.havePrev = true
+
+	if b.format == FormatV2 {
+		if err := b.addV2(coords, measures); err != nil {
+			return err
+		}
+		b.runPts++
+		b.t.count++
+		return nil
+	}
 
 	if b.cur == nil || b.curN >= b.leafCap {
 		if err := b.finishLeaf(); err != nil {
@@ -150,6 +195,80 @@ func (b *Builder) Add(coords []int64, measures []int64) error {
 	setNodeCount(data, b.curN)
 	b.runPts++
 	b.t.count++
+	return nil
+}
+
+// addV2 buffers one point into the column builders, sealing the current
+// leaf when it would overflow the page: the just-added point is popped,
+// the remaining points are flushed, and the point reopens a fresh leaf.
+func (b *Builder) addV2(coords, measures []int64) error {
+	b.pushV2(coords, measures)
+	if b.curN > b.leafCap || v2EncodedSize(b.cols[:b.arity], b.curN, b.t.measures) > b.t.payload() {
+		b.popV2()
+		if b.curN == 0 {
+			return fmt.Errorf("rtree: point exceeds v2 leaf payload")
+		}
+		if err := b.flushLeafV2(); err != nil {
+			return err
+		}
+		b.pushV2(coords, measures)
+		if v2EncodedSize(b.cols[:b.arity], b.curN, b.t.measures) > b.t.payload() {
+			return fmt.Errorf("rtree: point exceeds v2 leaf payload")
+		}
+	}
+	return nil
+}
+
+// pushV2 appends one point to the leaf buffers.
+func (b *Builder) pushV2(coords, measures []int64) {
+	for j := 0; j < b.arity; j++ {
+		b.cols[j].Append(coords[j])
+	}
+	if b.curN < len(b.measBuf) {
+		copy(b.measBuf[b.curN], measures)
+	} else {
+		b.measBuf = append(b.measBuf, append([]int64(nil), measures...))
+	}
+	b.curN++
+}
+
+// popV2 removes the most recently pushed point.
+func (b *Builder) popV2() {
+	for j := 0; j < b.arity; j++ {
+		b.cols[j].PopLast()
+	}
+	b.curN--
+}
+
+// flushLeafV2 writes the buffered points as one v2 leaf page. The leaf MBR
+// comes straight from the column zone maps; coordinates beyond the run's
+// arity are zero.
+func (b *Builder) flushLeafV2() error {
+	if b.curN == 0 {
+		return nil
+	}
+	fr, err := b.pool.NewPage()
+	if err != nil {
+		return err
+	}
+	encodeV2Leaf(fr.Data(), b.cols[:b.arity], b.measBuf[:b.curN], b.t.measures)
+	lo := make([]int64, b.t.dim)
+	hi := make([]int64, b.t.dim)
+	for j := 0; j < b.arity; j++ {
+		lo[j] = b.cols[j].Min()
+		hi[j] = b.cols[j].Max()
+	}
+	b.leaves = append(b.leaves, childEntry{lo: lo, hi: hi, page: fr.ID()})
+	b.t.leafHi = fr.ID()
+	if b.runFirst == pager.InvalidPage {
+		b.runFirst = fr.ID()
+	}
+	b.runLast = fr.ID()
+	b.pool.Unpin(fr, true)
+	for j := 0; j < b.arity; j++ {
+		b.cols[j].Reset()
+	}
+	b.curN = 0
 	return nil
 }
 
@@ -188,7 +307,11 @@ func (b *Builder) EndRun() (RunInfo, error) {
 	if !b.inRun {
 		return RunInfo{}, fmt.Errorf("rtree: EndRun without BeginRun")
 	}
-	if err := b.finishLeaf(); err != nil {
+	if b.format == FormatV2 {
+		if err := b.flushLeafV2(); err != nil {
+			return RunInfo{}, err
+		}
+	} else if err := b.finishLeaf(); err != nil {
 		return RunInfo{}, err
 	}
 	b.inRun = false
@@ -216,7 +339,11 @@ func (b *Builder) Finish() (*Tree, error) {
 		if err != nil {
 			return nil, err
 		}
-		initNode(fr.Data(), kindLeaf, 0)
+		kind := byte(kindLeaf)
+		if b.format == FormatV2 {
+			kind = kindLeafV2
+		}
+		initNode(fr.Data(), kind, 0)
 		t.root = fr.ID()
 		t.height = 1
 		t.leafLo, t.leafHi = fr.ID(), fr.ID()

@@ -39,6 +39,7 @@ type runIterator struct {
 	next     pager.PageID
 	last     pager.PageID
 	fr       *pager.Frame
+	dec      leafDecoder
 	idx      int
 	coords   []int64
 	measures []int64
@@ -60,13 +61,19 @@ func (it *runIterator) Next() ([]int64, []int64, error) {
 				it.err = err
 				return nil, nil, err
 			}
+			// Decode the page's format once; v2 leaves unpack their
+			// coordinate columns here rather than per point.
+			if err := it.t.readLeaf(fr.Data(), &it.dec); err != nil {
+				it.t.pool.Unpin(fr, false)
+				it.err = err
+				return nil, nil, err
+			}
 			it.fr = fr
 			it.idx = 0
 			it.next++
 		}
-		b := it.fr.Data()
-		if it.idx < nodeCount(b) {
-			it.t.leafPoint(b, it.idx, it.coords, it.measures)
+		if it.idx < it.dec.count() {
+			it.dec.point(it.idx, it.coords, it.measures)
 			it.idx++
 			return it.coords, it.measures, nil
 		}

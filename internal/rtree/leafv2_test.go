@@ -1,0 +1,390 @@
+package rtree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"cubetree/internal/pager"
+)
+
+// buildFormatTree packs the same two-run point set (an arity-1 run and an
+// arity-2 run) in the requested leaf format.
+func buildFormatTree(t *testing.T, pool *pager.Pool, format int, v1pts, v2pts [][]int64) *Tree {
+	t.Helper()
+	b, err := NewBuilder(pool, 2, Options{Measures: 2, PackFormat: format})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BeginRun(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range v1pts {
+		if err := b.Add(p[:1], []int64{p[0] * 3, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.EndRun(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BeginRun(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range v2pts {
+		if err := b.Add(p, []int64{p[0] + p[1], 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.EndRun(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// TestV1V2SearchEquivalence: for random point sets and rectangles, a v1 tree
+// and a v2 tree built from identical input return identical result sets —
+// coordinates and measures — in the style of TestPackedSearchEquivalenceQuick.
+func TestV1V2SearchEquivalence(t *testing.T) {
+	type result struct {
+		coords [2]int64
+		meas   [2]int64
+	}
+	collect := func(tree *Tree, lo, hi []int64) ([]result, error) {
+		var out []result
+		err := tree.Search(lo, hi, func(coords, measures []int64) error {
+			out = append(out, result{
+				coords: [2]int64{coords[0], coords[1]},
+				meas:   [2]int64{measures[0], measures[1]},
+			})
+			return nil
+		})
+		return out, err
+	}
+	f := func(raw []uint16, rect [4]uint8) bool {
+		seen1 := map[int64]bool{}
+		seen2 := map[[2]int64]bool{}
+		var v1pts, v2pts [][]int64
+		for _, r := range raw {
+			x, y := int64(r%50)+1, int64(r/50%50)+1
+			if !seen1[x] {
+				seen1[x] = true
+				v1pts = append(v1pts, []int64{x})
+			}
+			if !seen2[[2]int64{x, y}] {
+				seen2[[2]int64{x, y}] = true
+				v2pts = append(v2pts, []int64{x, y})
+			}
+		}
+		sortPack(v1pts)
+		sortPack(v2pts)
+		t1 := buildFormatTree(t, newPool(t, 64), FormatV1, v1pts, v2pts)
+		t2 := buildFormatTree(t, newPool(t, 64), FormatV2, v1pts, v2pts)
+		if f1, _ := t1.Format(); f1 != FormatV1 {
+			return false
+		}
+		if f2, _ := t2.Format(); f2 != FormatV2 {
+			return false
+		}
+		// Rectangles on the arity-2 plane and on the arity-1 axis (y pinned
+		// to 0 so the v8-style run is included).
+		rects := [][2][]int64{
+			{{int64(rect[0]%50) + 1, int64(rect[1]%50) + 1},
+				{int64(rect[0]%50) + 1 + int64(rect[2]%20), int64(rect[1]%50) + 1 + int64(rect[3]%20)}},
+			{{int64(rect[0]%50) + 1, 0}, {int64(rect[0]%50) + 1 + int64(rect[2]%20), 0}},
+			{{0, 0}, {60, 60}},
+		}
+		for _, rc := range rects {
+			r1, err1 := collect(t1, rc[0], rc[1])
+			r2, err2 := collect(t2, rc[0], rc[1])
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if len(r1) != len(r2) {
+				return false
+			}
+			for i := range r1 {
+				if r1[i] != r2[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV2Persistence: a v2 tree survives close and reopen — the format is
+// re-derived from the leaf pages, Validate passes, and searches answer.
+func TestV2Persistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v2.rt")
+	f, _ := pager.Create(path, nil)
+	pool := pager.NewPool(f, 64)
+	b, _ := NewBuilder(pool, 2, Options{PackFormat: FormatV2})
+	b.BeginRun(2)
+	for i := int64(1); i <= 500; i++ {
+		b.Add([]int64{i, 1}, []int64{i * 10, 1})
+	}
+	b.EndRun()
+	tree, _ := b.Finish()
+	if err := tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+
+	f2, _ := pager.Open(path, nil)
+	pool2 := pager.NewPool(f2, 64)
+	defer pool2.Close()
+	tree2, err := Open(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format, err := tree2.Format(); err != nil || format != FormatV2 {
+		t.Fatalf("Format = %d, %v; want FormatV2", format, err)
+	}
+	if err := tree2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	tree2.Search([]int64{100, 1}, []int64{200, 1}, func(coords, m []int64) error {
+		if m[0] != coords[0]*10 {
+			t.Fatalf("measure %d at %v", m[0], coords)
+		}
+		sum += m[0]
+		return nil
+	})
+	if want := int64(10 * (100 + 200) * 101 / 2); sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+	info, err := tree2.ScrubLeaves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.V1Leaves != 0 || info.V2Leaves == 0 || info.Points != 500 {
+		t.Fatalf("scrub info = %+v", info)
+	}
+}
+
+// TestV1BackwardCompat: a file built with the v1 format (as every pre-v2
+// release wrote) reopens and scans correctly while the default is v2.
+func TestV1BackwardCompat(t *testing.T) {
+	if DefaultFormat != FormatV2 {
+		t.Fatalf("DefaultFormat = %d; test assumes v2 default", DefaultFormat)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v1.rt")
+	f, _ := pager.Create(path, nil)
+	pool := pager.NewPool(f, 64)
+	b, _ := NewBuilder(pool, 3, Options{PackFormat: FormatV1})
+	if b.Format() != FormatV1 {
+		t.Fatalf("builder format %d", b.Format())
+	}
+	b.BeginRun(3)
+	pts := make([][]int64, 0, 1000)
+	r := rand.New(rand.NewSource(11))
+	seen := map[[3]int64]bool{}
+	for len(pts) < 1000 {
+		p := [3]int64{r.Int63n(40) + 1, r.Int63n(40) + 1, r.Int63n(40) + 1}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, []int64{p[0], p[1], p[2]})
+		}
+	}
+	sortPack(pts)
+	for _, p := range pts {
+		b.Add(p, []int64{p[0], 1})
+	}
+	b.EndRun()
+	tree, _ := b.Finish()
+	if err := tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+
+	f2, _ := pager.Open(path, nil)
+	pool2 := pager.NewPool(f2, 64)
+	defer pool2.Close()
+	tree2, err := Open(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format, err := tree2.Format(); err != nil || format != FormatV1 {
+		t.Fatalf("Format = %d, %v; want FormatV1", format, err)
+	}
+	if err := tree2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := tree2.ScrubLeaves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.V2Leaves != 0 || info.V1Leaves == 0 {
+		t.Fatalf("scrub info = %+v", info)
+	}
+	got := 0
+	tree2.Search([]int64{1, 1, 1}, []int64{40, 40, 40}, func(coords, m []int64) error {
+		if m[0] != coords[0] {
+			t.Fatalf("measure %d at %v", m[0], coords)
+		}
+		got++
+		return nil
+	})
+	if got != len(pts) {
+		t.Fatalf("scan found %d of %d points", got, len(pts))
+	}
+}
+
+// TestMergeAcrossFormats: merge-packing a v1 tree with deltas into a v2
+// builder (the upgrade path a refresh takes on an old forest) preserves
+// every point and combines measures.
+func TestMergeAcrossFormats(t *testing.T) {
+	oldPool := newPool(t, 64)
+	ob, _ := NewBuilder(oldPool, 2, Options{PackFormat: FormatV1})
+	ob.BeginRun(2)
+	for i := int64(1); i <= 100; i++ {
+		ob.Add([]int64{i, 1}, []int64{i, 1})
+	}
+	ob.EndRun()
+	oldTree, err := ob.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newPoolV2 := newPool(t, 64)
+	nb, _ := NewBuilder(newPoolV2, 2, Options{PackFormat: FormatV2})
+	delta := &SlicePoints{
+		Coords:   [][]int64{{50, 1}, {101, 1}},
+		Measures: [][]int64{{5, 1}, {7, 1}},
+	}
+	if err := nb.BeginRun(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeRun(nb, 2, oldTree.RunIterator(oldTree.Runs()[0]), delta, AddMeasures); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.EndRun(); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := nb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format, _ := merged.Format(); format != FormatV2 {
+		t.Fatalf("merged format %d, want v2", format)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count() != 101 {
+		t.Fatalf("merged count %d, want 101", merged.Count())
+	}
+	var m50 []int64
+	merged.Search([]int64{50, 1}, []int64{50, 1}, func(_, m []int64) error {
+		m50 = append([]int64(nil), m...)
+		return nil
+	})
+	if m50[0] != 55 || m50[1] != 2 {
+		t.Fatalf("merged measures at 50 = %v, want [55 2]", m50)
+	}
+}
+
+// TestScrubLeavesDetectsCorruption: ScrubLeaves fails on a v2 zone map that
+// disagrees with the decoded column, and on an unknown node kind.
+func TestScrubLeavesDetectsCorruption(t *testing.T) {
+	pool := newPool(t, 64)
+	b, _ := NewBuilder(pool, 1, Options{PackFormat: FormatV2})
+	b.BeginRun(1)
+	for i := int64(1); i <= 300; i++ {
+		b.Add([]int64{i}, []int64{i, 1})
+	}
+	b.EndRun()
+	tree, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.ScrubLeaves(); err != nil {
+		t.Fatalf("clean tree failed scrub: %v", err)
+	}
+
+	corrupt := func(mutate func(b []byte)) error {
+		fr, err := pool.Fetch(tree.leafLo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(fr.Data())
+		pool.Unpin(fr, true)
+		_, err = tree.ScrubLeaves()
+		return err
+	}
+
+	// Bump the first column's zone-map min (bytes 8..16 of the directory
+	// entry hold min; entry starts right after the node header).
+	if err := corrupt(func(b []byte) { b[nodeHeaderSize]++ }); err == nil {
+		t.Fatal("scrub accepted a zone map that disagrees with the column")
+	}
+	if err := corrupt(func(b []byte) { b[nodeHeaderSize]-- }); err != nil {
+		t.Fatalf("scrub still failing after repair: %v", err)
+	}
+	// Unknown node kind.
+	if err := corrupt(func(b []byte) { b[0] = 9 }); err == nil {
+		t.Fatal("scrub accepted an unknown leaf kind")
+	}
+	if err := corrupt(func(b []byte) { b[0] = kindLeafV2 }); err != nil {
+		t.Fatalf("scrub still failing after kind repair: %v", err)
+	}
+	// Out-of-range bit width in the directory.
+	if err := corrupt(func(b []byte) { b[nodeHeaderSize+16] = 65 }); err == nil {
+		t.Fatal("scrub accepted bit width 65")
+	}
+}
+
+// TestV2PacksDenser: on small-domain data, the columnar format stores
+// several times more points per leaf than the fixed-width v1 layout — the
+// core space claim behind the tentpole.
+func TestV2PacksDenser(t *testing.T) {
+	build := func(format int) *Tree {
+		pool := newPool(t, 256)
+		b, _ := NewBuilder(pool, 3, Options{PackFormat: format})
+		b.BeginRun(3)
+		r := rand.New(rand.NewSource(3))
+		pts := make([][]int64, 0, 20000)
+		seen := map[[3]int64]bool{}
+		for len(pts) < 20000 {
+			p := [3]int64{r.Int63n(100) + 1, r.Int63n(100) + 1, r.Int63n(100) + 1}
+			if !seen[p] {
+				seen[p] = true
+				pts = append(pts, []int64{p[0], p[1], p[2]})
+			}
+		}
+		sortPack(pts)
+		for _, p := range pts {
+			b.Add(p, []int64{p[0], 1})
+		}
+		b.EndRun()
+		tree, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree
+	}
+	t1 := build(FormatV1)
+	t2 := build(FormatV2)
+	if t2.LeafPages() >= t1.LeafPages() {
+		t.Fatalf("v2 uses %d leaf pages, v1 %d: columnar packing saved nothing",
+			t2.LeafPages(), t1.LeafPages())
+	}
+	// 3 coords in ~7 bits each plus 2 raw measures vs 5×8 bytes: expect a
+	// large density win, not a marginal one.
+	d1 := float64(t1.Count()) / float64(t1.LeafPages())
+	d2 := float64(t2.Count()) / float64(t2.LeafPages())
+	if d2 < 1.8*d1 {
+		t.Fatalf("v2 density %.0f points/page vs v1 %.0f: expected >= 1.8x", d2, d1)
+	}
+}

@@ -96,6 +96,28 @@ func (t *Tree) LeafPages() uint32 {
 // Bytes returns the on-disk size of the tree.
 func (t *Tree) Bytes() int64 { return t.pool.File().Size() }
 
+// Format reports the tree's leaf format (FormatV1 or FormatV2). The format
+// is not stored on the meta page — the layout predates v2 and has no spare
+// field — so it is derived from the first leaf's self-describing kind byte.
+func (t *Tree) Format() (int, error) {
+	if t.leafHi < t.leafLo {
+		return FormatV1, nil
+	}
+	fr, err := t.pool.Fetch(t.leafLo)
+	if err != nil {
+		return 0, err
+	}
+	defer t.pool.Unpin(fr, false)
+	switch nodeKind(fr.Data()) {
+	case kindLeaf:
+		return FormatV1, nil
+	case kindLeafV2:
+		return FormatV2, nil
+	default:
+		return 0, fmt.Errorf("rtree: unknown leaf format (node kind %d)", nodeKind(fr.Data()))
+	}
+}
+
 // Pool exposes the tree's buffer pool (used by the forest for flushing).
 func (t *Tree) Pool() *pager.Pool { return t.pool }
 
@@ -277,10 +299,13 @@ func (t *Tree) Search(lo, hi []int64, fn Visit) error {
 	measures := make([]int64, t.measures)
 	elo := make([]int64, t.dim)
 	ehi := make([]int64, t.dim)
-	return t.search(t.root, t.height, lo, hi, coords, measures, elo, ehi, fn)
+	scratch := scratchPool.Get().(*scanScratch)
+	err := t.search(t.root, t.height, lo, hi, coords, measures, elo, ehi, scratch, fn)
+	scratchPool.Put(scratch)
+	return err
 }
 
-func (t *Tree) search(pid pager.PageID, level int, lo, hi, coords, measures, elo, ehi []int64, fn Visit) error {
+func (t *Tree) search(pid pager.PageID, level int, lo, hi, coords, measures, elo, ehi []int64, scratch *scanScratch, fn Visit) error {
 	fr, err := t.pool.Fetch(pid)
 	if err != nil {
 		return err
@@ -288,18 +313,25 @@ func (t *Tree) search(pid pager.PageID, level int, lo, hi, coords, measures, elo
 	b := fr.Data()
 	n := nodeCount(b)
 	if level == 1 {
-		if nodeKind(b) != kindLeaf {
-			t.pool.Unpin(fr, false)
-			return fmt.Errorf("rtree: corrupt node %d: expected leaf", pid)
-		}
-		for i := 0; i < n; i++ {
-			t.leafPoint(b, i, coords, measures)
-			if pointInRect(coords, lo, hi) {
-				if err := fn(coords, measures); err != nil {
-					t.pool.Unpin(fr, false)
-					return err
+		switch nodeKind(b) {
+		case kindLeaf:
+			for i := 0; i < n; i++ {
+				t.leafPoint(b, i, coords, measures)
+				if pointInRect(coords, lo, hi) {
+					if err := fn(coords, measures); err != nil {
+						t.pool.Unpin(fr, false)
+						return err
+					}
 				}
 			}
+		case kindLeafV2:
+			if err := t.searchLeafV2(b, lo, hi, scratch, coords, measures, fn); err != nil {
+				t.pool.Unpin(fr, false)
+				return err
+			}
+		default:
+			t.pool.Unpin(fr, false)
+			return fmt.Errorf("rtree: corrupt node %d: unknown leaf format (kind %d)", pid, nodeKind(b))
 		}
 		t.pool.Unpin(fr, false)
 		return nil
@@ -319,7 +351,7 @@ func (t *Tree) search(pid pager.PageID, level int, lo, hi, coords, measures, elo
 	}
 	t.pool.Unpin(fr, false)
 	for _, c := range children {
-		if err := t.search(c, level-1, lo, hi, coords, measures, elo, ehi, fn); err != nil {
+		if err := t.search(c, level-1, lo, hi, coords, measures, elo, ehi, scratch, fn); err != nil {
 			return err
 		}
 	}
@@ -362,16 +394,20 @@ func (t *Tree) Validate() error {
 		b := fr.Data()
 		n := nodeCount(b)
 		if level == 1 {
-			if nodeKind(b) != kindLeaf {
+			if nodeKind(b) != kindLeaf && nodeKind(b) != kindLeafV2 {
 				return fmt.Errorf("rtree: node %d at leaf level is internal", pid)
 			}
 			if pid < t.leafLo || pid > t.leafHi {
 				return fmt.Errorf("rtree: leaf %d outside leaf range [%d,%d]", pid, t.leafLo, t.leafHi)
 			}
+			var dec leafDecoder
+			if err := t.readLeaf(b, &dec); err != nil {
+				return fmt.Errorf("rtree: leaf %d: %w", pid, err)
+			}
 			coords := make([]int64, t.dim)
 			meas := make([]int64, t.measures)
 			for i := 0; i < n; i++ {
-				t.leafPoint(b, i, coords, meas)
+				dec.point(i, coords, meas)
 				if lo != nil && !pointInRect(coords, lo, hi) {
 					return fmt.Errorf("rtree: leaf %d point %v escapes parent MBR", pid, coords)
 				}

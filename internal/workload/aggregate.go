@@ -48,14 +48,16 @@ func (a *Aggregator) AddMeasures(group []int64, measures []int64) {
 			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
 			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 	}
-	k := string(a.keyBuf)
-	cell := a.groups[k]
+	// The direct map index with an inline []byte->string conversion lets the
+	// compiler elide the string allocation, so the hot path (existing group)
+	// allocates nothing; only a new group pays for its key.
+	cell := a.groups[string(a.keyBuf)]
 	if cell == nil {
 		cell = &aggCell{
 			group:    append([]int64(nil), group...),
 			measures: append([]int64(nil), measures...),
 		}
-		a.groups[k] = cell
+		a.groups[string(a.keyBuf)] = cell
 		return
 	}
 	a.schema.Fold(cell.measures, measures)

@@ -11,7 +11,7 @@ package workload
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"cubetree/internal/lattice"
@@ -153,14 +153,8 @@ type Engine interface {
 // SortRows orders rows lexicographically by Group, the canonical result
 // order used to compare engines.
 func SortRows(rows []Row) {
-	sort.Slice(rows, func(i, j int) bool {
-		a, b := rows[i].Group, rows[j].Group
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return len(a) < len(b)
+	slices.SortFunc(rows, func(a, b Row) int {
+		return slices.Compare(a.Group, b.Group)
 	})
 }
 

@@ -230,6 +230,7 @@ func Materialize(cfg Config, views []View, rows RowIter) (*Warehouse, error) {
 		Stats:          cfg.Stats,
 		Workers:        cfg.Workers,
 		Span:           buildSp,
+		PackFormat:     cfg.PackFormat,
 	})
 	o.ObservePhase("materialize_build", buildSp)
 	if err != nil {
@@ -538,6 +539,7 @@ func (w *Warehouse) Update(rows RowIter) error {
 		Domains:        w.cfg.Domains,
 		Stats:          w.cfg.Stats,
 		Span:           mergeSp,
+		PackFormat:     w.cfg.PackFormat,
 	})
 	o.ObservePhase("refresh_merge", mergeSp)
 	if err != nil {
