@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated experiments: table5,table6,storage,fig12,fig13,fig14,table7,throughput,greedy,ablations or all")
+		exps    = flag.String("exp", "all", "comma-separated experiments: table5,table6,storage,fig12,fig13,fig14,table7,throughput,scaling,greedy,ablations or all")
 		sf      = flag.Float64("sf", 0.01, "TPC-D scale factor (1.0 = the paper's 1 GB)")
 		seed    = flag.Uint64("seed", 1998, "random seed")
 		queries = flag.Int("queries", 100, "queries per view (Figure 12/13/14)")
@@ -44,6 +44,7 @@ func main() {
 		srvURL  = flag.String("server", "", "run the throughput sweep against a running cubetreed at this URL instead of building a local setup")
 		packFmt = flag.Int("pack-format", 0, "Cubetree leaf format: 1 = row-major v1, 2 = columnar v2 (0 = library default)")
 		measure = flag.Duration("measure", time.Second, "minimum measurement window per throughput-sweep row (batch repeats to fill it; 0 = single pass)")
+		workers = flag.String("workers", "1,2,4", "cluster sizes for -exp scaling, comma-separated")
 	)
 	flag.Parse()
 
@@ -207,6 +208,35 @@ func main() {
 		fmt.Println(ab)
 		csv("ablations.csv", ab.CSV())
 	}
+	if need("scaling") {
+		ws, err := parseWorkers(*workers)
+		if err != nil {
+			fatal(err)
+		}
+		sc, err := experiment.RunScaling(experiment.ScalingParams{
+			SF:             *sf,
+			Seed:           *seed,
+			QueriesPerView: *queries,
+			PoolPages:      *pool,
+			Workers:        ws,
+			MinMeasure:     *measure,
+			PackFormat:     *packFmt,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(sc)
+		if *asJSON {
+			data, err := json.MarshalIndent(sc, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile("BENCH_scaling.json", append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote BENCH_scaling.json")
+		}
+	}
 	if need("fig14") {
 		fig, err := experiment.RunFig14(p)
 		if err != nil {
@@ -239,6 +269,26 @@ func runGreedy(sf float64) {
 			i+1, step.Pick.String(), step.Benefit, step.PerSpace)
 	}
 	fmt.Println()
+}
+
+// parseWorkers parses the -workers axis ("1,2,4") into cluster sizes.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers lists no cluster sizes")
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -6,7 +6,8 @@
 // It walks every page of every tree file of the committed generation,
 // verifies the per-page checksums, and then re-validates the forest's
 // structural and catalog invariants (packing order, MBR containment, point
-// totals). It never modifies the warehouse. The exit status is 0 when the
+// totals, and forest.json's declared pack_format against the leaf layouts
+// actually on disk). It never modifies the warehouse. The exit status is 0 when the
 // warehouse is intact and 1 when any damage was found, so it can gate
 // backups and restarts in scripts. With -json the report is a single
 // machine-readable document on stdout (the scrub metrics registry snapshot
@@ -36,6 +37,9 @@ type scrub struct {
 	stats *pager.Stats
 	reg   *obs.Registry
 	trees []treeScrub
+	// packFormat is forest.json's declared leaf layout (0 when the catalog
+	// predates the field), cross-checked against the per-tree leaf census.
+	packFormat int
 
 	filesScrubbed *obs.Counter // scrub_files_total
 	filesDamaged  *obs.Counter // scrub_files_damaged
@@ -188,13 +192,15 @@ func (s *scrub) scrubForest(dir string, verbose bool) bool {
 		return true
 	}
 	var cat struct {
-		Trees []string `json:"trees"`
+		Trees      []string `json:"trees"`
+		PackFormat int      `json:"pack_format"`
 	}
 	if err := json.Unmarshal(raw, &cat); err != nil {
 		s.errors.Inc()
 		fmt.Fprintf(s.out, "error: parse forest.json: %v\n", err)
 		return true
 	}
+	s.packFormat = cat.PackFormat
 	damaged := false
 	for _, name := range cat.Trees {
 		path := filepath.Join(dir, name)
@@ -272,6 +278,27 @@ func (s *scrub) checkInvariants(dir string, verbose bool) bool {
 			s.trees[i].LeafFormat = info.Format()
 			s.trees[i].V1Leaves = info.V1Leaves
 			s.trees[i].V2Leaves = info.V2Leaves
+		}
+		// Cross-check the catalog's declared leaf layout against what is
+		// actually on disk: a forest claiming v2 must hold no v1 leaves and
+		// vice versa. Catalogs written before pack_format existed declare 0;
+		// that is noted, not failed, since the census alone is authoritative
+		// for them.
+		switch {
+		case s.packFormat == 0:
+			if i == 0 && (info.V1Leaves > 0 || info.V2Leaves > 0) {
+				fmt.Fprintf(s.out, "note: forest.json predates pack_format; leaf census not cross-checked\n")
+			}
+		case s.packFormat == 1 && info.V2Leaves > 0:
+			s.errors.Inc()
+			fmt.Fprintf(s.out, "error: tree %d: forest.json declares pack_format v1 but %d columnar v2 leaves are on disk\n",
+				i, info.V2Leaves)
+			damaged = true
+		case s.packFormat == 2 && info.V1Leaves > 0:
+			s.errors.Inc()
+			fmt.Fprintf(s.out, "error: tree %d: forest.json declares pack_format v2 but %d row-major v1 leaves are on disk\n",
+				i, info.V1Leaves)
+			damaged = true
 		}
 		if verbose {
 			fmt.Fprintf(s.out, "tree %d: leaf format v%d (%d v1 leaves, %d v2 leaves, %d points)\n",

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cubetree"
+)
+
+type sliceRows struct {
+	cols    []cubetree.Attr
+	rows    [][]int64
+	measure []int64
+	i       int
+}
+
+func (s *sliceRows) Next() bool { s.i++; return s.i <= len(s.rows) }
+func (s *sliceRows) Value(a cubetree.Attr) (int64, error) {
+	for j, c := range s.cols {
+		if c == a {
+			return s.rows[s.i-1][j], nil
+		}
+	}
+	return 0, nil
+}
+func (s *sliceRows) Measure() int64 { return s.measure[s.i-1] }
+
+// TestPackFormatCrossCheck builds the scrubber, runs it against a clean
+// warehouse (exit 0), then rewrites forest.json to declare the wrong
+// pack_format and asserts the census mismatch is caught with exit 1.
+func TestPackFormatCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the ctcheck binary; skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	whDir := filepath.Join(dir, "wh")
+	w, err := cubetree.Materialize(
+		cubetree.Config{Dir: whDir, Domains: map[cubetree.Attr]int64{"a": 4, "b": 4}},
+		[]cubetree.View{cubetree.NewView("ab", "a", "b"), cubetree.NewView("a", "a")},
+		&sliceRows{
+			cols:    []cubetree.Attr{"a", "b"},
+			rows:    [][]int64{{1, 1}, {2, 3}, {3, 2}, {4, 4}},
+			measure: []int64{5, 3, 4, 9},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := filepath.Join(dir, "ctcheck")
+	if out, err := exec.Command("go", "build", "-o", bin, "cubetree/cmd/ctcheck").CombinedOutput(); err != nil {
+		t.Fatalf("go build ctcheck: %v\n%s", err, out)
+	}
+
+	if out, err := exec.Command(bin, "-dir", whDir).CombinedOutput(); err != nil {
+		t.Fatalf("clean warehouse flagged: %v\n%s", err, out)
+	}
+
+	// Flip the declared layout; the on-disk leaves no longer match it.
+	forestJSON := filepath.Join(whDir, "gen-000001", "forest.json")
+	raw, err := os.ReadFile(forestJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cat map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &cat); err != nil {
+		t.Fatal(err)
+	}
+	var format int
+	if err := json.Unmarshal(cat["pack_format"], &format); err != nil {
+		t.Fatalf("forest.json has no pack_format: %s", raw)
+	}
+	wrong := "1"
+	if format == 1 {
+		wrong = "2"
+	}
+	cat["pack_format"] = json.RawMessage(wrong)
+	tampered, err := json.Marshal(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(forestJSON, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(bin, "-dir", whDir).CombinedOutput()
+	if err == nil {
+		t.Fatalf("mismatched pack_format not flagged:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("exit = %v, want status 1\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "declares pack_format") {
+		t.Fatalf("mismatch not reported:\n%s", out)
+	}
+}

@@ -1,10 +1,15 @@
-// Command cttrend diffs two throughput baselines written by ctbench -json:
+// Command cttrend diffs two bench baselines written by ctbench -json:
 //
 //	cttrend BENCH_throughput.json new/BENCH_throughput.json
+//	cttrend BENCH_scaling.json new/BENCH_scaling.json
 //	cttrend -threshold 0.05 -json base.json cur.json
 //
-// Rows are matched by client count and both engines' wall-clock QPS are
-// compared; a drop beyond the threshold (default 10%) is a regression.
+// The artifact kind is sniffed from the rows: a workers axis means a
+// scaling sweep (QPS and per-shard refresh window per cluster size),
+// anything else a throughput sweep (both engines' QPS per client count).
+// Baselines recorded by older builds that lack newer fields (pack_format
+// and friends) load fine; missing fields take their documented defaults.
+// A drop beyond the threshold (default 10%) is a regression.
 //
 // Exit status: 0 when no regression, 1 when a regression is flagged (0 with
 // -warn-only), 2 on usage or input errors — so CI can gate merges on it.
@@ -43,17 +48,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	base, err := experiment.LoadThroughput(fs.Arg(0))
+	baseKind, err := experiment.BenchKind(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(stderr, "cttrend:", err)
 		return 2
 	}
-	cur, err := experiment.LoadThroughput(fs.Arg(1))
+	curKind, err := experiment.BenchKind(fs.Arg(1))
 	if err != nil {
 		fmt.Fprintln(stderr, "cttrend:", err)
 		return 2
 	}
-	rep := experiment.CompareThroughput(base, cur, experiment.TrendOptions{Threshold: *threshold})
+	if baseKind != curKind {
+		fmt.Fprintf(stderr, "cttrend: cannot compare a %s sweep against a %s sweep\n", curKind, baseKind)
+		return 2
+	}
+
+	// Both comparison kinds expose the same report surface.
+	var rep interface {
+		Regressed() bool
+		String() string
+	}
+	var regressions int
+	opts := experiment.TrendOptions{Threshold: *threshold}
+	if baseKind == "scaling" {
+		base, err := experiment.LoadScaling(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "cttrend:", err)
+			return 2
+		}
+		cur, err := experiment.LoadScaling(fs.Arg(1))
+		if err != nil {
+			fmt.Fprintln(stderr, "cttrend:", err)
+			return 2
+		}
+		r := experiment.CompareScaling(base, cur, opts)
+		rep, regressions = r, len(r.Regressions())
+	} else {
+		base, err := experiment.LoadThroughput(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "cttrend:", err)
+			return 2
+		}
+		cur, err := experiment.LoadThroughput(fs.Arg(1))
+		if err != nil {
+			fmt.Fprintln(stderr, "cttrend:", err)
+			return 2
+		}
+		r := experiment.CompareThroughput(base, cur, opts)
+		rep, regressions = r, len(r.Regressions())
+	}
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -67,11 +110,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if rep.Regressed() {
 		if *warnOnly {
 			fmt.Fprintf(stderr, "cttrend: %d regression(s) beyond %.1f%% (warn-only)\n",
-				len(rep.Regressions()), 100*rep.Threshold)
+				regressions, 100**threshold)
 			return 0
 		}
 		fmt.Fprintf(stderr, "cttrend: %d regression(s) beyond %.1f%%\n",
-			len(rep.Regressions()), 100*rep.Threshold)
+			regressions, 100**threshold)
 		return 1
 	}
 	return 0

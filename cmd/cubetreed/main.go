@@ -6,6 +6,16 @@
 //
 //	cubetreed -dir ./wh -addr :8347
 //
+// The same binary also runs a distributed forest (see docs/DISTRIBUTED.md):
+//
+//	cubetreed -worker -dir ./shard0 -addr :9001        # shard worker
+//	cubetreed -shards :9001,:9002 -addr :8347          # coordinator
+//
+// A worker serves its shard's warehouse over the binary wire protocol; a
+// coordinator speaks the same HTTP API as a single-process server, scatters
+// every query to all shards, folds the partial aggregates, and fans
+// refreshes out so shards merge-pack in parallel.
+//
 // The server is built to stay up under abuse: bounded admission with load
 // shedding (429/503 + Retry-After), per-client rate limiting, per-request
 // timeouts that actually cancel the underlying scans, panic recovery, and
@@ -23,17 +33,21 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"cubetree"
+	"cubetree/internal/dist"
 	"cubetree/internal/server"
 )
 
 func main() {
 	var (
-		dir        = flag.String("dir", "", "warehouse directory (required; build one with ctload)")
+		dir        = flag.String("dir", "", "warehouse directory (required unless -shards; build one with ctload)")
 		addr       = flag.String("addr", ":8347", "listen address")
+		worker     = flag.Bool("worker", false, "serve this warehouse as a shard worker (binary wire protocol, no HTTP)")
+		shards     = flag.String("shards", "", "comma-separated worker addresses; serve as the cluster coordinator")
 		inflight   = flag.Int("max-inflight", 16, "max concurrently executing requests")
 		queue      = flag.Int("max-queue", 0, "max requests queued for admission (0 = 4x max-inflight)")
 		queueWait  = flag.Duration("queue-wait", time.Second, "max time a request waits for an execution slot")
@@ -47,6 +61,15 @@ func main() {
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "max time to finish in-flight requests on shutdown")
 	)
 	flag.Parse()
+	if *worker && *shards != "" {
+		fmt.Fprintln(os.Stderr, "cubetreed: -worker and -shards are mutually exclusive")
+		os.Exit(2)
+	}
+	if *shards != "" {
+		runCoordinator(*shards, *addr, serverConfig(*inflight, *queue, *queueWait, *timeout,
+			*rate, *burst, *cacheSize, *batchPar, *slow), *slow, *drainGrace)
+		return
+	}
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "cubetreed: -dir is required")
 		flag.Usage()
@@ -66,21 +89,89 @@ func main() {
 	o := cubetree.NewObserver(cubetree.ObserverOptions{SlowThreshold: *slow, Stats: stats})
 	w.SetObserver(o)
 
-	srv := server.New(server.Config{
-		Store:            w,
-		MaxInFlight:      *inflight,
-		MaxQueue:         *queue,
-		QueueWait:        *queueWait,
-		RequestTimeout:   *timeout,
-		RatePerSec:       *rate,
-		RateBurst:        *burst,
-		CacheEntries:     *cacheSize,
-		BatchParallelism: *batchPar,
-		Obs:              o,
-		Debug:            cubetree.DebugMux(w, o),
-	})
+	if *worker {
+		runWorker(w, o, *dir, *addr)
+		return
+	}
 
-	ln, err := net.Listen("tcp", *addr)
+	cfg := serverConfig(*inflight, *queue, *queueWait, *timeout, *rate, *burst,
+		*cacheSize, *batchPar, *slow)
+	cfg.Store = w
+	cfg.Obs = o
+	cfg.Debug = cubetree.DebugMux(w, o)
+	serveHTTP(cfg, *addr, *drainGrace, func(ln net.Addr) {
+		log.Printf("cubetreed: serving %s on http://%s (views=%d gen=%d)",
+			*dir, ln, len(w.Views()), w.Generation())
+	})
+}
+
+func serverConfig(inflight, queue int, queueWait, timeout time.Duration, rate float64,
+	burst, cacheSize, batchPar int, slow time.Duration) server.Config {
+	return server.Config{
+		MaxInFlight:      inflight,
+		MaxQueue:         queue,
+		QueueWait:        queueWait,
+		RequestTimeout:   timeout,
+		RatePerSec:       rate,
+		RateBurst:        burst,
+		CacheEntries:     cacheSize,
+		BatchParallelism: batchPar,
+	}
+}
+
+// runWorker serves the warehouse over the shard wire protocol until
+// SIGTERM/SIGINT, then stops accepting, cuts in-flight connections, and
+// aborts any uncommitted pending refresh.
+func runWorker(w *cubetree.Warehouse, o *cubetree.Observer, dir, addr string) {
+	wk := dist.NewWorker(cubetree.ShardBackend(w), cubetree.ShardCSV, o)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("cubetreed: listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- wk.Serve(ln) }()
+	log.Printf("cubetreed: worker serving %s on %s (views=%d gen=%d)",
+		dir, ln.Addr(), len(w.Views()), w.Generation())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-done:
+		log.Fatalf("cubetreed: worker serve: %v", err)
+	case s := <-sig:
+		log.Printf("cubetreed: worker %v: shutting down", s)
+	}
+	if err := wk.Close(); err != nil {
+		log.Printf("cubetreed: worker close: %v", err)
+	}
+	log.Printf("cubetreed: stopped")
+}
+
+// runCoordinator connects to the shard workers and serves the standard HTTP
+// API over the scatter-gather store.
+func runCoordinator(shardList, addr string, cfg server.Config, slow, drainGrace time.Duration) {
+	o := cubetree.NewObserver(cubetree.ObserverOptions{SlowThreshold: slow})
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		Shards: strings.Split(shardList, ","),
+		Obs:    o,
+	})
+	if err != nil {
+		log.Fatalf("cubetreed: coordinator: %v", err)
+	}
+	defer coord.Close()
+	cfg.Store = coord
+	cfg.Obs = o
+	cfg.Debug = cubetree.CoordinatorDebugMux(coord, o)
+	serveHTTP(cfg, addr, drainGrace, func(ln net.Addr) {
+		log.Printf("cubetreed: coordinator serving %d shard(s) on http://%s (views=%d gen=%d)",
+			len(strings.Split(shardList, ",")), ln, len(coord.Views()), coord.Generation())
+	})
+}
+
+// serveHTTP runs the HTTP front door until SIGTERM/SIGINT, then drains.
+func serveHTTP(cfg server.Config, addr string, drainGrace time.Duration, ready func(net.Addr)) {
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatalf("cubetreed: listen: %v", err)
 	}
@@ -91,8 +182,7 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
-	log.Printf("cubetreed: serving %s on http://%s (views=%d gen=%d)",
-		*dir, ln.Addr(), len(w.Views()), w.Generation())
+	ready(ln.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -100,13 +190,13 @@ func main() {
 	case err := <-done:
 		log.Fatalf("cubetreed: serve: %v", err)
 	case s := <-sig:
-		log.Printf("cubetreed: %v: draining (grace %v)", s, *drainGrace)
+		log.Printf("cubetreed: %v: draining (grace %v)", s, drainGrace)
 	}
 
 	// Drain first — new queries shed with 503, readiness flips so load
 	// balancers stop routing here — then close the listener once in-flight
 	// work is done. Shutdown also waits for handlers still writing.
-	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
 		log.Printf("cubetreed: drain incomplete: %v", err)

@@ -1,0 +1,49 @@
+package cubetree
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+
+	"cubetree/internal/dist"
+	"cubetree/internal/obs"
+)
+
+// ShardBackend adapts a Warehouse to the dist.Backend surface a shard
+// worker serves: the adapter exists only to return BeginUpdate's
+// *PendingUpdate as the dist.Pending interface.
+func ShardBackend(w *Warehouse) dist.Backend { return shardBackend{w} }
+
+type shardBackend struct{ *Warehouse }
+
+func (b shardBackend) BeginUpdate(rows RowIter) (dist.Pending, error) {
+	return b.Warehouse.BeginUpdate(rows)
+}
+
+func (b shardBackend) Stat() (points, bytes int64) {
+	st := b.Warehouse.Stat()
+	return st.Points, st.Bytes
+}
+
+// ShardCSV is the dist.CSVSource a worker uses to parse refresh deltas —
+// the same CSV reader the HTTP refresh endpoint and ctload use.
+func ShardCSV(csv []byte, measure string) (RowIter, error) {
+	return CSVRows(bytes.NewReader(csv), measure)
+}
+
+// CoordinatorDebugMux builds the debug handler for a coordinator process:
+// the observer's endpoints plus /debug/warehouse serving the coordinator's
+// per-shard table (address, generation, in-flight, last error, p95
+// latency). Either argument may be nil.
+func CoordinatorDebugMux(c *dist.Coordinator, o *Observer) *http.ServeMux {
+	mux := obs.DebugMux(o)
+	if c != nil {
+		mux.HandleFunc("/debug/warehouse", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(rw)
+			enc.SetIndent("", "  ")
+			enc.Encode(c.DebugInfo())
+		})
+	}
+	return mux
+}

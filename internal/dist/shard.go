@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"cubetree/internal/cube"
+	"cubetree/internal/lattice"
+)
+
+// ShardOf assigns a fact to one of n shards by FNV-1a over its key values
+// in a fixed attribute order. Any assignment would produce correct query
+// results — the measures are distributive and the coordinator folds partial
+// aggregates per group — so the hash is purely a load-balance choice, and
+// the initial load and later deltas need not even agree on it. They do
+// anyway (both go through this function) so shards stay balanced as
+// refreshes accumulate.
+func ShardOf(vals []int64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range vals {
+		u := uint64(v)
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (u >> shift) & 0xff
+			h *= prime64
+		}
+	}
+	return int(h % uint64(n))
+}
+
+// SortedAttrs returns the attribute names of a domain map in the canonical
+// sorted order used for hashing and CSV rendering.
+func SortedAttrs(domains map[lattice.Attr]int64) []lattice.Attr {
+	attrs := make([]lattice.Attr, 0, len(domains))
+	for a := range domains {
+		attrs = append(attrs, a)
+	}
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
+	return attrs
+}
+
+// PartitionMeasure is the measure column name in partitioned CSV documents.
+const PartitionMeasure = "m"
+
+// Partition splits a fact stream into n per-shard CSV documents: a header
+// row naming attrs plus the measure column, then each fact rendered on the
+// shard ShardOf picked from its attribute values in attrs order. Shards
+// with no facts still get a header-only document, so every worker sees a
+// (possibly empty) delta. The same renderer feeds initial loads and refresh
+// deltas, keeping both sides of the hash consistent.
+func Partition(rows cube.RowIter, attrs []lattice.Attr, n int) ([][]byte, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: partition into %d shards", n)
+	}
+	var header bytes.Buffer
+	for _, a := range attrs {
+		header.WriteString(string(a))
+		header.WriteByte(',')
+	}
+	header.WriteString(PartitionMeasure)
+	header.WriteByte('\n')
+
+	out := make([]*bytes.Buffer, n)
+	for i := range out {
+		out[i] = bytes.NewBuffer(nil)
+		out[i].Write(header.Bytes())
+	}
+	vals := make([]int64, len(attrs))
+	var line []byte
+	for rows.Next() {
+		for i, a := range attrs {
+			v, err := rows.Value(a)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		line = line[:0]
+		for _, v := range vals {
+			line = strconv.AppendInt(line, v, 10)
+			line = append(line, ',')
+		}
+		line = strconv.AppendInt(line, rows.Measure(), 10)
+		line = append(line, '\n')
+		out[ShardOf(vals, n)].Write(line)
+	}
+	if ec, ok := rows.(interface{ Err() error }); ok {
+		if err := ec.Err(); err != nil {
+			return nil, err
+		}
+	}
+	docs := make([][]byte, n)
+	for i, b := range out {
+		docs[i] = b.Bytes()
+	}
+	return docs, nil
+}

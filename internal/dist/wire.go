@@ -1,0 +1,300 @@
+// Package dist distributes a cubetree forest across worker processes: a
+// coordinator hash-partitions the fact key space over N workers, each
+// owning a full view set materialized from its slice of the facts, scatters
+// every slice query to all shards in parallel, and folds the partial
+// aggregates back together with the lattice.Schema fold. Because every
+// stored measure is distributive (SUM/COUNT add, MIN/MAX take extremes),
+// the merged result is identical to a single-process warehouse over the
+// union of the facts, regardless of how rows were assigned to shards.
+//
+// Refresh fans out per-shard CSV deltas in two phases: every worker
+// merge-packs its delta into a pending generation concurrently (queries
+// keep flowing against the old generations), then the coordinator commits
+// all shards inside one brief query-blocking window, so a scatter observes
+// either every shard's old generation or every shard's new one — never a
+// mix.
+//
+// Workers speak a versioned length-prefixed binary protocol over TCP; see
+// docs/DISTRIBUTED.md for the framing, commit sequence, and failure matrix.
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cubetree/internal/workload"
+)
+
+const (
+	// Magic opens every frame: "CTDW" (CubeTree Distributed Wire).
+	Magic = 0x43544457
+	// Version is the protocol version carried in every frame header.
+	Version = 1
+	// headerLen is the fixed frame header size: magic u32, version u8,
+	// type u8, request id u64, payload length u32, all big-endian.
+	headerLen = 18
+	// MaxFramePayload bounds a frame's declared payload length; a header
+	// claiming more is a protocol error, closing the connection.
+	MaxFramePayload = 256 << 20
+)
+
+// FrameType tags a frame's payload shape.
+type FrameType uint8
+
+const (
+	// FrameQuery carries one slice query; answered by FrameRows.
+	FrameQuery FrameType = iota + 1
+	// FrameRows is the partial result of one query at one shard.
+	FrameRows
+	// FrameQueryBatch carries a whole query batch; answered by
+	// FrameRowsBatch. Batching amortizes the per-frame round trip when the
+	// coordinator executes many queries at once.
+	FrameQueryBatch
+	// FrameRowsBatch is the per-query partial results of a batch.
+	FrameRowsBatch
+	// FrameRefreshPrepare ships a shard's CSV delta; the worker sorts and
+	// merge-packs it into a pending generation and answers
+	// FrameRefreshPrepared without switching.
+	FrameRefreshPrepare
+	// FrameRefreshPrepared acks a prepare with the pending generation.
+	FrameRefreshPrepared
+	// FrameRefreshCommit asks the worker to switch to the named pending
+	// generation; answered by FrameRefreshAck. Committing an
+	// already-committed generation re-acks, so commit retries are safe.
+	FrameRefreshCommit
+	// FrameRefreshAbort discards the pending generation, if any.
+	FrameRefreshAbort
+	// FrameRefreshAck acks a commit or abort with the current generation.
+	FrameRefreshAck
+	// FrameStats requests the shard's catalog summary; answered by
+	// FrameStatsReply.
+	FrameStats
+	// FrameStatsReply carries generation, views, domains, schema and sizes.
+	FrameStatsReply
+	// FrameHealth is a liveness probe; answered by FrameHealthReply.
+	FrameHealth
+	// FrameHealthReply carries the shard's current generation.
+	FrameHealthReply
+	// FrameError is the failure reply to any request frame.
+	FrameError
+
+	frameTypeMax = FrameError
+)
+
+var frameNames = map[FrameType]string{
+	FrameQuery: "query", FrameRows: "rows",
+	FrameQueryBatch: "queryBatch", FrameRowsBatch: "rowsBatch",
+	FrameRefreshPrepare: "refreshPrepare", FrameRefreshPrepared: "refreshPrepared",
+	FrameRefreshCommit: "refreshCommit", FrameRefreshAbort: "refreshAbort",
+	FrameRefreshAck: "refreshAck", FrameStats: "stats", FrameStatsReply: "statsReply",
+	FrameHealth: "health", FrameHealthReply: "healthReply", FrameError: "error",
+}
+
+func (t FrameType) String() string {
+	if n, ok := frameNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// Frame is one decoded protocol frame. ID correlates a reply with its
+// request; each connection carries one request at a time, but the ID check
+// still catches desynchronized streams.
+type Frame struct {
+	Type    FrameType
+	ID      uint64
+	Payload []byte
+}
+
+// EncodeFrame writes one frame to w.
+func EncodeFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFramePayload {
+		return fmt.Errorf("dist: payload %d exceeds frame limit %d", len(f.Payload), MaxFramePayload)
+	}
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], Magic)
+	hdr[4] = Version
+	hdr[5] = byte(f.Type)
+	binary.BigEndian.PutUint64(hdr[6:14], f.ID)
+	binary.BigEndian.PutUint32(hdr[14:18], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Payload)
+	return err
+}
+
+// DecodeFrame reads one frame from r. Header violations (bad magic, unknown
+// version or type, oversized length) return an error without consuming the
+// payload; the connection is then unusable and must be closed. A clean EOF
+// between frames returns io.EOF.
+func DecodeFrame(r io.Reader) (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if m := binary.BigEndian.Uint32(hdr[0:4]); m != Magic {
+		return Frame{}, fmt.Errorf("dist: bad magic 0x%08x", m)
+	}
+	if hdr[4] != Version {
+		return Frame{}, fmt.Errorf("dist: unsupported protocol version %d", hdr[4])
+	}
+	t := FrameType(hdr[5])
+	if t == 0 || t > frameTypeMax {
+		return Frame{}, fmt.Errorf("dist: unknown frame type %d", hdr[5])
+	}
+	n := binary.BigEndian.Uint32(hdr[14:18])
+	if n > MaxFramePayload {
+		return Frame{}, fmt.Errorf("dist: payload length %d exceeds frame limit %d", n, MaxFramePayload)
+	}
+	payload, err := readPayload(r, int(n))
+	if err != nil {
+		return Frame{}, fmt.Errorf("dist: short frame payload: %w", err)
+	}
+	return Frame{Type: t, ID: binary.BigEndian.Uint64(hdr[6:14]), Payload: payload}, nil
+}
+
+// readPayload reads exactly n bytes without trusting n for the initial
+// allocation: the buffer grows in bounded steps as bytes actually arrive,
+// so a header declaring a huge length on a truncated or hostile stream
+// cannot balloon memory beyond what was really sent.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	const chunk = 64 << 10
+	if n == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		m := min(n-len(buf), chunk)
+		if cap(buf)-len(buf) < m {
+			grown := make([]byte, len(buf), min(n, 2*(len(buf)+m)))
+			copy(grown, buf)
+			buf = grown
+		}
+		start := len(buf)
+		buf = buf[:start+m]
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// marshalFrame builds a frame with a JSON payload.
+func marshalFrame(t FrameType, id uint64, v any) (Frame, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{Type: t, ID: id, Payload: payload}, nil
+}
+
+// unmarshalFrame decodes a frame's JSON payload into v.
+func unmarshalFrame(f Frame, v any) error {
+	if err := json.Unmarshal(f.Payload, v); err != nil {
+		return fmt.Errorf("dist: bad %s payload: %w", f.Type, err)
+	}
+	return nil
+}
+
+// Error codes carried in errorPayload.Code.
+const (
+	// ErrCodeQuery marks a query execution failure on the shard.
+	ErrCodeQuery = "query_failed"
+	// ErrCodeRefresh marks a refresh phase failure on the shard.
+	ErrCodeRefresh = "refresh_failed"
+	// ErrCodeBadGeneration marks a commit naming neither the pending nor
+	// the current generation — coordinator and worker have diverged.
+	ErrCodeBadGeneration = "bad_generation"
+	// ErrCodeBadRequest marks an undecodable or malformed request payload.
+	ErrCodeBadRequest = "bad_request"
+	// ErrCodeOverloaded marks a transiently unservable request (e.g. the
+	// shard's buffer pool is exhausted); the coordinator may retry.
+	ErrCodeOverloaded = "overloaded"
+)
+
+// queryPayload is FrameQuery's body.
+type queryPayload struct {
+	Query workload.Query `json:"query"`
+}
+
+// rowsPayload is FrameRows's body: the shard's partial rows and the
+// generation they were computed against.
+type rowsPayload struct {
+	Generation int            `json:"generation"`
+	Rows       []workload.Row `json:"rows"`
+}
+
+// queryBatchPayload is FrameQueryBatch's body. Parallelism bounds the
+// worker-side execution parallelism (<= 1 means serial).
+type queryBatchPayload struct {
+	Queries     []workload.Query `json:"queries"`
+	Parallelism int              `json:"parallelism"`
+}
+
+// rowsBatchPayload is FrameRowsBatch's body, one partial result slice per
+// query in request order.
+type rowsBatchPayload struct {
+	Generation int              `json:"generation"`
+	Results    [][]workload.Row `json:"results"`
+}
+
+// refreshPreparePayload is FrameRefreshPrepare's body: the shard's slice of
+// the delta as a CSV document (header row naming attributes plus the
+// measure column).
+type refreshPreparePayload struct {
+	CSV     []byte `json:"csv"`
+	Measure string `json:"measure"`
+}
+
+// refreshPreparedPayload is FrameRefreshPrepared's body. NoOp marks an
+// empty delta: nothing was prepared and Generation is the shard's current
+// one, which a later commit of that generation simply re-acks.
+type refreshPreparedPayload struct {
+	Generation int  `json:"generation"`
+	NoOp       bool `json:"no_op,omitempty"`
+}
+
+// refreshCommitPayload is FrameRefreshCommit's body.
+type refreshCommitPayload struct {
+	Generation int `json:"generation"`
+}
+
+// refreshAckPayload is FrameRefreshAck's body.
+type refreshAckPayload struct {
+	Generation int `json:"generation"`
+}
+
+// wireView is a view definition on the wire.
+type wireView struct {
+	Name  string   `json:"name,omitempty"`
+	Attrs []string `json:"attrs"`
+}
+
+// statsReplyPayload is FrameStatsReply's body: enough of the shard's
+// catalog for the coordinator to stand in for a local warehouse.
+type statsReplyPayload struct {
+	Generation int              `json:"generation"`
+	Views      []wireView       `json:"views"`
+	Domains    map[string]int64 `json:"domains"`
+	Schema     []string         `json:"schema"`
+	Points     int64            `json:"points"`
+	Bytes      int64            `json:"bytes"`
+}
+
+// healthReplyPayload is FrameHealthReply's body.
+type healthReplyPayload struct {
+	Generation int `json:"generation"`
+}
+
+// errorPayload is FrameError's body. Retryable tells the coordinator the
+// failure is transient (retry the same shard after RetryAfterMS); otherwise
+// the request is surfaced to the caller as a structured shard error.
+type errorPayload struct {
+	Code         string `json:"code"`
+	Msg          string `json:"msg"`
+	Retryable    bool   `json:"retryable,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}

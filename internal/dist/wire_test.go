@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameHealth, ID: 1},
+		{Type: FrameQuery, ID: 42, Payload: []byte(`{"query":{}}`)},
+		{Type: FrameError, ID: 1 << 60, Payload: bytes.Repeat([]byte{0xab}, 200_000)},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := EncodeFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range frames {
+		got, err := DecodeFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip: got %v/%d/%dB, want %v/%d/%dB",
+				got.Type, got.ID, len(got.Payload), want.Type, want.ID, len(want.Payload))
+		}
+	}
+	if _, err := DecodeFrame(&buf); err != io.EOF {
+		t.Fatalf("empty stream = %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeFrameRejects(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		EncodeFrame(&buf, Frame{Type: FrameHealth, ID: 7, Payload: []byte("{}")})
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   string
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, "bad magic"},
+		{"bad version", func(b []byte) []byte { b[4] = 99; return b }, "version"},
+		{"zero type", func(b []byte) []byte { b[5] = 0; return b }, "frame type"},
+		{"unknown type", func(b []byte) []byte { b[5] = byte(frameTypeMax) + 1; return b }, "frame type"},
+		{"oversized length", func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[14:18], MaxFramePayload+1)
+			return b
+		}, "frame limit"},
+		{"truncated payload", func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[14:18], 10_000)
+			return b
+		}, "short frame payload"},
+		{"truncated header", func(b []byte) []byte { return b[:10] }, "unexpected EOF"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeFrame(bytes.NewReader(tc.mutate(valid())))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeFrameNoOverAllocate checks that a header declaring a huge
+// payload on a short stream fails without allocating the declared size.
+func TestDecodeFrameNoOverAllocate(t *testing.T) {
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], Magic)
+	hdr[4] = Version
+	hdr[5] = byte(FrameQuery)
+	binary.BigEndian.PutUint32(hdr[14:18], MaxFramePayload) // 256 MiB claimed
+	input := append(hdr[:], make([]byte, 1024)...)          // 1 KiB delivered
+
+	allocs := testing.AllocsPerRun(10, func() {
+		DecodeFrame(bytes.NewReader(input))
+	})
+	// The growth loop should stop at the first short read: well under ten
+	// allocations, none of them 256 MiB. (An over-allocating decoder would
+	// OOM the fuzzer long before this assertion fires.)
+	if allocs > 10 {
+		t.Fatalf("decode of truncated frame did %v allocs", allocs)
+	}
+}
+
+// FuzzDecodeFrame drives the decoder with arbitrary bytes: it must never
+// panic or over-allocate, and whatever it accepts must re-encode to the
+// bytes it consumed.
+func FuzzDecodeFrame(f *testing.F) {
+	var seed bytes.Buffer
+	EncodeFrame(&seed, Frame{Type: FrameQuery, ID: 3, Payload: []byte(`{"query":{"Node":["a"]}}`)})
+	f.Add(seed.Bytes())
+	EncodeFrame(&seed, Frame{Type: FrameError, ID: 0})
+	f.Add(seed.Bytes())
+	f.Add([]byte("CTDW garbage"))
+	f.Add(make([]byte, headerLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		fr, err := DecodeFrame(r)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := EncodeFrame(&out, fr); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		consumed := len(data) - r.Len()
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", out.Bytes(), data[:consumed])
+		}
+	})
+}

@@ -1,0 +1,360 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"cubetree/internal/cube"
+	"cubetree/internal/lattice"
+	"cubetree/internal/obs"
+	"cubetree/internal/pager"
+	"cubetree/internal/workload"
+)
+
+// Pending is a prepared-but-uncommitted refresh on a shard's warehouse;
+// *cubetree.PendingUpdate satisfies it.
+type Pending interface {
+	Generation() int
+	Commit() error
+	Abort() error
+}
+
+// Backend is the warehouse surface a Worker serves. *cubetree.Warehouse
+// provides everything except BeginUpdate's interface return type; wrap it
+// in a small adapter (see cmd/cubetreed) rather than importing the root
+// package here.
+type Backend interface {
+	QueryCtx(ctx context.Context, q workload.Query) ([]workload.Row, error)
+	QueryBatchCtx(ctx context.Context, qs []workload.Query, parallelism int) ([][]workload.Row, error)
+	Generation() int
+	Views() []lattice.View
+	Domains() map[lattice.Attr]int64
+	Schema() []lattice.Agg
+	BeginUpdate(rows cube.RowIter) (Pending, error)
+	// Stat reports stored points and on-disk bytes for the stats frame.
+	Stat() (points, bytes int64)
+}
+
+// CSVSource builds a cube.RowIter from a CSV document; the worker uses it
+// to parse refresh deltas. It is a constructor hook so the root package's
+// CSV reader can be injected without an import cycle.
+type CSVSource func(csv []byte, measure string) (cube.RowIter, error)
+
+// Worker serves one shard's warehouse over the wire protocol: one
+// goroutine per connection, one request in flight per connection. Refresh
+// frames (prepare/commit/abort) are serialized across connections; queries
+// run concurrently, against the old generation until a commit lands.
+type Worker struct {
+	backend Backend
+	csv     CSVSource
+	o       *obs.Observer
+
+	requests *obs.CounterVec
+	errs     *obs.Counter
+
+	mu      sync.Mutex // guards conns, pending, ln
+	conns   map[net.Conn]struct{}
+	pending Pending
+	ln      net.Listener
+
+	refreshMu sync.Mutex // serializes prepare/commit/abort
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+}
+
+// NewWorker creates a worker over backend. csv parses refresh deltas
+// (pass the root package's CSV reader). o may be nil.
+func NewWorker(backend Backend, csv CSVSource, o *obs.Observer) *Worker {
+	w := &Worker{backend: backend, csv: csv, o: o, conns: map[net.Conn]struct{}{}}
+	if o != nil {
+		w.requests = o.Registry.CounterVec("dist_worker_requests_total", "type")
+		w.errs = o.Registry.Counter("dist_worker_errors_total")
+	}
+	return w
+}
+
+// Serve accepts connections on ln until Close; it returns nil after a
+// Close-initiated shutdown and the accept error otherwise.
+func (w *Worker) Serve(ln net.Listener) error {
+	w.mu.Lock()
+	if w.closed.Load() {
+		w.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	w.ln = ln
+	w.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if w.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		if w.closed.Load() {
+			w.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go w.handleConn(conn)
+	}
+}
+
+// Close stops the worker: in-flight frames are cut off by closing their
+// connections, and a pending (uncommitted) refresh is aborted so its
+// generation directory does not linger until the next Open's sweep.
+func (w *Worker) Close() error {
+	if !w.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	w.mu.Lock()
+	if w.ln != nil {
+		w.ln.Close()
+	}
+	for conn := range w.conns {
+		conn.Close()
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
+	w.refreshMu.Lock()
+	defer w.refreshMu.Unlock()
+	w.mu.Lock()
+	pending := w.pending
+	w.pending = nil
+	w.mu.Unlock()
+	if pending != nil {
+		return pending.Abort()
+	}
+	return nil
+}
+
+func (w *Worker) handleConn(conn net.Conn) {
+	defer w.wg.Done()
+	defer func() {
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		f, err := DecodeFrame(br)
+		if err != nil {
+			return // EOF, peer reset, or protocol violation: drop the conn
+		}
+		w.requests.With(f.Type.String()).Inc()
+		reply, err := w.dispatch(f)
+		if err != nil {
+			w.errs.Inc()
+			reply = w.errorFrame(f.ID, err)
+		}
+		if err := EncodeFrame(bw, reply); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// wireError carries a typed protocol error from a handler to the reply
+// writer.
+type wireError struct {
+	code         string
+	retryable    bool
+	retryAfterMS int64
+	err          error
+}
+
+func (e *wireError) Error() string { return e.err.Error() }
+func (e *wireError) Unwrap() error { return e.err }
+
+func (w *Worker) errorFrame(id uint64, err error) Frame {
+	p := errorPayload{Code: ErrCodeQuery, Msg: err.Error()}
+	var we *wireError
+	if errors.As(err, &we) {
+		p.Code, p.Retryable, p.RetryAfterMS = we.code, we.retryable, we.retryAfterMS
+	} else {
+		var ex *pager.ExhaustedError
+		if errors.As(err, &ex) {
+			// The shard's buffer pool is transiently full; the coordinator
+			// may retry after backing off.
+			p.Code, p.Retryable, p.RetryAfterMS = ErrCodeOverloaded, true, 50
+		}
+	}
+	f, merr := marshalFrame(FrameError, id, p)
+	if merr != nil {
+		f = Frame{Type: FrameError, ID: id}
+	}
+	return f
+}
+
+func badRequest(err error) error {
+	return &wireError{code: ErrCodeBadRequest, err: err}
+}
+
+func (w *Worker) dispatch(f Frame) (Frame, error) {
+	switch f.Type {
+	case FrameQuery:
+		var p queryPayload
+		if err := unmarshalFrame(f, &p); err != nil {
+			return Frame{}, badRequest(err)
+		}
+		rows, err := w.backend.QueryCtx(context.Background(), p.Query)
+		if err != nil {
+			return Frame{}, err
+		}
+		return marshalFrame(FrameRows, f.ID, rowsPayload{
+			Generation: w.backend.Generation(), Rows: rows})
+	case FrameQueryBatch:
+		var p queryBatchPayload
+		if err := unmarshalFrame(f, &p); err != nil {
+			return Frame{}, badRequest(err)
+		}
+		results, err := w.backend.QueryBatchCtx(context.Background(), p.Queries, p.Parallelism)
+		if err != nil {
+			return Frame{}, err
+		}
+		return marshalFrame(FrameRowsBatch, f.ID, rowsBatchPayload{
+			Generation: w.backend.Generation(), Results: results})
+	case FrameRefreshPrepare:
+		var p refreshPreparePayload
+		if err := unmarshalFrame(f, &p); err != nil {
+			return Frame{}, badRequest(err)
+		}
+		return w.prepare(f.ID, p)
+	case FrameRefreshCommit:
+		var p refreshCommitPayload
+		if err := unmarshalFrame(f, &p); err != nil {
+			return Frame{}, badRequest(err)
+		}
+		return w.commit(f.ID, p.Generation)
+	case FrameRefreshAbort:
+		w.refreshMu.Lock()
+		defer w.refreshMu.Unlock()
+		w.mu.Lock()
+		pending := w.pending
+		w.pending = nil
+		w.mu.Unlock()
+		if pending != nil {
+			if err := pending.Abort(); err != nil {
+				return Frame{}, &wireError{code: ErrCodeRefresh, err: err}
+			}
+		}
+		return marshalFrame(FrameRefreshAck, f.ID, refreshAckPayload{
+			Generation: w.backend.Generation()})
+	case FrameStats:
+		views := w.backend.Views()
+		wviews := make([]wireView, len(views))
+		for i, v := range views {
+			wv := wireView{Name: v.Name}
+			for _, a := range v.Attrs {
+				wv.Attrs = append(wv.Attrs, string(a))
+			}
+			wviews[i] = wv
+		}
+		domains := map[string]int64{}
+		for a, d := range w.backend.Domains() {
+			domains[string(a)] = d
+		}
+		points, size := w.backend.Stat()
+		return marshalFrame(FrameStatsReply, f.ID, statsReplyPayload{
+			Generation: w.backend.Generation(),
+			Views:      wviews,
+			Domains:    domains,
+			Schema:     lattice.Schema(w.backend.Schema()).Strings(),
+			Points:     points,
+			Bytes:      size,
+		})
+	case FrameHealth:
+		return marshalFrame(FrameHealthReply, f.ID, healthReplyPayload{
+			Generation: w.backend.Generation()})
+	default:
+		return Frame{}, badRequest(fmt.Errorf("dist: unexpected request frame %s", f.Type))
+	}
+}
+
+// prepare merge-packs the shard's delta into a pending generation. A
+// re-prepare supersedes any earlier pending refresh (the coordinator is
+// retrying from the top), and an empty delta is acked as a no-op at the
+// current generation.
+func (w *Worker) prepare(id uint64, p refreshPreparePayload) (Frame, error) {
+	w.refreshMu.Lock()
+	defer w.refreshMu.Unlock()
+	w.mu.Lock()
+	stale := w.pending
+	w.pending = nil
+	w.mu.Unlock()
+	if stale != nil {
+		stale.Abort()
+	}
+	if !csvHasRows(p.CSV) {
+		return marshalFrame(FrameRefreshPrepared, id, refreshPreparedPayload{
+			Generation: w.backend.Generation(), NoOp: true})
+	}
+	src, err := w.csv(p.CSV, p.Measure)
+	if err != nil {
+		return Frame{}, badRequest(err)
+	}
+	pending, err := w.backend.BeginUpdate(src)
+	if err != nil {
+		return Frame{}, &wireError{code: ErrCodeRefresh, err: err}
+	}
+	w.mu.Lock()
+	w.pending = pending
+	w.mu.Unlock()
+	return marshalFrame(FrameRefreshPrepared, id, refreshPreparedPayload{
+		Generation: pending.Generation()})
+}
+
+// commit switches to the pending generation. Committing the current
+// generation with nothing pending re-acks — that makes commit retries after
+// a lost ack, and commits of no-op prepares, idempotent. Any other
+// generation is a coordinator/worker divergence and is rejected as
+// non-retryable.
+func (w *Worker) commit(id uint64, gen int) (Frame, error) {
+	w.refreshMu.Lock()
+	defer w.refreshMu.Unlock()
+	w.mu.Lock()
+	pending := w.pending
+	w.mu.Unlock()
+	switch {
+	case pending != nil && pending.Generation() == gen:
+		if err := pending.Commit(); err != nil {
+			return Frame{}, &wireError{code: ErrCodeRefresh, err: err}
+		}
+		w.mu.Lock()
+		w.pending = nil
+		w.mu.Unlock()
+	case pending == nil && w.backend.Generation() == gen:
+		// Already committed (or a no-op prepare): ack again.
+	default:
+		have := w.backend.Generation()
+		if pending != nil {
+			have = pending.Generation()
+		}
+		return Frame{}, &wireError{code: ErrCodeBadGeneration,
+			err: fmt.Errorf("dist: commit generation %d, shard has %d", gen, have)}
+	}
+	return marshalFrame(FrameRefreshAck, id, refreshAckPayload{
+		Generation: w.backend.Generation()})
+}
+
+// csvHasRows reports whether a CSV document has any data row after the
+// header line.
+func csvHasRows(csv []byte) bool {
+	i := bytes.IndexByte(csv, '\n')
+	return i >= 0 && len(bytes.TrimSpace(csv[i+1:])) > 0
+}

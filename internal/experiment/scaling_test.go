@@ -1,0 +1,43 @@
+package experiment
+
+import "testing"
+
+// TestRunScalingSmoke runs the distributed sweep at toy scale: answers must
+// match across cluster sizes (RunScaling fails internally otherwise) and
+// every row must carry a QPS and refresh measurement.
+func TestRunScalingSmoke(t *testing.T) {
+	s, err := RunScaling(ScalingParams{
+		SF:             0.002,
+		Seed:           42,
+		QueriesPerView: 4,
+		PoolPages:      32,
+		Workers:        []int{1, 2},
+		Dir:            t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(s.Rows))
+	}
+	if s.SingleQPS <= 0 || s.SingleWallQPS <= 0 || s.SingleRefreshMS <= 0 || s.DeltaRows == 0 {
+		t.Fatalf("missing single-process baselines: %+v", s)
+	}
+	for _, r := range s.Rows {
+		if r.QPS <= 0 || r.WallQPS <= 0 || r.RefreshShardMaxMS <= 0 || r.RefreshShardSumMS < r.RefreshShardMaxMS {
+			t.Fatalf("bad row: %+v", r)
+		}
+		// The modelled figure prices page I/O the wall figure got nearly for
+		// free from the OS cache, so it can never beat wall beyond the CPU
+		// fan-out (1% slack for nanosecond truncation in the division).
+		if r.QPS > r.WallQPS*float64(r.Workers)*1.01 {
+			t.Fatalf("modelled QPS %v exceeds wall %v x %d workers", r.QPS, r.WallQPS, r.Workers)
+		}
+	}
+	if s.Rows[0].Speedup != 1 {
+		t.Fatalf("baseline speedup = %v, want 1", s.Rows[0].Speedup)
+	}
+	if s.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Trend analysis over scaling sweeps: two BENCH_scaling.json files are
+// compared row by row (worker count), gating both the scatter-gather QPS
+// and the per-shard refresh window. Shares cttrend and the CI gate with the
+// throughput trend; BenchKind tells the two artifacts apart.
+
+// ScalingDelta compares one cluster size across two sweeps on one metric.
+type ScalingDelta struct {
+	Workers int    `json:"workers"`
+	Metric  string `json:"metric"` // "qps" or "refresh_ms"
+	Base    float64
+	Cur     float64
+	// Delta is the fractional improvement: positive = better than baseline
+	// (more QPS, or a smaller refresh window).
+	Delta     float64 `json:"delta"`
+	Regressed bool    `json:"regressed"`
+}
+
+// ScalingReport is the outcome of comparing two scaling sweeps.
+type ScalingReport struct {
+	Threshold float64        `json:"threshold"`
+	Deltas    []ScalingDelta `json:"deltas"`
+	// MissingWorkers lists cluster sizes present in only one sweep.
+	MissingWorkers []int `json:"missing_workers,omitempty"`
+}
+
+// Regressed reports whether any compared row crossed the threshold.
+func (r ScalingReport) Regressed() bool {
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Regressions returns only the rows that crossed the threshold.
+func (r ScalingReport) Regressions() []ScalingDelta {
+	var out []ScalingDelta
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CompareScaling diffs two scaling sweeps. Rows are matched by worker
+// count; each matched row yields a QPS delta and a refresh-window delta.
+func CompareScaling(base, cur Scaling, opts TrendOptions) ScalingReport {
+	if opts.Threshold <= 0 {
+		opts.Threshold = DefaultTrendThreshold
+	}
+	rep := ScalingReport{Threshold: opts.Threshold}
+	baseBy := make(map[int]ScalingRow, len(base.Rows))
+	for _, row := range base.Rows {
+		baseBy[row.Workers] = row
+	}
+	matched := make(map[int]bool)
+	for _, row := range cur.Rows {
+		b, ok := baseBy[row.Workers]
+		if !ok {
+			rep.MissingWorkers = append(rep.MissingWorkers, row.Workers)
+			continue
+		}
+		matched[row.Workers] = true
+		rep.Deltas = append(rep.Deltas,
+			scalingDelta(row.Workers, "qps", b.QPS, row.QPS, false, opts.Threshold),
+			scalingDelta(row.Workers, "refresh_ms", b.RefreshShardMaxMS, row.RefreshShardMaxMS, true, opts.Threshold))
+	}
+	for w := range baseBy {
+		if !matched[w] {
+			rep.MissingWorkers = append(rep.MissingWorkers, w)
+		}
+	}
+	sort.Ints(rep.MissingWorkers)
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		if rep.Deltas[i].Workers != rep.Deltas[j].Workers {
+			return rep.Deltas[i].Workers < rep.Deltas[j].Workers
+		}
+		return rep.Deltas[i].Metric < rep.Deltas[j].Metric
+	})
+	return rep
+}
+
+// scalingDelta computes one metric's fractional improvement; for
+// lowerBetter metrics (refresh walls) the sign is flipped so positive is
+// always an improvement.
+func scalingDelta(workers int, metric string, base, cur float64, lowerBetter bool, threshold float64) ScalingDelta {
+	d := ScalingDelta{Workers: workers, Metric: metric, Base: base, Cur: cur}
+	if base > 0 {
+		d.Delta = (cur - base) / base
+		if lowerBetter {
+			d.Delta = -d.Delta
+		}
+	}
+	d.Regressed = d.Delta < -threshold
+	return d
+}
+
+// String renders the comparison as a table, regressions marked.
+func (r ScalingReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scaling trend (regression threshold %.1f%%)\n", 100*r.Threshold)
+	fmt.Fprintf(&b, "%8s %12s %14s %14s %9s\n", "workers", "metric", "base", "current", "delta")
+	for _, d := range r.Deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(&b, "%8d %12s %14.1f %14.1f %+8.1f%%%s\n",
+			d.Workers, d.Metric, d.Base, d.Cur, 100*d.Delta, mark)
+	}
+	if len(r.MissingWorkers) > 0 {
+		fmt.Fprintf(&b, "not compared (present in only one sweep): workers %v\n", r.MissingWorkers)
+	}
+	return b.String()
+}
+
+// LoadScaling reads a BENCH_scaling.json file written by ctbench.
+func LoadScaling(path string) (Scaling, error) {
+	var s Scaling
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, fmt.Errorf("load scaling: %w", err)
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// BenchKind sniffs which artifact a ctbench JSON file holds: "scaling" when
+// its rows carry a workers axis, "throughput" otherwise. Baselines recorded
+// by older builds — without pack_format or other fields added since — parse
+// fine either way; unknown fields are ignored and missing ones default.
+func BenchKind(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("sniff bench kind: %w", err)
+	}
+	var probe struct {
+		Rows []map[string]json.RawMessage `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(probe.Rows) > 0 {
+		if _, ok := probe.Rows[0]["workers"]; ok {
+			return "scaling", nil
+		}
+	}
+	return "throughput", nil
+}

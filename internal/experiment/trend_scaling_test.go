@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func scalingFixture(qps4, refresh4 float64) Scaling {
+	return Scaling{
+		SF: 0.01, PoolPages: 64, Queries: 100,
+		SingleQPS: 900, SingleRefreshMS: 40,
+		Rows: []ScalingRow{
+			{Workers: 1, QPS: 1000, Speedup: 1, RefreshShardMaxMS: 40, RefreshShardSumMS: 40},
+			{Workers: 4, QPS: qps4, Speedup: qps4 / 1000, RefreshShardMaxMS: refresh4, RefreshShardSumMS: 44},
+		},
+	}
+}
+
+func TestCompareScaling(t *testing.T) {
+	base := scalingFixture(3000, 12)
+	same := CompareScaling(base, base, TrendOptions{})
+	if same.Regressed() {
+		t.Fatalf("self-comparison regressed: %v", same.Regressions())
+	}
+
+	// QPS down 50% at 4 workers: regression on the qps metric only.
+	worse := CompareScaling(base, scalingFixture(1500, 12), TrendOptions{})
+	regs := worse.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "qps" || regs[0].Workers != 4 {
+		t.Fatalf("regressions = %+v, want one qps@4", regs)
+	}
+
+	// Refresh window doubled: lower-is-better metric must flag too.
+	slower := CompareScaling(base, scalingFixture(3000, 24), TrendOptions{})
+	regs = slower.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "refresh_ms" {
+		t.Fatalf("regressions = %+v, want one refresh_ms@4", regs)
+	}
+	if !strings.Contains(slower.String(), "REGRESSION") {
+		t.Fatal("rendering does not mark the regression")
+	}
+
+	// A cluster size present on one side only is reported, not compared.
+	cur := base
+	cur.Rows = cur.Rows[:1]
+	partial := CompareScaling(base, cur, TrendOptions{})
+	if len(partial.MissingWorkers) != 1 || partial.MissingWorkers[0] != 4 {
+		t.Fatalf("missing workers = %v, want [4]", partial.MissingWorkers)
+	}
+}
+
+// TestBenchKindSniff checks cttrend's artifact detection, including a
+// baseline recorded before pack_format existed: older JSONs must load with
+// missing fields defaulting rather than erroring.
+func TestBenchKindSniff(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// A pre-pack_format throughput baseline (PR 5 era): no pack_format, no
+	// cube_points_per_leaf_page, no pool hit ratios.
+	old := write("old.json", `{
+		"sf": 0.01, "pool_pages": 128, "gomaxprocs": 4, "queries": 700,
+		"rows": [{"clients": 1, "conv_qps": 100, "cube_qps": 400,
+			"conv_io": {}, "cube_io": {}}]
+	}`)
+	scaling := write("scaling.json", `{
+		"sf": 0.01, "pool_pages_per_worker": 64, "queries": 100,
+		"rows": [{"workers": 1, "qps": 1000, "speedup": 1}]
+	}`)
+
+	if k, err := BenchKind(old); err != nil || k != "throughput" {
+		t.Fatalf("BenchKind(old) = %q, %v", k, err)
+	}
+	if k, err := BenchKind(scaling); err != nil || k != "scaling" {
+		t.Fatalf("BenchKind(scaling) = %q, %v", k, err)
+	}
+
+	tp, err := LoadThroughput(old)
+	if err != nil {
+		t.Fatalf("old baseline failed to load: %v", err)
+	}
+	if tp.PackFormat != 0 || len(tp.Rows) != 1 || tp.Rows[0].CubeQPS != 400 {
+		t.Fatalf("old baseline mangled: %+v", tp)
+	}
+	// Comparing current (with pack_format) against the old baseline works
+	// and renders the zero format as v1.
+	cur := tp
+	cur.PackFormat = 2
+	rep := CompareThroughput(tp, cur, TrendOptions{})
+	if rep.Regressed() {
+		t.Fatalf("format-only change regressed: %v", rep.Regressions())
+	}
+	if !strings.Contains(rep.String(), "v1 -> v2") {
+		t.Fatalf("rendering does not map 0 to v1:\n%s", rep.String())
+	}
+
+	s, err := LoadScaling(scaling)
+	if err != nil || len(s.Rows) != 1 || s.Rows[0].Workers != 1 {
+		t.Fatalf("LoadScaling = %+v, %v", s, err)
+	}
+}

@@ -141,6 +141,72 @@ func (v *GaugeVec) Snapshot() FamilySnapshot {
 	return snapshotFamily(v.labels, v.children, (*FloatGauge).Value)
 }
 
+// HistogramVec is a labeled family of histograms: one Histogram child per
+// distinct label-value tuple, e.g. per-shard latency distributions keyed by
+// shard address. With is get-or-create under a mutex; hot paths hold on to
+// the returned *Histogram and observe lock-free. All methods are safe for
+// concurrent use and nil-safe.
+type HistogramVec struct {
+	name   string
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the given label values. A nil vec or
+// a mismatched value count returns nil, a valid no-op Histogram.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil || len(values) != len(v.labels) {
+		return nil
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := v.children[key]
+	if h == nil {
+		h = &Histogram{}
+		v.children[key] = h
+	}
+	return h
+}
+
+// LabeledHistogram is one child of a histogram family snapshot.
+type LabeledHistogram struct {
+	Labels []string          `json:"labels"`
+	Hist   HistogramSnapshot `json:"hist"`
+}
+
+// HistogramFamilySnapshot is a point-in-time copy of one labeled histogram
+// family, children sorted by label values for deterministic output.
+type HistogramFamilySnapshot struct {
+	LabelNames []string           `json:"label_names"`
+	Values     []LabeledHistogram `json:"values"`
+}
+
+// Snapshot copies the family's children.
+func (v *HistogramVec) Snapshot() HistogramFamilySnapshot {
+	if v == nil {
+		return HistogramFamilySnapshot{}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := HistogramFamilySnapshot{LabelNames: append([]string(nil), v.labels...)}
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var vals []string
+		if k != "" || len(v.labels) > 0 {
+			vals = strings.Split(k, labelSep)
+		}
+		s.Values = append(s.Values, LabeledHistogram{Labels: vals, Hist: v.children[k].Snapshot()})
+	}
+	return s
+}
+
 // CounterVec returns the named counter family, creating it if needed. The
 // label names are fixed at first registration; re-registering with different
 // labels returns the existing family (whose With will then reject mismatched
@@ -173,6 +239,23 @@ func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
 		v = &GaugeVec{name: name, labels: append([]string(nil), labels...),
 			children: map[string]*FloatGauge{}}
 		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram family, creating it if needed;
+// see CounterVec for the label contract.
+func (r *Registry) HistogramVec(name string, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.histVecs[name]
+	if v == nil {
+		v = &HistogramVec{name: name, labels: append([]string(nil), labels...),
+			children: map[string]*Histogram{}}
+		r.histVecs[name] = v
 	}
 	return v
 }

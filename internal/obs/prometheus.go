@@ -53,7 +53,15 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
-		pw.histogram(name, s.Histograms[name])
+		pw.typeLine(name, "histogram")
+		pw.histogram(name, s.Histograms[name], nil, nil)
+	}
+	for _, name := range sortedKeys(s.HistVecs) {
+		fam := s.HistVecs[name]
+		pw.typeLine(name, "histogram")
+		for _, lh := range fam.Values {
+			pw.histogram(name, lh.Hist, fam.LabelNames, lh.Labels)
+		}
 	}
 	if s.IO != nil {
 		io := *s.IO
@@ -105,20 +113,26 @@ func (pw *promWriter) sample(name string, labelNames, labelValues []string, v fl
 
 // histogram renders one log2-bucketed histogram as a Prometheus histogram:
 // cumulative bucket counts at each non-empty bucket's inclusive upper bound,
-// a final +Inf bucket equal to the count, then _sum and _count.
-func (pw *promWriter) histogram(name string, h HistogramSnapshot) {
+// a final +Inf bucket equal to the count, then _sum and _count. The caller
+// emits the TYPE line (once per family for labeled histograms); labelNames
+// and labelValues, when non-nil, are merged into every line alongside le.
+func (pw *promWriter) histogram(name string, h HistogramSnapshot, labelNames, labelValues []string) {
 	n := sanitizeMetricName(name)
-	pw.printf("# TYPE %s%s histogram\n", promPrefix, n)
+	bucketLabels := func(le string) string {
+		return renderLabels(append(append([]string(nil), labelNames...), "le"),
+			append(append([]string(nil), labelValues...), le))
+	}
+	labels := renderLabels(labelNames, labelValues)
 	var cum uint64
 	for _, b := range h.Buckets {
 		cum += b.Count
 		// Values in the bucket are integers in [Lo, Hi), so the inclusive
 		// Prometheus bound is Hi-1 and the cumulative count at it is exact.
-		pw.printf("%s%s_bucket{le=\"%s\"} %d\n", promPrefix, n, formatValue(float64(b.Hi-1)), cum)
+		pw.printf("%s%s_bucket%s %d\n", promPrefix, n, bucketLabels(formatValue(float64(b.Hi-1))), cum)
 	}
-	pw.printf("%s%s_bucket{le=\"+Inf\"} %d\n", promPrefix, n, h.Count)
-	pw.printf("%s%s_sum %d\n", promPrefix, n, h.Sum)
-	pw.printf("%s%s_count %d\n", promPrefix, n, h.Count)
+	pw.printf("%s%s_bucket%s %d\n", promPrefix, n, bucketLabels("+Inf"), h.Count)
+	pw.printf("%s%s_sum%s %d\n", promPrefix, n, labels, h.Sum)
+	pw.printf("%s%s_count%s %d\n", promPrefix, n, labels, h.Count)
 }
 
 // renderLabels formats a label set as {a="x",b="y"}, or "" when empty. A

@@ -298,3 +298,57 @@ func TestPrometheusDeterministic(t *testing.T) {
 		t.Fatal("output not deterministic for a fixed snapshot")
 	}
 }
+
+func TestPrometheusHistogramVec(t *testing.T) {
+	reg := NewRegistry()
+	lat := reg.HistogramVec("dist_shard_latency_ns", "shard")
+	for _, v := range []int64{10, 20, 3000} {
+		lat.With("127.0.0.1:9001").Observe(v)
+	}
+	lat.With("127.0.0.1:9002").Observe(500)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parsePrometheus(t, sb.String())
+	if types["cubetree_dist_shard_latency_ns"] != "histogram" {
+		t.Fatalf("histogram family not declared: %v", types)
+	}
+	// Each child renders its own bucket/sum/count series carrying the shard
+	// label; +Inf bucket equals the child's count.
+	for _, want := range []struct {
+		shard string
+		count float64
+		sum   float64
+	}{
+		{"127.0.0.1:9001", 3, 3030},
+		{"127.0.0.1:9002", 1, 500},
+	} {
+		s, ok := findSample(samples, "cubetree_dist_shard_latency_ns_count",
+			map[string]string{"shard": want.shard})
+		if !ok || s.value != want.count {
+			t.Fatalf("shard %s _count = %+v ok=%v", want.shard, s, ok)
+		}
+		if s, ok = findSample(samples, "cubetree_dist_shard_latency_ns_sum",
+			map[string]string{"shard": want.shard}); !ok || s.value != want.sum {
+			t.Fatalf("shard %s _sum = %+v ok=%v", want.shard, s, ok)
+		}
+		inf := 0.0
+		for _, b := range samples {
+			if b.name == "cubetree_dist_shard_latency_ns_bucket" &&
+				b.labels["shard"] == want.shard && b.labels["le"] == "+Inf" {
+				inf = b.value
+			}
+		}
+		if inf != want.count {
+			t.Fatalf("shard %s +Inf bucket = %v, want %v", want.shard, inf, want.count)
+		}
+	}
+	// The snapshot carries the family for the JSON debug endpoint too.
+	snap := reg.Snapshot()
+	fam, ok := snap.HistVecs["dist_shard_latency_ns"]
+	if !ok || len(fam.Values) != 2 || fam.Values[0].Hist.Count != 3 {
+		t.Fatalf("snapshot histogram family = %+v ok=%v", fam, ok)
+	}
+}

@@ -77,6 +77,7 @@ type Registry struct {
 	hists       map[string]*Histogram
 	counterVecs map[string]*CounterVec
 	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 	stats       *pager.Stats
 }
 
@@ -89,6 +90,7 @@ func NewRegistry() *Registry {
 		hists:       map[string]*Histogram{},
 		counterVecs: map[string]*CounterVec{},
 		gaugeVecs:   map[string]*GaugeVec{},
+		histVecs:    map[string]*HistogramVec{},
 	}
 }
 
@@ -163,12 +165,13 @@ func (r *Registry) AttachStats(s *pager.Stats) {
 
 // Snapshot is a point-in-time copy of every metric, shaped for JSON.
 type Snapshot struct {
-	Counters    map[string]uint64            `json:"counters,omitempty"`
-	Gauges      map[string]int64             `json:"gauges,omitempty"`
-	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
-	CounterVecs map[string]FamilySnapshot    `json:"counter_families,omitempty"`
-	GaugeVecs   map[string]FamilySnapshot    `json:"gauge_families,omitempty"`
-	IO          *pager.StatsSnapshot         `json:"io,omitempty"`
+	Counters    map[string]uint64                  `json:"counters,omitempty"`
+	Gauges      map[string]int64                   `json:"gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot       `json:"histograms,omitempty"`
+	CounterVecs map[string]FamilySnapshot          `json:"counter_families,omitempty"`
+	GaugeVecs   map[string]FamilySnapshot          `json:"gauge_families,omitempty"`
+	HistVecs    map[string]HistogramFamilySnapshot `json:"histogram_families,omitempty"`
+	IO          *pager.StatsSnapshot               `json:"io,omitempty"`
 }
 
 // Snapshot captures every registered metric. Gauge callbacks run outside the
@@ -203,6 +206,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, v := range r.gaugeVecs {
 		gvecs[name] = v
 	}
+	hvecs := make(map[string]*HistogramVec, len(r.histVecs))
+	for name, v := range r.histVecs {
+		hvecs[name] = v
+	}
 	stats := r.stats
 	r.mu.Unlock()
 
@@ -219,6 +226,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.GaugeVecs = make(map[string]FamilySnapshot, len(gvecs))
 		for name, v := range gvecs {
 			s.GaugeVecs[name] = v.Snapshot()
+		}
+	}
+	if len(hvecs) > 0 {
+		s.HistVecs = make(map[string]HistogramFamilySnapshot, len(hvecs))
+		for name, v := range hvecs {
+			s.HistVecs[name] = v.Snapshot()
 		}
 	}
 	if stats != nil {
@@ -252,6 +265,9 @@ func (r *Registry) Names() []string {
 		names = append(names, n)
 	}
 	for n := range r.gaugeVecs {
+		names = append(names, n)
+	}
+	for n := range r.histVecs {
 		names = append(names, n)
 	}
 	sort.Strings(names)

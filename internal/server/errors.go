@@ -10,20 +10,21 @@ import (
 // Error codes returned in the structured error body. Clients branch on the
 // code, not the message.
 const (
-	CodeBadRequest    = "bad_request"    // malformed request envelope
-	CodeBadSQL        = "bad_sql"        // SQL failed to parse or validate
-	CodeUnknownView   = "unknown_view"   // no materialized view covers the query
-	CodeBodyTooLarge  = "body_too_large" // request body over the configured limit
-	CodeRateLimited   = "rate_limited"   // per-client token bucket empty
-	CodeOverloaded    = "overloaded"     // admission queue full or wait expired
-	CodePoolExhausted = "pool_exhausted" // buffer pool had no frame within its wait bound
-	CodeDraining      = "draining"       // server is draining and accepts no new work
-	CodeDeadline      = "deadline"       // per-request timeout expired mid-query
-	CodeCanceled      = "canceled"       // client went away mid-query
-	CodeRefreshBusy   = "refresh_busy"   // another refresh is in flight
-	CodeInternal      = "internal"       // bug: panic or unclassified failure
-	CodeNotFound      = "not_found"      // unknown endpoint
-	CodeMethod        = "method"         // wrong HTTP method
+	CodeBadRequest    = "bad_request"       // malformed request envelope
+	CodeBadSQL        = "bad_sql"           // SQL failed to parse or validate
+	CodeUnknownView   = "unknown_view"      // no materialized view covers the query
+	CodeBodyTooLarge  = "body_too_large"    // request body over the configured limit
+	CodeRateLimited   = "rate_limited"      // per-client token bucket empty
+	CodeOverloaded    = "overloaded"        // admission queue full or wait expired
+	CodePoolExhausted = "pool_exhausted"    // buffer pool had no frame within its wait bound
+	CodeDraining      = "draining"          // server is draining and accepts no new work
+	CodeDeadline      = "deadline"          // per-request timeout expired mid-query
+	CodeCanceled      = "canceled"          // client went away mid-query
+	CodeRefreshBusy   = "refresh_busy"      // another refresh is in flight
+	CodeShardDown     = "shard_unavailable" // a cluster shard failed after retries
+	CodeInternal      = "internal"          // bug: panic or unclassified failure
+	CodeNotFound      = "not_found"         // unknown endpoint
+	CodeMethod        = "method"            // wrong HTTP method
 )
 
 // ErrorBody is the structured error every non-2xx response carries.

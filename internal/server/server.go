@@ -28,6 +28,7 @@ import (
 	"cubetree"
 	"cubetree/internal/core"
 	"cubetree/internal/cube"
+	"cubetree/internal/dist"
 	"cubetree/internal/lattice"
 	"cubetree/internal/obs"
 	"cubetree/internal/pager"
@@ -449,6 +450,7 @@ func (s *Server) executeStatements(ctx context.Context, stmts []*sqlish.Statemen
 // status 0 means the client is gone and no response should be written.
 func (s *Server) mapQueryError(ctx context.Context, err error) (status int, code string, retryAfter time.Duration) {
 	var ex *pager.ExhaustedError
+	var se *dist.ShardError
 	switch {
 	case errors.As(err, &ex):
 		// The pool's wait bound already passed without a frame freeing up;
@@ -460,6 +462,15 @@ func (s *Server) mapQueryError(ctx context.Context, err error) (status int, code
 		return http.StatusServiceUnavailable, CodePoolExhausted, pager.DefaultExhaustionWait
 	case errors.Is(err, core.ErrNoPlacement):
 		return http.StatusBadRequest, CodeUnknownView, 0
+	case errors.As(err, &se):
+		// A shard stayed unreachable through the coordinator's own retry
+		// budget; the whole request is retryable once the worker returns.
+		s.m.shed.With("shard_unavailable").Inc()
+		retryAfter = se.RetryAfter
+		if retryAfter <= 0 {
+			retryAfter = time.Second
+		}
+		return http.StatusServiceUnavailable, CodeShardDown, retryAfter
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, CodeDeadline, 0
 	case errors.Is(err, context.Canceled):

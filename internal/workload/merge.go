@@ -1,0 +1,41 @@
+package workload
+
+import "cubetree/internal/lattice"
+
+// MergePartials folds per-shard partial aggregate rows into one canonical
+// result set. Each shard contributes the rows it computed over its own
+// slice of the fact stream; because every measure in a lattice.Schema is
+// distributive (SUM and COUNT add, MIN and MAX take extremes), folding the
+// shards' partials componentwise per group is exactly equivalent to
+// aggregating the union of the underlying facts — the property that makes
+// scatter-gather over a hash-partitioned forest return results identical
+// to a single-process warehouse.
+//
+// Rows must all belong to the same query: same group width and measures in
+// schema order (Sum, Count, then Extra). Groups missing from a shard simply
+// contribute nothing. The result is in canonical sorted order (SortRows).
+func MergePartials(schema lattice.Schema, shards [][]Row) []Row {
+	width := 0
+	total := 0
+	for _, rows := range shards {
+		total += len(rows)
+		if width == 0 && len(rows) > 0 {
+			width = len(rows[0].Group)
+		}
+	}
+	if total == 0 {
+		return []Row{}
+	}
+	agg := NewSchemaAggregator(width, schema)
+	measures := make([]int64, schema.Len())
+	for _, rows := range shards {
+		for i := range rows {
+			r := &rows[i]
+			measures[0] = r.Sum
+			measures[1] = r.Count
+			copy(measures[2:], r.Extra)
+			agg.AddMeasures(r.Group, measures)
+		}
+	}
+	return agg.Rows()
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"cubetree/internal/lattice"
+)
+
+func fullSchema(t *testing.T) lattice.Schema {
+	t.Helper()
+	s, err := lattice.NewSchema(lattice.AggMin, lattice.AggMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMergePartialsEmpty(t *testing.T) {
+	got := MergePartials(lattice.DefaultSchema(), nil)
+	if len(got) != 0 {
+		t.Fatalf("merge of no shards = %v, want empty", got)
+	}
+	got = MergePartials(lattice.DefaultSchema(), [][]Row{{}, {}, {}})
+	if got == nil || len(got) != 0 {
+		t.Fatalf("merge of empty shards = %v, want non-nil empty", got)
+	}
+}
+
+func TestMergePartialsSingleShard(t *testing.T) {
+	shard := []Row{
+		{Group: []int64{2, 1}, Sum: 7, Count: 2},
+		{Group: []int64{1, 3}, Sum: 4, Count: 1},
+	}
+	got := MergePartials(lattice.DefaultSchema(), [][]Row{shard})
+	want := []Row{
+		{Group: []int64{1, 3}, Sum: 4, Count: 1},
+		{Group: []int64{2, 1}, Sum: 7, Count: 2},
+	}
+	if !EqualRows(got, want) {
+		t.Fatalf("single shard merge = %v, want %v (sorted passthrough)", got, want)
+	}
+}
+
+func TestMergePartialsMinMaxTies(t *testing.T) {
+	schema := fullSchema(t)
+	// Two shards report the same MIN for a group (a tie) and different MAX.
+	a := []Row{{Group: []int64{1}, Sum: 10, Count: 2, Extra: []int64{3, 9}}}
+	b := []Row{{Group: []int64{1}, Sum: 5, Count: 1, Extra: []int64{3, 12}}}
+	got := MergePartials(schema, [][]Row{a, b})
+	want := []Row{{Group: []int64{1}, Sum: 15, Count: 3, Extra: []int64{3, 12}}}
+	if !EqualRows(got, want) {
+		t.Fatalf("min/max tie merge = %v, want %v", got, want)
+	}
+}
+
+func TestMergePartialsThreeShards(t *testing.T) {
+	schema := fullSchema(t)
+	shards := [][]Row{
+		{
+			{Group: []int64{1, 1}, Sum: 2, Count: 1, Extra: []int64{2, 2}},
+			{Group: []int64{2, 2}, Sum: 8, Count: 3, Extra: []int64{1, 5}},
+		},
+		{
+			{Group: []int64{1, 1}, Sum: 3, Count: 2, Extra: []int64{-1, 4}},
+		},
+		{
+			{Group: []int64{1, 1}, Sum: 5, Count: 4, Extra: []int64{0, 1}},
+			{Group: []int64{3, 1}, Sum: 1, Count: 1, Extra: []int64{1, 1}},
+		},
+	}
+	got := MergePartials(schema, shards)
+	want := []Row{
+		// COUNT accumulates across all three shards: 1+2+4.
+		{Group: []int64{1, 1}, Sum: 10, Count: 7, Extra: []int64{-1, 4}},
+		{Group: []int64{2, 2}, Sum: 8, Count: 3, Extra: []int64{1, 5}},
+		{Group: []int64{3, 1}, Sum: 1, Count: 1, Extra: []int64{1, 1}},
+	}
+	if !EqualRows(got, want) {
+		t.Fatalf("three-shard merge = %v, want %v", got, want)
+	}
+}
+
+func TestMergePartialsScalarNode(t *testing.T) {
+	// The super-aggregate node has zero-width groups; every shard's single
+	// row must fold into one.
+	shards := [][]Row{
+		{{Group: []int64{}, Sum: 3, Count: 1}},
+		{{Group: []int64{}, Sum: 4, Count: 2}},
+	}
+	got := MergePartials(lattice.DefaultSchema(), shards)
+	want := []Row{{Group: []int64{}, Sum: 7, Count: 3}}
+	if !EqualRows(got, want) {
+		t.Fatalf("scalar node merge = %v, want %v", got, want)
+	}
+}

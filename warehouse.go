@@ -494,12 +494,47 @@ func (w *Warehouse) QueryBatchCtx(ctx context.Context, qs []Query, parallelism i
 // concurrently with an Update (they see the old generation until the
 // switch); concurrent Updates are not supported.
 func (w *Warehouse) Update(rows RowIter) error {
+	p, err := w.BeginUpdate(rows)
+	if err != nil {
+		return err
+	}
+	return p.Commit()
+}
+
+// PendingUpdate is a refresh that has been fully prepared — the delta
+// sorted and merge-packed into the next generation's forest on disk — but
+// not yet committed. Queries keep flowing against the old generation until
+// Commit, which is cheap (a catalog rename plus an in-memory pointer swap);
+// Abort discards the prepared generation and leaves the warehouse exactly
+// as it was. Splitting the refresh this way lets a coordinator run the long
+// prepare phase on every shard in parallel and then commit all shards
+// inside one brief query-blocking window, so no scatter ever observes a mix
+// of generations. Exactly one of Commit or Abort must be called; a
+// PendingUpdate is not safe for concurrent use with another BeginUpdate on
+// the same warehouse.
+type PendingUpdate struct {
+	w      *Warehouse
+	next   *core.Forest
+	oldGen int
+	newGen int
+	newDir string
+	tr     *obs.Span
+	o      *obs.Observer
+	mu     sync.Mutex
+	done   bool
+}
+
+// BeginUpdate runs the prepare phase of Update: delta sort, reorder, and
+// merge-pack into the next generation directory. On success the returned
+// PendingUpdate holds the built-but-uncommitted forest; on failure nothing
+// changed and the half-built generation has been removed.
+func (w *Warehouse) BeginUpdate(rows RowIter) (*PendingUpdate, error) {
 	o := w.obs
 	tr := o.StartTrace("refresh")
-	defer tr.End()
-	fail := func(err error) error {
+	fail := func(err error) (*PendingUpdate, error) {
 		tr.SetStr("error", err.Error())
-		return err
+		tr.End()
+		return nil, err
 	}
 
 	scratch := filepath.Join(w.cfg.Dir, "scratch")
@@ -547,31 +582,67 @@ func (w *Warehouse) Update(rows RowIter) error {
 		return fail(err)
 	}
 	next.SetObserver(o)
-	// The catalog rename is the commit point. Write it before the in-memory
-	// switch: on failure the old generation stays authoritative on disk and
-	// in memory, and the new one is discarded.
-	swapSp := tr.Child("swap")
-	if err := w.writeCatalog(newGen); err != nil {
-		next.Close()
+	return &PendingUpdate{
+		w: w, next: next, oldGen: oldGen, newGen: newGen, newDir: newDir,
+		tr: tr, o: o,
+	}, nil
+}
+
+// Generation returns the generation number the pending update will commit.
+func (p *PendingUpdate) Generation() int { return p.newGen }
+
+// Commit makes the prepared generation authoritative: the catalog rename is
+// the commit point, then the in-memory forest is swapped and the old
+// generation removed. On failure the old generation stays authoritative on
+// disk and in memory, and the prepared one is discarded.
+func (p *PendingUpdate) Commit() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return fmt.Errorf("cubetree: pending update already committed or aborted")
+	}
+	p.done = true
+	w := p.w
+	defer p.tr.End()
+	swapSp := p.tr.Child("swap")
+	if err := w.writeCatalog(p.newGen); err != nil {
+		p.next.Close()
 		// The rename may have committed generation newGen before the
 		// failure. Put the old catalog back; only once it is authoritative
 		// again is the new generation safe to delete. If the restore also
 		// fails, keep both generations — Open serves whichever the on-disk
 		// catalog names and sweeps the other.
-		if w.writeCatalog(oldGen) == nil {
-			pager.RemoveAll(newDir)
+		if w.writeCatalog(p.oldGen) == nil {
+			pager.RemoveAll(p.newDir)
 		}
-		o.ObservePhase("refresh_swap", swapSp)
-		return fail(err)
+		p.o.ObservePhase("refresh_swap", swapSp)
+		p.tr.SetStr("error", err.Error())
+		return err
 	}
 	w.mu.Lock()
-	w.forest = next
-	w.generation = newGen
+	oldForest := w.forest
+	w.forest = p.next
+	w.generation = p.newGen
 	w.mu.Unlock()
-	o.ObservePhase("refresh_swap", swapSp)
-	tr.SetInt("generation", int64(newGen))
+	p.o.ObservePhase("refresh_swap", swapSp)
+	p.tr.SetInt("generation", int64(p.newGen))
 	oldForest.Remove()
 	return nil
+}
+
+// Abort discards the prepared generation. It is a no-op after Commit or a
+// previous Abort.
+func (p *PendingUpdate) Abort() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return nil
+	}
+	p.done = true
+	p.tr.SetStr("outcome", "aborted")
+	p.tr.End()
+	p.next.Close()
+	return pager.RemoveAll(p.newDir)
 }
 
 // newRefreshProgress sizes the merge-pack about to run: the new generation
