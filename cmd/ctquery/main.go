@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +19,9 @@ import (
 
 	"cubetree"
 
+	"cubetree/internal/lattice"
 	"cubetree/internal/pager"
+	"cubetree/internal/sqlish"
 	"cubetree/internal/workload"
 )
 
@@ -37,12 +40,16 @@ func main() {
 		slow    = flag.Duration("slow", 0, "log queries at or above this latency and print them at exit (0 = off)")
 		stats_  = flag.Bool("stats", false, "print a per-view breakdown (hits, scan volume, selectivity, pool hit ratio) at exit")
 		srvURL  = flag.String("server", "", "query a running cubetreed at this URL over HTTP instead of opening -dir")
+		profile = flag.Bool("profile", false, "print an EXPLAIN-ANALYZE execution profile for the query")
+		jsonOut = flag.Bool("json", false, "server mode: print the raw JSON response envelope instead of a table")
+		trace   = flag.String("trace", "", "server mode: set the outbound X-Trace-Id (empty = server mints one)")
 	)
 	flag.Parse()
 	if *srvURL != "" {
 		runServerMode(serverOpts{
 			base: *srvURL, sql: *sql, node: *node, fix: *fix,
 			random: *random, par: *par, limit: *limit, seed: *seed,
+			profile: *profile, jsonOut: *jsonOut, trace: *trace,
 		})
 		return
 	}
@@ -87,9 +94,29 @@ func main() {
 			return
 		}
 		start := time.Now()
-		headers, rows, err := w.QuerySQL(*sql)
-		if err != nil {
-			fatal(err)
+		var headers []string
+		var rows [][]string
+		var prof *cubetree.QueryProfile
+		if *profile {
+			st, err := sqlish.Parse(*sql)
+			if err != nil {
+				fatal(err)
+			}
+			prof = &cubetree.QueryProfile{}
+			resRows, err := w.QueryProfiledCtx(context.Background(), st.Query, prof)
+			if err != nil {
+				fatal(err)
+			}
+			headers, rows, err = st.Format(resRows, lattice.Schema(w.Schema()))
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			var err error
+			headers, rows, err = w.QuerySQL(*sql)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Println(strings.Join(headers, "\t"))
 		for i, r := range rows {
@@ -100,6 +127,7 @@ func main() {
 			fmt.Println(strings.Join(r, "\t"))
 		}
 		fmt.Printf("(%d rows in %v)\n", len(rows), time.Since(start).Round(time.Microsecond))
+		printProfile(prof)
 		return
 	}
 
@@ -157,7 +185,14 @@ func main() {
 		}
 	}
 	start := time.Now()
-	rows, err := w.Query(q)
+	var rows []cubetree.Row
+	var prof *cubetree.QueryProfile
+	if *profile {
+		prof = &cubetree.QueryProfile{}
+		rows, err = w.QueryProfiledCtx(context.Background(), q, prof)
+	} else {
+		rows, err = w.Query(q)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -169,6 +204,7 @@ func main() {
 		}
 		fmt.Printf("  %v  sum=%d count=%d avg=%.2f\n", r.Group, r.Sum, r.Count, r.Avg())
 	}
+	printProfile(prof)
 }
 
 // printViewStats renders the per-view analytics accumulated over the run:

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cubetree/internal/workload"
+)
+
+// printProfile renders one statement's execution profile as an aligned
+// table: the EXPLAIN ANALYZE view of what the scan actually did. A nil
+// profile prints nothing, so call sites can pass it through unconditionally.
+func printProfile(p *workload.QueryProfile) {
+	if p == nil {
+		return
+	}
+	fmt.Println("profile:")
+	if p.Cache == "hit" {
+		fmt.Println("  cache                hit (served from the result cache; nothing scanned)")
+		if p.TraceID != "" {
+			fmt.Printf("  trace                %s\n", p.TraceID)
+		}
+		return
+	}
+	if p.View != "" {
+		fmt.Printf("  view                 %s (tree %d)\n", p.View, p.Tree)
+	}
+	if p.Cache != "" {
+		fmt.Printf("  cache                %s\n", p.Cache)
+	}
+	fmt.Printf("  duration             %v\n", time.Duration(p.DurationNS).Round(time.Microsecond))
+	fmt.Printf("  points scanned       %d\n", p.PointsScanned)
+	fmt.Printf("  rows returned        %d\n", p.RowsReturned)
+	fmt.Printf("  leaf pages read      %d\n", p.LeafPagesRead)
+	fmt.Printf("  leaf pages skipped   %d (zone maps / arity pruning)\n", p.LeafPagesSkipped)
+	fmt.Printf("  pool hits/misses     %d/%d\n", p.PoolHits, p.PoolMisses)
+	if p.TraceID != "" {
+		fmt.Printf("  trace                %s\n", p.TraceID)
+	}
+	if len(p.Shards) == 0 {
+		return
+	}
+	fmt.Println("  shards:")
+	fmt.Printf("    %-22s %4s %9s %12s %10s %8s %8s %10s\n",
+		"addr", "gen", "attempts", "duration", "straggler", "points", "read", "skipped")
+	for _, sh := range p.Shards {
+		straggler := "-"
+		if sh.Straggler {
+			straggler = "yes"
+		}
+		points, read, skipped := "-", "-", "-"
+		if sp := sh.Profile; sp != nil {
+			points = fmt.Sprint(sp.PointsScanned)
+			read = fmt.Sprint(sp.LeafPagesRead)
+			skipped = fmt.Sprint(sp.LeafPagesSkipped)
+		}
+		fmt.Printf("    %-22s %4d %9d %12v %10s %8s %8s %10s\n",
+			sh.Addr, sh.Generation, sh.Attempts,
+			time.Duration(sh.DurationNS).Round(time.Microsecond),
+			straggler, points, read, skipped)
+	}
+}

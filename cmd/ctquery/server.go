@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -17,14 +18,17 @@ import (
 // serverOpts routes ctquery over HTTP to a running cubetreed instead of
 // opening the warehouse directory in-process.
 type serverOpts struct {
-	base   string
-	sql    string
-	node   string
-	fix    string
-	random int
-	par    int
-	limit  int
-	seed   uint64
+	base    string
+	sql     string
+	node    string
+	fix     string
+	random  int
+	par     int
+	limit   int
+	seed    uint64
+	profile bool
+	jsonOut bool
+	trace   string
 }
 
 func runServerMode(o serverOpts) {
@@ -51,10 +55,19 @@ func runServerMode(o serverOpts) {
 		sql = server.SQLFor(q)
 	}
 	start := time.Now()
-	res, err := c.Query(ctx, sql)
+	resp, err := c.QueryWith(ctx, []string{sql}, server.QueryOpts{Profile: o.profile, TraceID: o.trace})
 	if err != nil {
 		fatal(err)
 	}
+	if o.jsonOut {
+		raw, err := json.MarshalIndent(resp, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(raw))
+		return
+	}
+	res := &resp.Results[0]
 	fmt.Println(strings.Join(res.Headers, "\t"))
 	for i, r := range res.Rows {
 		if i >= o.limit {
@@ -67,8 +80,13 @@ func runServerMode(o serverOpts) {
 	if res.Cached {
 		cached = ", cached"
 	}
-	fmt.Printf("(%d rows in %v via %s%s)\n",
-		len(res.Rows), time.Since(start).Round(time.Microsecond), c.Base, cached)
+	trace := ""
+	if resp.TraceID != "" {
+		trace = ", trace " + resp.TraceID
+	}
+	fmt.Printf("(%d rows in %v via %s%s%s)\n",
+		len(res.Rows), time.Since(start).Round(time.Microsecond), c.Base, cached, trace)
+	printProfile(res.Profile)
 }
 
 // runServerBatch mirrors the local -random load: N random slice queries on
@@ -120,7 +138,7 @@ func runServerBatch(ctx context.Context, c *server.Client, o serverOpts, retries
 		go func() {
 			defer wg.Done()
 			for sql := range next {
-				res, err := c.Query(ctx, sql)
+				resp, err := c.QueryWith(ctx, []string{sql}, server.QueryOpts{TraceID: o.trace})
 				if err != nil {
 					if apiErr, ok := err.(*server.APIError); ok && (apiErr.Status == 429 || apiErr.Status == 503) {
 						shed.Add(1)
@@ -129,6 +147,7 @@ func runServerBatch(ctx context.Context, c *server.Client, o serverOpts, retries
 					firstErr.CompareAndSwap(nil, err)
 					continue
 				}
+				res := &resp.Results[0]
 				rowsOut.Add(int64(len(res.Rows)))
 				if res.Cached {
 					cached.Add(1)

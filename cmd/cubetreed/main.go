@@ -59,6 +59,7 @@ func main() {
 		poolWait   = flag.Duration("pool-wait", 0, "buffer-pool exhaustion wait before shedding (0 = engine default)")
 		slow       = flag.Duration("slow", 100*time.Millisecond, "slow-query log threshold (0 = off)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "max time to finish in-flight requests on shutdown")
+		debugAddr  = flag.String("debug-addr", "", "worker mode: serve /debug endpoints (traces, metrics, pprof) on this HTTP address")
 	)
 	flag.Parse()
 	if *worker && *shards != "" {
@@ -90,7 +91,7 @@ func main() {
 	w.SetObserver(o)
 
 	if *worker {
-		runWorker(w, o, *dir, *addr)
+		runWorker(w, o, *dir, *addr, *debugAddr)
 		return
 	}
 
@@ -121,12 +122,29 @@ func serverConfig(inflight, queue int, queueWait, timeout time.Duration, rate fl
 
 // runWorker serves the warehouse over the shard wire protocol until
 // SIGTERM/SIGINT, then stops accepting, cuts in-flight connections, and
-// aborts any uncommitted pending refresh.
-func runWorker(w *cubetree.Warehouse, o *cubetree.Observer, dir, addr string) {
+// aborts any uncommitted pending refresh. With -debug-addr it also serves
+// the debug endpoints over HTTP, so /debug/traces?trace=<id> works on a
+// worker process just like on the coordinator — the distributed-tracing
+// story needs every hop inspectable.
+func runWorker(w *cubetree.Warehouse, o *cubetree.Observer, dir, addr, debugAddr string) {
 	wk := dist.NewWorker(cubetree.ShardBackend(w), cubetree.ShardCSV, o)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatalf("cubetreed: listen: %v", err)
+	}
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			log.Fatalf("cubetreed: debug listen: %v", err)
+		}
+		dsrv := &http.Server{Handler: cubetree.DebugMux(w, o), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dsrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("cubetreed: debug serve: %v", err)
+			}
+		}()
+		defer dsrv.Close()
+		log.Printf("cubetreed: worker debug endpoints on http://%s/debug/", dln.Addr())
 	}
 	done := make(chan error, 1)
 	go func() { done <- wk.Serve(ln) }()

@@ -61,6 +61,11 @@ type Pred = workload.Pred
 // COUNT of the measure (AVG via Row.Avg).
 type Row = workload.Row
 
+// QueryProfile is the EXPLAIN-ANALYZE-style breakdown filled by
+// Warehouse.QueryProfiledCtx (and, with per-shard detail, by a distributed
+// coordinator's profiled queries).
+type QueryProfile = workload.QueryProfile
+
 // RowIter streams fact rows into Materialize and Update. Implementations
 // must answer Value for every attribute named by the warehouse's views.
 type RowIter = cube.RowIter

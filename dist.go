@@ -33,8 +33,10 @@ func ShardCSV(csv []byte, measure string) (RowIter, error) {
 
 // CoordinatorDebugMux builds the debug handler for a coordinator process:
 // the observer's endpoints plus /debug/warehouse serving the coordinator's
-// per-shard table (address, generation, in-flight, last error, p95
-// latency). Either argument may be nil.
+// per-shard table (address, generation, in-flight, last error, p95 latency)
+// and /debug/cluster serving the aggregated fleet view (merged worker
+// metrics, generation skew, straggler and pool-occupancy tables — one
+// endpoint answering "is the cluster healthy"). Either argument may be nil.
 func CoordinatorDebugMux(c *dist.Coordinator, o *Observer) *http.ServeMux {
 	mux := obs.DebugMux(o)
 	if c != nil {
@@ -43,6 +45,12 @@ func CoordinatorDebugMux(c *dist.Coordinator, o *Observer) *http.ServeMux {
 			enc := json.NewEncoder(rw)
 			enc.SetIndent("", "  ")
 			enc.Encode(c.DebugInfo())
+		})
+		mux.HandleFunc("/debug/cluster", func(rw http.ResponseWriter, r *http.Request) {
+			rw.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(rw)
+			enc.SetIndent("", "  ")
+			enc.Encode(c.ClusterInfo(r.Context()))
 		})
 	}
 	return mux

@@ -483,7 +483,7 @@ func TestAllPlacementsAgree(t *testing.T) {
 		q := gen.ForNode(node)
 		var want []workload.Row
 		for pi := range f.placements {
-			rows, _, err := f.executeOn(context.Background(), &f.placements[pi], q)
+			rows, _, err := f.executeOn(context.Background(), &f.placements[pi], q, nil)
 			if err != nil {
 				t.Fatalf("%s on %s: %v", q, f.placements[pi].View, err)
 			}

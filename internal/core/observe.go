@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cubetree/internal/obs"
+	"cubetree/internal/rtree"
 	"cubetree/internal/workload"
 )
 
@@ -16,11 +17,17 @@ import (
 // before/after snapshot of the forest's shared Stats, so under concurrent
 // queries it may include pages of overlapping queries (see
 // docs/OBSERVABILITY.md).
-func (f *Forest) executeObserved(ctx context.Context, q workload.Query) ([]workload.Row, error) {
+//
+// The span (and any slow-log entry) is tagged with the trace ID carried by
+// ctx, so /debug/traces on this process can be filtered to one request.
+// prof, when non-nil, additionally receives the EXPLAIN-ANALYZE breakdown;
+// when nil the search runs without leaf counters, identical to before.
+func (f *Forest) executeObserved(ctx context.Context, q workload.Query, prof *workload.QueryProfile) ([]workload.Row, error) {
 	o := f.obs
 	start := time.Now()
 	before := f.stats.Snapshot()
 	sp := o.Tracer.StartRootShort("query")
+	sp.SetTraceID(obs.TraceIDFrom(ctx))
 	sp.SetStringer("query", q)
 	o.Queries.Inc()
 
@@ -43,13 +50,23 @@ func (f *Forest) executeObserved(ctx context.Context, q workload.Query) ([]workl
 	sp.SetStringer("view", &p.View)
 	sp.SetInt("tree", int64(p.Tree))
 
-	rows, scanned, err := f.executeOn(ctx, p, q)
+	var st *rtree.SearchStats
+	if prof != nil {
+		o.ProfiledQueries.Inc()
+		st = new(rtree.SearchStats)
+	}
+	rows, scanned, err := f.executeOn(ctx, p, q, st)
 	dur := time.Since(start)
 	delta := f.stats.Snapshot().Sub(before)
 	sp.SetInt("points_scanned", scanned)
 	sp.SetInt("rows", int64(len(rows)))
 	sp.SetInt("pool_hits", int64(delta.PoolHits))
 	sp.SetInt("pool_misses", int64(delta.PoolMisses))
+	if prof != nil {
+		sp.SetInt("leaf_pages_read", st.LeafPagesRead)
+		sp.SetInt("leaf_pages_skipped", st.LeafPagesSkipped)
+		fillProfile(prof, p, rows, scanned, st, delta, dur)
+	}
 	if err != nil {
 		o.QueryErrors.Inc()
 		sp.SetStr("error", err.Error())
@@ -67,6 +84,7 @@ func (f *Forest) executeObserved(ctx context.Context, q workload.Query) ([]workl
 		o.SlowQueries.Inc()
 		o.Slow.Record(obs.SlowQuery{
 			Time:     time.Now(),
+			TraceID:  obs.TraceIDFrom(ctx),
 			Query:    q.String(),
 			View:     p.View.String(),
 			Duration: dur,

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"cubetree/internal/lattice"
+	"cubetree/internal/pager"
+	"cubetree/internal/rtree"
 	"cubetree/internal/workload"
 )
 
@@ -41,7 +44,7 @@ func (f *Forest) Execute(q workload.Query) ([]workload.Row, error) {
 // workload.EngineCtx.
 func (f *Forest) ExecuteCtx(ctx context.Context, q workload.Query) ([]workload.Row, error) {
 	if f.obs != nil {
-		return f.executeObserved(ctx, q)
+		return f.executeObserved(ctx, q, nil)
 	}
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -50,8 +53,49 @@ func (f *Forest) ExecuteCtx(ctx context.Context, q workload.Query) ([]workload.R
 	if best < 0 {
 		return nil, fmt.Errorf("%w: %s", ErrNoPlacement, q)
 	}
-	rows, _, err := f.executeOn(ctx, &f.placements[best], q)
+	rows, _, err := f.executeOn(ctx, &f.placements[best], q, nil)
 	return rows, err
+}
+
+// ExecuteProfiledCtx is ExecuteCtx, additionally filling prof with an
+// EXPLAIN-ANALYZE-style breakdown of the execution: routing decision, points
+// scanned, leaf pages read vs zone-map skipped, the per-query pool hit/miss
+// delta, and wall time. A nil prof makes it identical to ExecuteCtx — the
+// profile-off path takes the exact same branches and allocates nothing extra.
+func (f *Forest) ExecuteProfiledCtx(ctx context.Context, q workload.Query, prof *workload.QueryProfile) ([]workload.Row, error) {
+	if prof == nil {
+		return f.ExecuteCtx(ctx, q)
+	}
+	if f.obs != nil {
+		return f.executeObserved(ctx, q, prof)
+	}
+	start := time.Now()
+	before := f.stats.Snapshot()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	best := f.choosePlacement(q)
+	if best < 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoPlacement, q)
+	}
+	p := &f.placements[best]
+	var st rtree.SearchStats
+	rows, scanned, err := f.executeOn(ctx, p, q, &st)
+	fillProfile(prof, p, rows, scanned, &st, f.stats.Snapshot().Sub(before), time.Since(start))
+	return rows, err
+}
+
+// fillProfile populates prof from one execution's raw numbers.
+func fillProfile(prof *workload.QueryProfile, p *Placement, rows []workload.Row, scanned int64, st *rtree.SearchStats, delta pager.StatsSnapshot, dur time.Duration) {
+	prof.View = p.View.String()
+	prof.Tree = p.Tree
+	prof.PointsScanned = scanned
+	prof.RowsReturned = int64(len(rows))
+	prof.LeafPagesRead = st.LeafPagesRead
+	prof.LeafPagesSkipped = st.LeafPagesSkipped
+	prof.PoolHits = int64(delta.PoolHits)
+	prof.PoolMisses = int64(delta.PoolMisses)
+	prof.DurationNS = int64(dur)
 }
 
 // choosePlacement returns the index of the cheapest placement covering q, or
@@ -118,7 +162,8 @@ func (f *Forest) placementCost(p *Placement, q workload.Query) float64 {
 // by the query's node attributes. It also returns the number of stored
 // points the search visited, for per-query observability. ctx is polled
 // every cancelCheckInterval points so cancellation interrupts the scan.
-func (f *Forest) executeOn(ctx context.Context, p *Placement, q workload.Query) ([]workload.Row, int64, error) {
+// st, when non-nil, accumulates leaf read/skip counts for a query profile.
+func (f *Forest) executeOn(ctx context.Context, p *Placement, q workload.Query, st *rtree.SearchStats) ([]workload.Row, int64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
@@ -160,7 +205,7 @@ func (f *Forest) executeOn(ctx context.Context, p *Placement, q workload.Query) 
 		// are unique by coordinates): nothing ever folds, and the rows can be
 		// emitted directly without an aggregation map.
 		var rows []workload.Row
-		err := tree.Search(lo, hi, func(coords, measures []int64) error {
+		err := tree.SearchWithStats(lo, hi, func(coords, measures []int64) error {
 			scanned++
 			if scanned%cancelCheckInterval == 0 {
 				if err := ctx.Err(); err != nil {
@@ -180,7 +225,7 @@ func (f *Forest) executeOn(ctx context.Context, p *Placement, q workload.Query) 
 			}
 			rows = append(rows, row)
 			return nil
-		})
+		}, st)
 		if err != nil {
 			return nil, scanned, err
 		}
@@ -190,7 +235,7 @@ func (f *Forest) executeOn(ctx context.Context, p *Placement, q workload.Query) 
 
 	agg := workload.NewSchemaAggregator(len(q.Node), f.schema)
 	group := make([]int64, len(q.Node))
-	err := tree.Search(lo, hi, func(coords, measures []int64) error {
+	err := tree.SearchWithStats(lo, hi, func(coords, measures []int64) error {
 		scanned++
 		if scanned%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
@@ -202,7 +247,7 @@ func (f *Forest) executeOn(ctx context.Context, p *Placement, q workload.Query) 
 		}
 		agg.AddMeasures(group, measures)
 		return nil
-	})
+	}, st)
 	if err != nil {
 		return nil, scanned, err
 	}

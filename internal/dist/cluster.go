@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"context"
+
+	"cubetree/internal/obs"
+)
+
+// ClusterShard is one row of /debug/cluster's per-shard table: the scrape
+// outcome, the shard's generation, its live scatter state on the coordinator
+// side (in-flight legs, p95 latency, scrape-straggler verdict), its buffer
+// pool occupancy, and the full worker metric snapshot the numbers came from.
+type ClusterShard struct {
+	Addr       string `json:"addr"`
+	Generation int    `json:"generation"`
+	// ScrapeNS is this shard's metrics round-trip wall time; Straggler marks
+	// it a straggler relative to its siblings by the same 2×-fastest rule the
+	// query path uses.
+	ScrapeNS  int64  `json:"scrape_ns"`
+	Straggler bool   `json:"straggler,omitempty"`
+	Error     string `json:"error,omitempty"` // scrape failure (worker down or pre-metrics protocol)
+
+	InFlight     int64 `json:"in_flight"`
+	P95LatencyNS int64 `json:"p95_latency_ns"`
+
+	// Pool occupancy, lifted out of the worker's gauges for the table view.
+	PoolResidentFrames int64 `json:"pool_resident_frames"`
+	PoolPinnedFrames   int64 `json:"pool_pinned_frames"`
+	PoolCapacityFrames int64 `json:"pool_capacity_frames"`
+
+	// Metrics is the worker's full registry snapshot (nil when the scrape
+	// failed). Histograms and labeled families live only here — they have no
+	// meaningful cross-shard sum, so the fleet merge does not attempt one.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// FleetMetrics is the cross-shard merge of the scraped snapshots: counters
+// and gauges summed over every shard that answered. Sums are the right fold
+// for both families here — counters are monotone event counts and the gauges
+// of interest (pool frames, inflight, points) are extensive quantities.
+type FleetMetrics struct {
+	Counters map[string]uint64 `json:"counters"`
+	Gauges   map[string]int64  `json:"gauges"`
+}
+
+// ClusterInfo is /debug/cluster's body: one endpoint answering "is the
+// cluster healthy" — merged fleet metrics, the generation spread (skew > 0
+// means a refresh commit left shards on different epochs), and the per-shard
+// straggler/pool table.
+type ClusterInfo struct {
+	Generation int `json:"generation"` // logical (sum of shard generations)
+	// Generation spread across the shards that answered the scrape. Shards
+	// advance in lockstep, so Skew is normally 0; a persistent nonzero skew
+	// means a refresh commit failed partway and the next refresh has not yet
+	// realigned the fleet.
+	GenerationMin  int `json:"generation_min"`
+	GenerationMax  int `json:"generation_max"`
+	GenerationSkew int `json:"generation_skew"`
+
+	Shards []ClusterShard `json:"shards"`
+	Fleet  FleetMetrics   `json:"fleet"`
+}
+
+// ClusterInfo scrapes every worker's metric snapshot in one scatter and
+// aggregates the fleet view. Per-shard failures (a worker that is down, or
+// one predating the metrics frame) are recorded in that shard's Error field
+// rather than failing the whole scrape: a partially-visible cluster is
+// exactly when the endpoint matters most.
+func (c *Coordinator) ClusterInfo(ctx context.Context) ClusterInfo {
+	n := len(c.shards)
+	rows := make([]ClusterShard, n)
+	payloads := make([]*metricsReplyPayload, n)
+	elapsed, _ := c.scatter(func(i int, sh *shard) error {
+		req, err := marshalFrame(FrameMetrics, 0, struct{}{})
+		if err != nil {
+			rows[i].Error = err.Error()
+			return nil // recorded per shard; never fail the scrape
+		}
+		reply, _, err := c.roundTrip(ctx, sh, req, FrameMetricsReply,
+			metricsRequestRetries, c.cfg.RequestTimeout)
+		if err != nil {
+			rows[i].Error = err.Error()
+			return nil
+		}
+		var mp metricsReplyPayload
+		if err := unmarshalFrame(reply, &mp); err != nil {
+			rows[i].Error = err.Error()
+			return nil
+		}
+		payloads[i] = &mp
+		sh.generation.Store(int64(mp.Generation))
+		return nil
+	})
+
+	info := ClusterInfo{
+		Fleet: FleetMetrics{Counters: map[string]uint64{}, Gauges: map[string]int64{}},
+	}
+	first := true
+	for i, sh := range c.shards {
+		row := &rows[i]
+		row.Addr = sh.addr
+		row.Generation = int(sh.generation.Load())
+		row.ScrapeNS = elapsed[i].Nanoseconds()
+		row.Straggler = stragglerAt(elapsed, i)
+		row.InFlight = sh.inflight.Load()
+		row.P95LatencyNS = sh.latency.Snapshot().P95
+		if mp := payloads[i]; mp != nil {
+			row.Metrics = &mp.Metrics
+			row.PoolResidentFrames = mp.Metrics.Gauges["pool_resident_frames"]
+			row.PoolPinnedFrames = mp.Metrics.Gauges["pool_pinned_frames"]
+			row.PoolCapacityFrames = mp.Metrics.Gauges["pool_capacity_frames"]
+			for name, v := range mp.Metrics.Counters {
+				info.Fleet.Counters[name] += v
+			}
+			for name, v := range mp.Metrics.Gauges {
+				info.Fleet.Gauges[name] += v
+			}
+			if first || mp.Generation < info.GenerationMin {
+				info.GenerationMin = mp.Generation
+			}
+			if first || mp.Generation > info.GenerationMax {
+				info.GenerationMax = mp.Generation
+			}
+			first = false
+		}
+	}
+	info.Generation = c.Generation()
+	info.GenerationSkew = info.GenerationMax - info.GenerationMin
+	info.Shards = rows
+	return info
+}

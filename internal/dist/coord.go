@@ -254,7 +254,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		if err != nil {
 			return nil, err
 		}
-		reply, err := c.roundTrip(context.Background(), sh, req, FrameStatsReply,
+		reply, _, err := c.roundTrip(context.Background(), sh, req, FrameStatsReply,
 			cfg.Retries, cfg.RequestTimeout)
 		if err != nil {
 			c.Close()
@@ -340,13 +340,15 @@ func (c *Coordinator) Close() error {
 // roundTrip performs one request against one shard, retrying transient
 // failures (connect errors, broken connections, retryable worker errors)
 // with exponential backoff up to budget retries. Permanent worker errors
-// and exhausted budgets return a *ShardError.
-func (c *Coordinator) roundTrip(ctx context.Context, sh *shard, req Frame, want FrameType, budget int, attemptTimeout time.Duration) (Frame, error) {
+// and exhausted budgets return a *ShardError. The second return is the
+// number of attempts made, for per-shard profile/trace detail (it matches
+// ShardError.Attempts on failure).
+func (c *Coordinator) roundTrip(ctx context.Context, sh *shard, req Frame, want FrameType, budget int, attemptTimeout time.Duration) (Frame, int, error) {
 	backoff := c.cfg.RetryBackoff
-	fail := func(attempts int, code string, err error) (Frame, error) {
+	fail := func(attempts int, code string, err error) (Frame, int, error) {
 		c.m.errors.With(sh.addr).Inc()
 		sh.noteError(err)
-		return Frame{}, &ShardError{Addr: sh.addr, Code: code, Attempts: attempts,
+		return Frame{}, attempts, &ShardError{Addr: sh.addr, Code: code, Attempts: attempts,
 			RetryAfter: backoff, Err: err}
 	}
 	var lastErr error
@@ -402,15 +404,16 @@ func (c *Coordinator) roundTrip(ctx context.Context, sh *shard, req Frame, want 
 		}
 		sh.put(sc)
 		sh.lastErr.Store(nil)
-		return reply, nil
+		return reply, attempt + 1, nil
 	}
 	return fail(budget+1, "", lastErr)
 }
 
 // scatter runs fn against every shard concurrently, records per-shard
-// latency, and updates the straggler gauge. It returns the first shard
-// error, if any.
-func (c *Coordinator) scatter(fn func(i int, sh *shard) error) error {
+// latency, and updates the straggler gauge. It returns each leg's elapsed
+// wall time (indexed like c.shards, for profile/trace stitching) and the
+// first shard error, if any.
+func (c *Coordinator) scatter(fn func(i int, sh *shard) error) ([]time.Duration, error) {
 	c.m.scatters.Inc()
 	n := len(c.shards)
 	errs := make([]error, n)
@@ -434,28 +437,32 @@ func (c *Coordinator) scatter(fn func(i int, sh *shard) error) error {
 	c.observeStragglers(elapsed)
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return elapsed, err
 		}
 	}
-	return nil
+	return elapsed, nil
 }
 
-// observeStragglers counts shards that took more than twice the fastest
-// shard's time (and at least 5ms absolute, to ignore noise on tiny
-// scatters).
-func (c *Coordinator) observeStragglers(elapsed []time.Duration) {
+// stragglerAt reports whether leg i of a scatter was a straggler: more than
+// twice the fastest leg's time and at least 5ms absolute (to ignore noise on
+// tiny scatters). The same rule feeds the dist_straggler_shards gauge and the
+// per-shard profile/trace verdicts, so the three always agree.
+func stragglerAt(elapsed []time.Duration, i int) bool {
 	fastest := time.Duration(-1)
 	for _, d := range elapsed {
 		if d > 0 && (fastest < 0 || d < fastest) {
 			fastest = d
 		}
 	}
-	if fastest < 0 {
-		return
-	}
+	return fastest > 0 && elapsed[i] > 2*fastest && elapsed[i] > 5*time.Millisecond
+}
+
+// observeStragglers counts straggler legs (per the stragglerAt rule) into the
+// dist_straggler_shards gauge.
+func (c *Coordinator) observeStragglers(elapsed []time.Duration) {
 	var n int64
-	for _, d := range elapsed {
-		if d > 2*fastest && d > 5*time.Millisecond {
+	for i := range elapsed {
+		if stragglerAt(elapsed, i) {
 			n++
 		}
 	}
@@ -504,33 +511,139 @@ func (c *Coordinator) Schema() []lattice.Agg { return append([]lattice.Agg(nil),
 
 // QueryCtx scatters one slice query to every shard and folds the partial
 // aggregates into the same rows a single-process warehouse would return.
+// When an observer is attached, the scatter is recorded as a root span with
+// one child per shard leg (addr, attempts, generation, rows, wall time,
+// straggler verdict), tagged with the trace ID carried by ctx — the
+// coordinator-side half of a stitched distributed trace.
 func (c *Coordinator) QueryCtx(ctx context.Context, q workload.Query) ([]workload.Row, error) {
+	return c.queryScatter(ctx, q, nil)
+}
+
+// QueryProfiledCtx is QueryCtx additionally filling prof: the top-level scan
+// counters are fleet-wide sums of the per-shard worker profiles, and
+// prof.Shards carries each shard's round-trip detail (attempts, latency,
+// straggler verdict) plus its worker-side breakdown. A nil prof is exactly
+// QueryCtx. Workers predating the profile protocol field answer without a
+// profile; their ShardProfile entry then has a nil Profile and the sums
+// cover only the shards that reported.
+func (c *Coordinator) QueryProfiledCtx(ctx context.Context, q workload.Query, prof *workload.QueryProfile) ([]workload.Row, error) {
+	return c.queryScatter(ctx, q, prof)
+}
+
+// queryScatter is the shared scatter-gather behind QueryCtx and
+// QueryProfiledCtx. The per-leg bookkeeping slices (attempts, worker
+// profiles, child spans) are allocated only when a span or profile will
+// consume them, so the untraced, unprofiled path does no extra work.
+func (c *Coordinator) queryScatter(ctx context.Context, q workload.Query, prof *workload.QueryProfile) ([]workload.Row, error) {
 	c.qmu.RLock()
 	defer c.qmu.RUnlock()
-	parts := make([][]workload.Row, len(c.shards))
-	gens := make([]int, len(c.shards))
-	req, err := marshalFrame(FrameQuery, 0, queryPayload{Query: q})
+	start := time.Now()
+	tid := obs.TraceIDFrom(ctx)
+	var sp *obs.Span
+	if o := c.cfg.Obs; o != nil {
+		sp = o.Tracer.StartRootShort("dist_query")
+		sp.SetTraceID(tid)
+		sp.SetStringer("query", q)
+		if prof != nil {
+			o.ProfiledQueries.Inc()
+		}
+	}
+	n := len(c.shards)
+	parts := make([][]workload.Row, n)
+	gens := make([]int, n)
+	var attempts []int
+	var profs []*workload.QueryProfile
+	var legs []*obs.Span
+	if sp != nil || prof != nil {
+		attempts = make([]int, n)
+	}
+	if prof != nil {
+		profs = make([]*workload.QueryProfile, n)
+	}
+	if sp != nil {
+		legs = make([]*obs.Span, n)
+	}
+	req, err := marshalFrame(FrameQuery, 0, queryPayload{Query: q, TraceID: tid, Profile: prof != nil})
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	err = c.scatter(func(i int, sh *shard) error {
-		reply, err := c.roundTrip(ctx, sh, req, FrameRows, c.cfg.Retries, c.cfg.RequestTimeout)
-		if err != nil {
-			return err
+	elapsed, err := c.scatter(func(i int, sh *shard) error {
+		var leg *obs.Span
+		if sp != nil {
+			leg = sp.Child("shard")
+			leg.SetStr("addr", sh.addr)
+			legs[i] = leg
+		}
+		reply, att, rerr := c.roundTrip(ctx, sh, req, FrameRows, c.cfg.Retries, c.cfg.RequestTimeout)
+		if attempts != nil {
+			attempts[i] = att
+		}
+		leg.SetInt("attempts", int64(att))
+		if rerr != nil {
+			leg.SetStr("error", rerr.Error())
+			leg.End()
+			return rerr
 		}
 		var rp rowsPayload
-		if err := unmarshalFrame(reply, &rp); err != nil {
-			return err
+		if uerr := unmarshalFrame(reply, &rp); uerr != nil {
+			leg.SetStr("error", uerr.Error())
+			leg.End()
+			return uerr
 		}
 		parts[i], gens[i] = rp.Rows, rp.Generation
+		if profs != nil {
+			profs[i] = rp.Profile
+		}
 		sh.generation.Store(int64(rp.Generation))
+		leg.SetInt("generation", int64(rp.Generation))
+		leg.SetInt("rows", int64(len(rp.Rows)))
+		if rp.Profile != nil {
+			leg.SetInt("points_scanned", rp.Profile.PointsScanned)
+			leg.SetInt("leaf_pages_read", rp.Profile.LeafPagesRead)
+			leg.SetInt("leaf_pages_skipped", rp.Profile.LeafPagesSkipped)
+		}
+		leg.End()
 		return nil
 	})
+	// Stitch the straggler verdicts (known only once every leg finished) and
+	// the per-shard profile detail, even when a leg failed: a partial profile
+	// of a failed scatter is still diagnostic.
+	for i := range legs {
+		if stragglerAt(elapsed, i) {
+			legs[i].SetInt("straggler", 1)
+		}
+	}
+	if prof != nil {
+		prof.TraceID = tid
+		for i, sh := range c.shards {
+			prof.AddShard(workload.ShardProfile{
+				Addr:       sh.addr,
+				Attempts:   attempts[i],
+				DurationNS: elapsed[i].Nanoseconds(),
+				Generation: gens[i],
+				Straggler:  stragglerAt(elapsed, i),
+				Profile:    profs[i],
+			})
+		}
+	}
 	if err != nil {
+		sp.SetStr("error", err.Error())
+		sp.End()
+		if prof != nil {
+			prof.DurationNS = int64(time.Since(start))
+		}
 		return nil, err
 	}
 	c.noteMixed(gens)
-	return workload.MergePartials(c.schema, parts), nil
+	rows := workload.MergePartials(c.schema, parts)
+	sp.SetInt("rows", int64(len(rows)))
+	sp.End()
+	if prof != nil {
+		prof.RowsReturned = int64(len(rows))
+		prof.DurationNS = int64(time.Since(start))
+	}
+	return rows, nil
 }
 
 // QueryBatchCtx scatters a whole batch to every shard in one frame each
@@ -539,31 +652,52 @@ func (c *Coordinator) QueryCtx(ctx context.Context, q workload.Query) ([]workloa
 func (c *Coordinator) QueryBatchCtx(ctx context.Context, qs []workload.Query, parallelism int) ([][]workload.Row, error) {
 	c.qmu.RLock()
 	defer c.qmu.RUnlock()
+	tid := obs.TraceIDFrom(ctx)
+	var sp *obs.Span
+	if o := c.cfg.Obs; o != nil {
+		sp = o.Tracer.StartRootShort("dist_query_batch")
+		sp.SetTraceID(tid)
+		sp.SetInt("queries", int64(len(qs)))
+	}
 	parts := make([][][]workload.Row, len(c.shards))
 	gens := make([]int, len(c.shards))
-	req, err := marshalFrame(FrameQueryBatch, 0, queryBatchPayload{Queries: qs, Parallelism: parallelism})
+	req, err := marshalFrame(FrameQueryBatch, 0, queryBatchPayload{Queries: qs, Parallelism: parallelism, TraceID: tid})
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	err = c.scatter(func(i int, sh *shard) error {
-		reply, err := c.roundTrip(ctx, sh, req, FrameRowsBatch, c.cfg.Retries, c.cfg.RequestTimeout)
-		if err != nil {
-			return err
+	_, err = c.scatter(func(i int, sh *shard) error {
+		var leg *obs.Span
+		if sp != nil {
+			leg = sp.Child("shard")
+			leg.SetStr("addr", sh.addr)
+		}
+		reply, att, rerr := c.roundTrip(ctx, sh, req, FrameRowsBatch, c.cfg.Retries, c.cfg.RequestTimeout)
+		leg.SetInt("attempts", int64(att))
+		defer leg.End()
+		if rerr != nil {
+			leg.SetStr("error", rerr.Error())
+			return rerr
 		}
 		var rp rowsBatchPayload
-		if err := unmarshalFrame(reply, &rp); err != nil {
-			return err
+		if uerr := unmarshalFrame(reply, &rp); uerr != nil {
+			leg.SetStr("error", uerr.Error())
+			return uerr
 		}
 		if len(rp.Results) != len(qs) {
 			return fmt.Errorf("dist: shard %s answered %d results for %d queries", sh.addr, len(rp.Results), len(qs))
 		}
 		parts[i], gens[i] = rp.Results, rp.Generation
 		sh.generation.Store(int64(rp.Generation))
+		leg.SetInt("generation", int64(rp.Generation))
 		return nil
 	})
 	if err != nil {
+		sp.SetStr("error", err.Error())
+		sp.End()
 		return nil, err
 	}
+	sp.End()
 	c.noteMixed(gens)
 	merged := make([][]workload.Row, len(qs))
 	perQuery := make([][]workload.Row, len(c.shards))
@@ -599,13 +733,13 @@ func (c *Coordinator) Update(rows cube.RowIter) error {
 	// Phase 1: prepare on every shard in parallel, queries unblocked.
 	prepStart := time.Now()
 	gens := make([]int, len(c.shards))
-	err = c.scatter(func(i int, sh *shard) error {
+	_, err = c.scatter(func(i int, sh *shard) error {
 		req, err := marshalFrame(FrameRefreshPrepare, 0, refreshPreparePayload{
 			CSV: csvs[i], Measure: PartitionMeasure})
 		if err != nil {
 			return err
 		}
-		reply, err := c.roundTrip(context.Background(), sh, req, FrameRefreshPrepared,
+		reply, _, err := c.roundTrip(context.Background(), sh, req, FrameRefreshPrepared,
 			c.cfg.Retries, c.cfg.PrepareTimeout)
 		if err != nil {
 			return err
@@ -628,12 +762,12 @@ func (c *Coordinator) Update(rows cube.RowIter) error {
 	commitStart := time.Now()
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
-	err = c.scatter(func(i int, sh *shard) error {
+	_, err = c.scatter(func(i int, sh *shard) error {
 		req, err := marshalFrame(FrameRefreshCommit, 0, refreshCommitPayload{Generation: gens[i]})
 		if err != nil {
 			return err
 		}
-		reply, err := c.roundTrip(context.Background(), sh, req, FrameRefreshAck,
+		reply, _, err := c.roundTrip(context.Background(), sh, req, FrameRefreshAck,
 			c.cfg.CommitRetries, c.cfg.RequestTimeout)
 		if err != nil {
 			return err
@@ -663,6 +797,11 @@ func (c *Coordinator) abortAll() {
 		return nil
 	})
 }
+
+// metricsRequestRetries deliberately under-budgets the debug scrape: a dead
+// (or pre-metrics) worker should surface quickly as a per-shard error on
+// /debug/cluster, not stall the whole page behind the full query retry loop.
+const metricsRequestRetries = 1
 
 // ShardDebug is one row of the coordinator's /debug/warehouse shard table.
 type ShardDebug struct {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 
+	"cubetree/internal/obs"
 	"cubetree/internal/workload"
 )
 
@@ -79,8 +80,17 @@ const (
 	FrameHealthReply
 	// FrameError is the failure reply to any request frame.
 	FrameError
+	// FrameMetrics requests the shard's observability snapshot (metrics
+	// registry plus warehouse sizes) for /debug/cluster; answered by
+	// FrameMetricsReply. Added after protocol v1 shipped: a pre-metrics
+	// worker rejects the unknown type and drops the connection, which the
+	// coordinator surfaces as a per-shard scrape error on the debug endpoint
+	// — the query path never sends this frame, so old workers keep serving.
+	FrameMetrics
+	// FrameMetricsReply carries the shard's metric snapshot.
+	FrameMetricsReply
 
-	frameTypeMax = FrameError
+	frameTypeMax = FrameMetricsReply
 )
 
 var frameNames = map[FrameType]string{
@@ -90,6 +100,7 @@ var frameNames = map[FrameType]string{
 	FrameRefreshCommit: "refreshCommit", FrameRefreshAbort: "refreshAbort",
 	FrameRefreshAck: "refreshAck", FrameStats: "stats", FrameStatsReply: "statsReply",
 	FrameHealth: "health", FrameHealthReply: "healthReply", FrameError: "error",
+	FrameMetrics: "metrics", FrameMetricsReply: "metricsReply",
 }
 
 func (t FrameType) String() string {
@@ -215,23 +226,37 @@ const (
 	ErrCodeOverloaded = "overloaded"
 )
 
-// queryPayload is FrameQuery's body.
+// queryPayload is FrameQuery's body. TraceID and Profile were added after
+// protocol v1 shipped; payloads are decoded with plain json.Unmarshal on both
+// sides, so a pre-tracing worker ignores the extra fields and still answers
+// (its reply simply lacks the profile), and a new worker treats their absence
+// as untraced/unprofiled. This field-level versioning is why the header
+// version byte did not need to change.
 type queryPayload struct {
-	Query workload.Query `json:"query"`
+	Query   workload.Query `json:"query"`
+	TraceID string         `json:"trace_id,omitempty"`
+	Profile bool           `json:"profile,omitempty"`
 }
 
 // rowsPayload is FrameRows's body: the shard's partial rows and the
-// generation they were computed against.
+// generation they were computed against. Profile carries the worker-side
+// EXPLAIN-ANALYZE breakdown when the request asked for one (absent from
+// pre-tracing workers, which the coordinator tolerates).
 type rowsPayload struct {
-	Generation int            `json:"generation"`
-	Rows       []workload.Row `json:"rows"`
+	Generation int                    `json:"generation"`
+	Rows       []workload.Row         `json:"rows"`
+	Profile    *workload.QueryProfile `json:"profile,omitempty"`
 }
 
 // queryBatchPayload is FrameQueryBatch's body. Parallelism bounds the
-// worker-side execution parallelism (<= 1 means serial).
+// worker-side execution parallelism (<= 1 means serial). TraceID tags the
+// worker-side spans of every query in the batch (same compatibility story as
+// queryPayload); batches are never profiled — a profiled statement is sent
+// as an individual FrameQuery instead.
 type queryBatchPayload struct {
 	Queries     []workload.Query `json:"queries"`
 	Parallelism int              `json:"parallelism"`
+	TraceID     string           `json:"trace_id,omitempty"`
 }
 
 // rowsBatchPayload is FrameRowsBatch's body, one partial result slice per
@@ -287,6 +312,15 @@ type statsReplyPayload struct {
 // healthReplyPayload is FrameHealthReply's body.
 type healthReplyPayload struct {
 	Generation int `json:"generation"`
+}
+
+// metricsReplyPayload is FrameMetricsReply's body: the worker's full metric
+// registry snapshot (counters, gauges — including the pool occupancy gauges —
+// histograms, labeled families, attached page I/O) plus its generation, the
+// raw material for the coordinator's /debug/cluster aggregation.
+type metricsReplyPayload struct {
+	Generation int          `json:"generation"`
+	Metrics    obs.Snapshot `json:"metrics"`
 }
 
 // errorPayload is FrameError's body. Retryable tells the coordinator the

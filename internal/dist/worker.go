@@ -31,6 +31,10 @@ type Pending interface {
 // package here.
 type Backend interface {
 	QueryCtx(ctx context.Context, q workload.Query) ([]workload.Row, error)
+	// QueryProfiledCtx is QueryCtx additionally filling prof with the
+	// shard-local EXPLAIN-ANALYZE breakdown; a nil prof must behave exactly
+	// like QueryCtx.
+	QueryProfiledCtx(ctx context.Context, q workload.Query, prof *workload.QueryProfile) ([]workload.Row, error)
 	QueryBatchCtx(ctx context.Context, qs []workload.Query, parallelism int) ([][]workload.Row, error)
 	Generation() int
 	Views() []lattice.View
@@ -212,18 +216,31 @@ func (w *Worker) dispatch(f Frame) (Frame, error) {
 		if err := unmarshalFrame(f, &p); err != nil {
 			return Frame{}, badRequest(err)
 		}
-		rows, err := w.backend.QueryCtx(context.Background(), p.Query)
+		// The coordinator's trace ID rides the payload into this shard's
+		// context, so the engine tags its spans (and slow-log entries) with
+		// it and /debug/traces here can be filtered to the same request.
+		ctx := obs.WithTraceID(context.Background(), p.TraceID)
+		var prof *workload.QueryProfile
+		var rows []workload.Row
+		var err error
+		if p.Profile {
+			prof = &workload.QueryProfile{TraceID: p.TraceID}
+			rows, err = w.backend.QueryProfiledCtx(ctx, p.Query, prof)
+		} else {
+			rows, err = w.backend.QueryCtx(ctx, p.Query)
+		}
 		if err != nil {
 			return Frame{}, err
 		}
 		return marshalFrame(FrameRows, f.ID, rowsPayload{
-			Generation: w.backend.Generation(), Rows: rows})
+			Generation: w.backend.Generation(), Rows: rows, Profile: prof})
 	case FrameQueryBatch:
 		var p queryBatchPayload
 		if err := unmarshalFrame(f, &p); err != nil {
 			return Frame{}, badRequest(err)
 		}
-		results, err := w.backend.QueryBatchCtx(context.Background(), p.Queries, p.Parallelism)
+		ctx := obs.WithTraceID(context.Background(), p.TraceID)
+		results, err := w.backend.QueryBatchCtx(ctx, p.Queries, p.Parallelism)
 		if err != nil {
 			return Frame{}, err
 		}
@@ -281,6 +298,13 @@ func (w *Worker) dispatch(f Frame) (Frame, error) {
 	case FrameHealth:
 		return marshalFrame(FrameHealthReply, f.ID, healthReplyPayload{
 			Generation: w.backend.Generation()})
+	case FrameMetrics:
+		var snap obs.Snapshot
+		if w.o != nil {
+			snap = w.o.Registry.Snapshot()
+		}
+		return marshalFrame(FrameMetricsReply, f.ID, metricsReplyPayload{
+			Generation: w.backend.Generation(), Metrics: snap})
 	default:
 		return Frame{}, badRequest(fmt.Errorf("dist: unexpected request frame %s", f.Type))
 	}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -19,9 +20,12 @@ func TestNilInstrumentationAllocs(t *testing.T) {
 		gv   *GaugeVec
 		slow *SlowLog
 	)
+	ctx := context.Background()
 	allocs := testing.AllocsPerRun(1000, func() {
 		sp := o.StartTrace("query")
 		sp = tr.StartRoot("query")
+		sp.SetTraceID("deadbeef") // nil span: no-op
+		_ = sp.TraceID()
 		child := sp.Child("search")
 		child.SetInt("rows", 7)
 		child.End()
@@ -34,6 +38,12 @@ func TestNilInstrumentationAllocs(t *testing.T) {
 			slow.Record(SlowQuery{})
 		}
 		sp.End()
+		// The tracing-off context path: an empty trace ID must not wrap the
+		// context, and reading an untagged context must not allocate.
+		if WithTraceID(ctx, "") != ctx {
+			t.Fatal("empty trace id wrapped the context")
+		}
+		_ = TraceIDFrom(ctx)
 	})
 	if allocs != 0 {
 		t.Fatalf("nil-sink instrumentation allocates %v per op, want 0", allocs)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 )
 
 // DebugMux builds the HTTP mux for the debug endpoints of one observer:
@@ -14,7 +15,13 @@ import (
 //	/debug/metrics/prometheus  — the same snapshot in Prometheus text
 //	                             exposition format, for scraping
 //	/debug/traces              — recent and in-flight span trees, newest first
-//	/debug/slow                — the slow-query log, newest first
+//	                             (active spans, then completed, each group
+//	                             newest first — the Tracer.Snapshot contract);
+//	                             ?trace=<id> keeps only the span trees tagged
+//	                             with that trace ID
+//	/debug/slow                — the slow-query log, newest first; entries
+//	                             tagged with a trace ID carry a trace_link
+//	                             pointing at the filtered /debug/traces view
 //	/debug/pprof/…             — the standard runtime profiles
 //
 // Callers may register additional handlers (e.g. /debug/warehouse) on the
@@ -33,13 +40,38 @@ func DebugMux(o *Observer) *http.ServeMux {
 		if o != nil {
 			traces = o.Tracer.Snapshot()
 		}
-		writeJSON(w, map[string]any{"traces": traces})
+		resp := map[string]any{"traces": traces}
+		if id := r.URL.Query().Get("trace"); id != "" {
+			filtered := traces[:0]
+			for _, t := range traces {
+				if t.TraceID == id {
+					filtered = append(filtered, t)
+				}
+			}
+			resp["traces"] = filtered
+			resp["trace"] = id
+		}
+		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
-		var entries []SlowQuery
+		// slowEntry decorates a SlowQuery with a ready-made link to the
+		// trace-filtered span view, so a slow entry jumps straight to its
+		// spans on this process (and, pasted against another process's debug
+		// port, to the same request's spans there).
+		type slowEntry struct {
+			SlowQuery
+			TraceLink string `json:"trace_link,omitempty"`
+		}
+		var entries []slowEntry
 		var threshold int64
 		if o != nil {
-			entries = o.Slow.Snapshot()
+			for _, sq := range o.Slow.Snapshot() {
+				e := slowEntry{SlowQuery: sq}
+				if sq.TraceID != "" {
+					e.TraceLink = "/debug/traces?trace=" + url.QueryEscape(sq.TraceID)
+				}
+				entries = append(entries, e)
+			}
 			threshold = int64(o.Slow.Threshold())
 		}
 		writeJSON(w, map[string]any{"threshold_ns": threshold, "slow_queries": entries})

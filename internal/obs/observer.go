@@ -17,13 +17,14 @@ type Observer struct {
 	Slow     *SlowLog
 
 	// Pre-registered query-path metrics.
-	Queries       *Counter   // query_total
-	QueryErrors   *Counter   // query_errors_total
-	PointsScanned *Counter   // query_points_scanned_total
-	SlowQueries   *Counter   // query_slow_total
-	QueryLatency  *Histogram // query_latency_ns
-	Inflight      *Gauge     // query_inflight
-	Batches       *Counter   // query_batches_total
+	Queries         *Counter   // query_total
+	QueryErrors     *Counter   // query_errors_total
+	PointsScanned   *Counter   // query_points_scanned_total
+	SlowQueries     *Counter   // query_slow_total
+	QueryLatency    *Histogram // query_latency_ns
+	Inflight        *Gauge     // query_inflight
+	Batches         *Counter   // query_batches_total
+	ProfiledQueries *Counter   // query_profiled_total
 }
 
 // Options configures New.
@@ -56,6 +57,7 @@ func New(opts Options) *Observer {
 	o.QueryLatency = reg.Histogram("query_latency_ns")
 	o.Inflight = reg.Gauge("query_inflight")
 	o.Batches = reg.Counter("query_batches_total")
+	o.ProfiledQueries = reg.Counter("query_profiled_total")
 	return o
 }
 

@@ -15,6 +15,7 @@ import (
 // docs/OBSERVABILITY.md).
 type SlowQuery struct {
 	Time     time.Time           `json:"time"`
+	TraceID  string              `json:"trace_id,omitempty"`
 	Query    string              `json:"query"`
 	View     string              `json:"view"`
 	Duration time.Duration       `json:"duration_ns"`

@@ -64,8 +64,14 @@ func (t *Tracer) record(s *Span) {
 	t.mu.Unlock()
 }
 
-// Snapshot returns the active root spans followed by the completed ones,
-// newest first.
+// Snapshot returns the active root spans followed by the completed ones.
+// Ordering is a documented contract relied on by /debug/traces: within each
+// group spans are newest first (most recent start time, respectively most
+// recent completion, at index 0), active before completed. The completed walk
+// starts at the slot most recently written by record and steps backwards
+// through the ring, so it stays newest-first after the ring wraps; the nil
+// check only terminates the walk before the first wrap, when the tail of the
+// ring has never been written.
 func (t *Tracer) Snapshot() []SpanSnapshot {
 	if t == nil {
 		return nil
@@ -125,9 +131,32 @@ type Span struct {
 
 	mu       sync.Mutex
 	end      time.Time
+	traceID  string // request-scoped correlation ID, set on roots via SetTraceID
 	attrs    []spanAttr
 	buf      [8]spanAttr // inline storage for the first attrs: no growth allocs
 	children []*Span
+}
+
+// SetTraceID tags the span with a request-scoped trace ID so /debug/traces
+// can be filtered down to one request's spans across processes. Safe on a nil
+// span; an empty id is ignored.
+func (s *Span) SetTraceID(id string) {
+	if s == nil || id == "" {
+		return
+	}
+	s.mu.Lock()
+	s.traceID = id
+	s.mu.Unlock()
+}
+
+// TraceID returns the span's trace ID ("" when untagged or s is nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traceID
 }
 
 // Child starts a nested span.
@@ -220,6 +249,7 @@ func (s *Span) Duration() time.Duration {
 // SpanSnapshot is a JSON-ready copy of one span subtree.
 type SpanSnapshot struct {
 	Name       string         `json:"name"`
+	TraceID    string         `json:"trace_id,omitempty"`
 	Start      time.Time      `json:"start"`
 	DurationNS int64          `json:"duration_ns"`
 	Running    bool           `json:"running,omitempty"`
@@ -231,6 +261,7 @@ func (s *Span) snapshot(running bool) SpanSnapshot {
 	s.mu.Lock()
 	snap := SpanSnapshot{
 		Name:    s.name,
+		TraceID: s.traceID,
 		Start:   s.start,
 		Running: running || s.end.IsZero(),
 	}

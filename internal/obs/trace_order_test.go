@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestTracerSnapshotNewestFirst pins Snapshot's ordering contract: active
+// roots first (newest start first), then completed traces newest-completion
+// first. The wraparound case is the regression this guards — a naive
+// forward walk of the ring flips to oldest-first once the ring has lapped.
+func TestTracerSnapshotNewestFirst(t *testing.T) {
+	names := func(snaps []SpanSnapshot) []string {
+		out := make([]string, len(snaps))
+		for i, s := range snaps {
+			out[i] = s.Name
+		}
+		return out
+	}
+	equal := func(got, want []string) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	tr := NewTracer(3)
+
+	// Pre-wrap: two completions in a three-slot ring.
+	tr.StartRoot("r1").End()
+	tr.StartRoot("r2").End()
+	if got := names(tr.Snapshot()); !equal(got, []string{"r2", "r1"}) {
+		t.Fatalf("pre-wrap order = %v, want [r2 r1]", got)
+	}
+
+	// Post-wrap: five completions lapped the ring; only the newest three
+	// remain, and they must still come back newest first.
+	tr.StartRoot("r3").End()
+	tr.StartRoot("r4").End()
+	tr.StartRoot("r5").End()
+	if got := names(tr.Snapshot()); !equal(got, []string{"r5", "r4", "r3"}) {
+		t.Fatalf("post-wrap order = %v, want [r5 r4 r3]", got)
+	}
+
+	// Active roots precede everything, themselves newest-start first.
+	a1 := tr.StartRoot("a1")
+	time.Sleep(time.Millisecond) // distinct start times for the sort
+	a2 := tr.StartRoot("a2")
+	if got := names(tr.Snapshot()); !equal(got, []string{"a2", "a1", "r5", "r4", "r3"}) {
+		t.Fatalf("active+completed order = %v, want [a2 a1 r5 r4 r3]", got)
+	}
+	// Ending them moves both into the ring (evicting r3 and r4): the order
+	// flips to completion order, newest completion first.
+	a2.End()
+	a1.End()
+	if got := names(tr.Snapshot()); !equal(got, []string{"a1", "a2", "r5"}) {
+		t.Fatalf("after ends order = %v, want [a1 a2 r5]", got)
+	}
+}
+
+// TestTraceIDContext covers the context plumbing: round trip, absence, and
+// the no-alloc empty-ID shortcut returning the identical context.
+func TestTraceIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceIDFrom(ctx); got != "" {
+		t.Fatalf("background trace id = %q, want empty", got)
+	}
+	if got := WithTraceID(ctx, ""); got != ctx {
+		t.Fatal("empty trace id must return the context unchanged")
+	}
+	tagged := WithTraceID(ctx, "abc123")
+	if got := TraceIDFrom(tagged); got != "abc123" {
+		t.Fatalf("trace id round trip = %q, want abc123", got)
+	}
+
+	id := NewTraceID()
+	if len(id) != 32 {
+		t.Fatalf("NewTraceID length = %d, want 32 hex chars", len(id))
+	}
+	if id2 := NewTraceID(); id2 == id {
+		t.Fatalf("two trace ids collided: %s", id)
+	}
+}
+
+// TestSpanTraceIDTagAndFilter tags spans with trace IDs and checks both the
+// snapshot field and the /debug/traces?trace= filter.
+func TestSpanTraceIDTagAndFilter(t *testing.T) {
+	o := New(Options{})
+	spA := o.StartTrace("qa")
+	spA.SetTraceID("trace-a")
+	spA.End()
+	spB := o.StartTrace("qb")
+	spB.SetTraceID("trace-b")
+	spB.End()
+
+	snaps := o.Tracer.Snapshot()
+	if len(snaps) != 2 || snaps[0].TraceID != "trace-b" || snaps[1].TraceID != "trace-a" {
+		t.Fatalf("trace ids in snapshot = %+v", snaps)
+	}
+
+	srv := httptest.NewServer(DebugMux(o))
+	defer srv.Close()
+	get := func(path string) map[string]any {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v\n%s", path, err, body)
+		}
+		return m
+	}
+
+	all := get("/debug/traces")
+	if n := len(all["traces"].([]any)); n != 2 {
+		t.Fatalf("unfiltered traces = %d, want 2", n)
+	}
+	filtered := get("/debug/traces?trace=trace-a")
+	list := filtered["traces"].([]any)
+	if len(list) != 1 {
+		t.Fatalf("filtered traces = %d, want 1", len(list))
+	}
+	if got := list[0].(map[string]any)["trace_id"]; got != "trace-a" {
+		t.Fatalf("filtered trace id = %v, want trace-a", got)
+	}
+	if got := filtered["trace"]; got != "trace-a" {
+		t.Fatalf("echoed filter = %v, want trace-a", got)
+	}
+	none := get("/debug/traces?trace=nope")
+	if n := len(none["traces"].([]any)); n != 0 {
+		t.Fatalf("no-match filter returned %d traces, want 0", n)
+	}
+}

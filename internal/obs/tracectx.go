@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+)
+
+// traceKey is the context key under which a request's trace ID travels.
+// Unexported so only WithTraceID/TraceIDFrom can touch it.
+type traceKey struct{}
+
+// NewTraceID returns a fresh 128-bit trace identifier rendered as 32 lowercase
+// hex characters. IDs are random, not sequential: the coordinator and every
+// worker log the same ID for one request, and collisions across restarts or
+// processes must stay improbable without coordination.
+func NewTraceID() string {
+	return fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64())
+}
+
+// WithTraceID returns a context carrying id. An empty id returns ctx unchanged
+// so callers can thread optional IDs without branching — and so the
+// tracing-off path (no inbound X-Trace-Id, no observer) allocates nothing.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceIDFrom extracts the trace ID from ctx, or "" when none was attached.
+// A plain context lookup: no allocation either way.
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

@@ -162,9 +162,10 @@ var scratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
 // lazily on the first v2 leaf a search touches and reused for every later
 // leaf of the search.
 type scanScratch struct {
-	lay  v2Layout
-	cols [][]int64 // decoded coordinate columns, cols[j][i] = row i's coord j
-	sel  []uint64  // selection bitmap over the leaf's rows
+	lay   v2Layout
+	cols  [][]int64    // decoded coordinate columns, cols[j][i] = row i's coord j
+	sel   []uint64     // selection bitmap over the leaf's rows
+	stats *SearchStats // optional leaf read/skip counters; nil on Search
 }
 
 // grow sizes the scratch for a leaf of n rows and arity coordinate columns.
@@ -195,12 +196,18 @@ func (t *Tree) searchLeafV2(b []byte, lo, hi []int64, s *scanScratch, coords, me
 	}
 	lay := &s.lay
 	if lay.n == 0 {
+		if s.stats != nil {
+			s.stats.LeafPagesSkipped++
+		}
 		return nil
 	}
 	// Every point in this leaf has zero for coordinates beyond its arity:
 	// one check covers all rows.
 	for j := lay.arity; j < t.dim; j++ {
 		if lo[j] > 0 || hi[j] < 0 {
+			if s.stats != nil {
+				s.stats.LeafPagesSkipped++
+			}
 			return nil
 		}
 	}
@@ -208,8 +215,16 @@ func (t *Tree) searchLeafV2(b []byte, lo, hi []int64, s *scanScratch, coords, me
 	// out the whole leaf.
 	for j := 0; j < lay.arity; j++ {
 		if lay.desc[j].max < lo[j] || lay.desc[j].min > hi[j] {
+			if s.stats != nil {
+				s.stats.LeafPagesSkipped++
+			}
 			return nil
 		}
+	}
+	// Past the whole-page pruning checks: this leaf's packed columns will be
+	// evaluated, so it counts as read even if every row is later rejected.
+	if s.stats != nil {
+		s.stats.LeafPagesRead++
 	}
 	s.grow(lay.arity, lay.n)
 	enc.FillSelection(s.sel, lay.n)

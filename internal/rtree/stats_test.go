@@ -1,0 +1,138 @@
+package rtree
+
+import (
+	"testing"
+)
+
+// buildStatsTree packs one arity-1 run (x in [1,xmax], y implicitly 0) and
+// one arity-2 run (the full [1,xmax]×[1,ymax] grid) in the given format —
+// the same shared-index-space shape a forest tree has, big enough to span
+// multiple leaf pages.
+func buildStatsTree(t *testing.T, format, xmax, ymax int) *Tree {
+	t.Helper()
+	b, err := NewBuilder(newPool(t, 256), 2, Options{Measures: 2, PackFormat: format})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BeginRun(1); err != nil {
+		t.Fatal(err)
+	}
+	for x := 1; x <= xmax; x++ {
+		if err := b.Add([]int64{int64(x)}, []int64{int64(x), 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.EndRun(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BeginRun(2); err != nil {
+		t.Fatal(err)
+	}
+	for y := 1; y <= ymax; y++ {
+		for x := 1; x <= xmax; x++ {
+			if err := b.Add([]int64{int64(x), int64(y)}, []int64{int64(x + y), 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := b.EndRun(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// TestSearchStatsReadSkipAccounting pins the SearchStats contract: read +
+// skipped totals the leaf pages the search considered, skipped is the pages
+// the zone extents pruned without decoding, and a nil stats pointer changes
+// nothing about the results.
+func TestSearchStatsReadSkipAccounting(t *testing.T) {
+	for _, format := range []int{FormatV1, FormatV2} {
+		name := map[int]string{FormatV1: "v1", FormatV2: "v2"}[format]
+		t.Run(name, func(t *testing.T) {
+			const xmax, ymax = 60, 60
+			tree := buildStatsTree(t, format, xmax, ymax)
+			info, err := tree.ScrubLeaves()
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaves := int64(info.V1Leaves + info.V2Leaves)
+			if leaves < 4 {
+				t.Fatalf("test tree has only %d leaves; grow the grid", leaves)
+			}
+
+			// Full-cover scan (y range includes 0, so the arity-1 run too):
+			// every leaf is read, nothing is skipped.
+			full := [2][]int64{{0, 0}, {xmax + 1, ymax + 1}}
+			var fullSt SearchStats
+			n := 0
+			if err := tree.SearchWithStats(full[0], full[1], func(_, _ []int64) error {
+				n++
+				return nil
+			}, &fullSt); err != nil {
+				t.Fatal(err)
+			}
+			if want := xmax + xmax*ymax; n != want {
+				t.Fatalf("full scan visited %d points, want %d", n, want)
+			}
+			if fullSt.LeafPagesRead != leaves || fullSt.LeafPagesSkipped != 0 {
+				t.Fatalf("full scan stats = %+v, want read=%d skipped=0", fullSt, leaves)
+			}
+
+			// A narrow band on y: pack order is y-major, so most leaves are
+			// pruned by their zone extent; the survivors are read. The tree is
+			// height 2 here, so every leaf is considered exactly once and
+			// read + skipped must equal the leaf count.
+			band := [2][]int64{{0, 7}, {xmax + 1, 7}}
+			var bandSt SearchStats
+			n = 0
+			if err := tree.SearchWithStats(band[0], band[1], func(_, _ []int64) error {
+				n++
+				return nil
+			}, &bandSt); err != nil {
+				t.Fatal(err)
+			}
+			if n != xmax {
+				t.Fatalf("band scan visited %d points, want %d", n, xmax)
+			}
+			if bandSt.LeafPagesSkipped == 0 {
+				t.Fatal("band scan skipped no leaves; zone pruning is not being counted")
+			}
+			if bandSt.LeafPagesRead == 0 || bandSt.LeafPagesRead >= leaves {
+				t.Fatalf("band scan read %d of %d leaves", bandSt.LeafPagesRead, leaves)
+			}
+			if got := bandSt.LeafPagesRead + bandSt.LeafPagesSkipped; got != leaves {
+				t.Fatalf("read+skipped = %d, want leaf count %d", got, leaves)
+			}
+
+			// Search (no stats) returns identical results: the stats pointer
+			// is observation only.
+			m := 0
+			if err := tree.Search(band[0], band[1], func(_, _ []int64) error {
+				m++
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if m != n {
+				t.Fatalf("Search returned %d points, SearchWithStats %d", m, n)
+			}
+		})
+	}
+}
+
+// TestSearchStatsAdd covers the nil-safe accumulator used when a profile
+// spans shards or trees.
+func TestSearchStatsAdd(t *testing.T) {
+	var nilStats *SearchStats
+	nilStats.Add(&SearchStats{LeafPagesRead: 1}) // must not panic
+	total := &SearchStats{LeafPagesRead: 1, LeafPagesSkipped: 2}
+	total.Add(nil) // must not panic
+	total.Add(&SearchStats{LeafPagesRead: 10, LeafPagesSkipped: 20})
+	if total.LeafPagesRead != 11 || total.LeafPagesSkipped != 22 {
+		t.Fatalf("accumulated stats = %+v", *total)
+	}
+}

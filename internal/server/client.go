@@ -86,11 +86,28 @@ func (c *Client) Query(ctx context.Context, sql string) (*StatementResult, error
 // response envelope (results in statement order, plus the generation they
 // came from).
 func (c *Client) QueryBatch(ctx context.Context, sqls []string) (*QueryResponse, error) {
-	body, err := json.Marshal(QueryRequest{Batch: sqls})
+	return c.QueryWith(ctx, sqls, QueryOpts{})
+}
+
+// QueryOpts are per-request options for QueryWith.
+type QueryOpts struct {
+	// Profile asks the server for an EXPLAIN-ANALYZE-style execution
+	// profile per statement (leaf pages read/skipped, points scanned,
+	// pool deltas, cache disposition, per-shard detail on a coordinator).
+	Profile bool
+	// TraceID sets the outbound X-Trace-Id header so this request joins
+	// an existing trace; empty lets the server mint one. The server's
+	// choice comes back in QueryResponse.TraceID.
+	TraceID string
+}
+
+// QueryWith executes statements as one request with per-request options.
+func (c *Client) QueryWith(ctx context.Context, sqls []string, opts QueryOpts) (*QueryResponse, error) {
+	body, err := json.Marshal(QueryRequest{Batch: sqls, Profile: opts.Profile})
 	if err != nil {
 		return nil, err
 	}
-	raw, err := c.do(ctx, http.MethodPost, "/query", "application/json", body)
+	raw, err := c.do(ctx, http.MethodPost, "/query", "application/json", body, opts.TraceID)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +123,7 @@ func (c *Client) QueryBatch(ctx context.Context, sqls []string) (*QueryResponse,
 
 // Views fetches the warehouse description.
 func (c *Client) Views(ctx context.Context) (*ViewsResponse, error) {
-	raw, err := c.do(ctx, http.MethodGet, "/views", "", nil)
+	raw, err := c.do(ctx, http.MethodGet, "/views", "", nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -146,8 +163,9 @@ func (c *Client) Refresh(ctx context.Context, csv io.Reader, measure string) (*R
 }
 
 // do issues one request with retries on shed responses and transport
-// errors.
-func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
+// errors. A non-empty traceID rides along as X-Trace-Id on every attempt,
+// so retries of one logical request share one trace.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, traceID string) ([]byte, error) {
 	var lastErr error
 	wait := c.backoff()
 	for attempt := 0; ; attempt++ {
@@ -157,6 +175,9 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
+		}
+		if traceID != "" {
+			req.Header.Set("X-Trace-Id", traceID)
 		}
 		res, err := c.httpClient().Do(req)
 		var status int

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"cubetree/internal/workload"
 )
 
 // maxBatchStatements bounds one request's batch so a single client cannot
@@ -24,6 +26,11 @@ type QueryRequest struct {
 	// TimeoutMS optionally lowers the server's per-request timeout for
 	// this request; it can never raise it.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Profile requests an EXPLAIN-ANALYZE-style execution profile per
+	// statement: leaf pages read vs skipped by zone maps, points scanned,
+	// buffer-pool hit/miss deltas, result-cache disposition, and — against
+	// a coordinator — per-shard latency/retry/straggler detail.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // statements returns the request's statements, normalizing the two forms.
@@ -82,6 +89,10 @@ type StatementResult struct {
 	Rows    [][]string `json:"rows"`
 	// Cached marks an answer served from the result cache.
 	Cached bool `json:"cached,omitempty"`
+	// Profile is the execution profile, present only when the request set
+	// "profile": true. Cache hits carry a profile whose Cache field is
+	// "hit" and whose scan counters are zero (nothing executed).
+	Profile *workload.QueryProfile `json:"profile,omitempty"`
 }
 
 // QueryResponse is the /query response envelope. Results are in statement
@@ -90,6 +101,10 @@ type StatementResult struct {
 type QueryResponse struct {
 	Generation int               `json:"generation"`
 	Results    []StatementResult `json:"results"`
+	// TraceID is the request's distributed trace ID — the inbound
+	// X-Trace-Id header if the client sent one, otherwise generated at
+	// this front door. Filter any process's /debug/traces by it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ViewDef is one materialized view in the /views listing.

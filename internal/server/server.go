@@ -48,6 +48,15 @@ type Store interface {
 	Update(rows cube.RowIter) error
 }
 
+// ProfiledStore is the optional Store extension that can fill an
+// EXPLAIN-ANALYZE-style execution profile. *cubetree.Warehouse and
+// *dist.Coordinator both implement it; a Store that does not (such as a
+// test fake) still works — profiled requests just answer without the
+// breakdown.
+type ProfiledStore interface {
+	QueryProfiledCtx(ctx context.Context, q workload.Query, prof *workload.QueryProfile) ([]workload.Row, error)
+}
+
 // Config tunes the server. The zero value of every field has a production
 // default; only Store is required.
 type Config struct {
@@ -326,6 +335,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error(), 0)
 		return
 	}
+
+	// Trace context: honor the caller's X-Trace-Id so a trace started
+	// upstream threads through here; otherwise mint one at this front door
+	// when anything downstream will record it (an observer is attached) or
+	// the caller asked for a profile. The ID is echoed in the response
+	// header and body so the caller can filter /debug/traces on any
+	// process that touched the request.
+	tid := strings.TrimSpace(r.Header.Get("X-Trace-Id"))
+	if tid == "" && (s.cfg.Obs != nil || req.Profile) {
+		tid = obs.NewTraceID()
+	}
+	if tid != "" {
+		w.Header().Set("X-Trace-Id", tid)
+	}
+
 	stmts := make([]*sqlish.Statement, len(req.statements()))
 	keys := make([]string, len(stmts))
 	for i, sql := range req.statements() {
@@ -371,8 +395,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	ctx = obs.WithTraceID(ctx, tid)
 
-	resp, err := s.executeStatements(ctx, stmts, keys)
+	resp, err := s.executeStatements(ctx, stmts, keys, req.Profile, tid)
 	if err != nil {
 		status, code, retry := s.mapQueryError(ctx, err)
 		if status == 0 {
@@ -389,10 +414,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // refresh landing mid-request flips the generation, in which case results
 // are returned but not cached (each individual answer is still exactly one
 // generation's, the library QueryBatch guarantee).
-func (s *Server) executeStatements(ctx context.Context, stmts []*sqlish.Statement, keys []string) (*QueryResponse, error) {
+//
+// When profile is set and the store implements ProfiledStore, cache misses
+// execute one at a time through QueryProfiledCtx — a profile describes one
+// statement's scan, so profiled requests trade batch parallelism for the
+// breakdown — and the results are not cached (a cached answer's profile
+// would describe a scan that never happened for the next caller). Cache
+// hits under profiling report disposition "hit" with zero scan counters.
+func (s *Server) executeStatements(ctx context.Context, stmts []*sqlish.Statement, keys []string, profile bool, tid string) (*QueryResponse, error) {
 	gen := s.store.Generation()
 	schema := lattice.Schema(s.store.Schema())
-	resp := &QueryResponse{Generation: gen, Results: make([]StatementResult, len(stmts))}
+	resp := &QueryResponse{Generation: gen, Results: make([]StatementResult, len(stmts)), TraceID: tid}
 
 	var missIdx []int
 	for i, key := range keys {
@@ -400,6 +432,9 @@ func (s *Server) executeStatements(ctx context.Context, stmts []*sqlish.Statemen
 			s.m.cacheHits.Inc()
 			resp.Results[i] = *res
 			resp.Results[i].Cached = true
+			if profile {
+				resp.Results[i].Profile = &workload.QueryProfile{Cache: "hit", TraceID: tid}
+			}
 			continue
 		}
 		s.m.cacheMisses.Inc()
@@ -409,14 +444,31 @@ func (s *Server) executeStatements(ctx context.Context, stmts []*sqlish.Statemen
 		return resp, nil
 	}
 
+	ps, canProfile := s.store.(ProfiledStore)
+	profiled := profile && canProfile
+
 	var rowSets [][]workload.Row
-	if len(missIdx) == 1 {
+	var profs []*workload.QueryProfile
+	switch {
+	case profiled:
+		rowSets = make([][]workload.Row, len(missIdx))
+		profs = make([]*workload.QueryProfile, len(missIdx))
+		for j, i := range missIdx {
+			prof := &workload.QueryProfile{TraceID: tid, Cache: "miss"}
+			rows, err := ps.QueryProfiledCtx(ctx, stmts[i].Query, prof)
+			if err != nil {
+				return nil, err
+			}
+			rowSets[j] = rows
+			profs[j] = prof
+		}
+	case len(missIdx) == 1:
 		rows, err := s.store.QueryCtx(ctx, stmts[missIdx[0]].Query)
 		if err != nil {
 			return nil, err
 		}
 		rowSets = [][]workload.Row{rows}
-	} else {
+	default:
 		qs := make([]workload.Query, len(missIdx))
 		for j, i := range missIdx {
 			qs[j] = stmts[i].Query
@@ -428,7 +480,7 @@ func (s *Server) executeStatements(ctx context.Context, stmts []*sqlish.Statemen
 		}
 	}
 
-	cacheable := s.store.Generation() == gen
+	cacheable := !profiled && s.store.Generation() == gen
 	for j, i := range missIdx {
 		headers, rows, err := stmts[i].Format(rowSets[j], schema)
 		if err != nil {
@@ -438,6 +490,9 @@ func (s *Server) executeStatements(ctx context.Context, stmts []*sqlish.Statemen
 			rows = [][]string{} // JSON [] beats null for empty results
 		}
 		res := StatementResult{Headers: headers, Rows: rows}
+		if profs != nil {
+			res.Profile = profs[j]
+		}
 		resp.Results[i] = res
 		if cacheable {
 			s.cache.put(cacheKey{generation: gen, statement: keys[i]}, &res)

@@ -1,0 +1,61 @@
+package workload
+
+// QueryProfile is an EXPLAIN-ANALYZE-style breakdown of one executed query:
+// where the planner routed it, what the scan touched (points, leaf pages read
+// vs pruned whole by zone maps), what the buffer pool did for it, and — on a
+// coordinator — how every shard contributed. It lives in workload because
+// every layer that moves queries (core, dist, server) already meets here.
+//
+// The pool hit/miss fields are a before/after delta of the engine's shared
+// pager stats; under concurrency the delta may include pages of overlapping
+// queries, the same caveat the slow-query log carries.
+type QueryProfile struct {
+	View             string `json:"view,omitempty"` // view the planner routed to
+	Tree             int    `json:"tree"`           // packed-tree index within the forest
+	PointsScanned    int64  `json:"points_scanned"`
+	RowsReturned     int64  `json:"rows_returned"`
+	LeafPagesRead    int64  `json:"leaf_pages_read"`
+	LeafPagesSkipped int64  `json:"leaf_pages_skipped"` // zone-map/arity pruned without decoding
+	PoolHits         int64  `json:"pool_hits"`
+	PoolMisses       int64  `json:"pool_misses"`
+	DurationNS       int64  `json:"duration_ns"`
+
+	// Cache is the HTTP result-cache disposition: "hit" (served from cache,
+	// scan fields zero), "miss" (executed; profiled results are not stored,
+	// so the breakdown always describes this execution), or "" when no cache
+	// sits in front of the engine.
+	Cache string `json:"cache,omitempty"`
+
+	// TraceID correlates the profile with span snapshots in /debug/traces on
+	// every process that touched the query.
+	TraceID string `json:"trace_id,omitempty"`
+
+	// Shards carries per-shard detail on a distributed query, in shard order.
+	Shards []ShardProfile `json:"shards,omitempty"`
+}
+
+// ShardProfile is one shard's contribution to a distributed query: the
+// coordinator-observed round trip (attempts, latency, straggler verdict) plus
+// the worker-side breakdown it returned.
+type ShardProfile struct {
+	Addr       string        `json:"addr"`
+	Attempts   int           `json:"attempts"`
+	DurationNS int64         `json:"duration_ns"` // coordinator-observed round trip
+	Generation int           `json:"generation"`
+	Straggler  bool          `json:"straggler,omitempty"` // slowest-vs-fastest verdict, same rule as dist_query_stragglers_total
+	Profile    *QueryProfile `json:"profile,omitempty"`   // worker-side breakdown
+}
+
+// AddShard appends one shard's detail and folds its worker-side counters into
+// the coordinator totals, so the top-level scan fields of a distributed
+// profile are the fleet-wide sums of their per-shard counterparts.
+func (p *QueryProfile) AddShard(sp ShardProfile) {
+	if wp := sp.Profile; wp != nil {
+		p.PointsScanned += wp.PointsScanned
+		p.LeafPagesRead += wp.LeafPagesRead
+		p.LeafPagesSkipped += wp.LeafPagesSkipped
+		p.PoolHits += wp.PoolHits
+		p.PoolMisses += wp.PoolMisses
+	}
+	p.Shards = append(p.Shards, sp)
+}

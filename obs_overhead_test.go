@@ -12,6 +12,7 @@
 package cubetree_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -43,13 +44,49 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		}
 	}
+	// profile-off drives the profiled entry point with a nil profile: the
+	// bar is allocation and wall-clock parity with the plain path, since an
+	// unprofiled query must not pay for the EXPLAIN-ANALYZE machinery.
+	runProfileOff := func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Forest.ExecuteProfiledCtx(ctx, queries[i%len(queries)], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	runProfiled := func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var prof workload.QueryProfile
+			if _, err := s.Forest.ExecuteProfiledCtx(ctx, queries[i%len(queries)], &prof); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 	b.Run("bare", func(b *testing.B) {
 		s.Forest.SetObserver(nil)
 		run(b)
 	})
+	b.Run("bare-profile-off", func(b *testing.B) {
+		s.Forest.SetObserver(nil)
+		runProfileOff(b)
+	})
 	b.Run("observed", func(b *testing.B) {
 		s.Forest.SetObserver(obs.New(obs.Options{SlowThreshold: time.Second}))
 		run(b)
+	})
+	b.Run("observed-profile-off", func(b *testing.B) {
+		s.Forest.SetObserver(obs.New(obs.Options{SlowThreshold: time.Second}))
+		runProfileOff(b)
+	})
+	b.Run("observed-profiled", func(b *testing.B) {
+		s.Forest.SetObserver(obs.New(obs.Options{SlowThreshold: time.Second}))
+		runProfiled(b)
 	})
 	s.Forest.SetObserver(nil)
 }

@@ -455,6 +455,17 @@ func (w *Warehouse) QueryCtx(ctx context.Context, q Query) ([]Row, error) {
 	return w.forest.ExecuteCtx(ctx, q)
 }
 
+// QueryProfiledCtx is QueryCtx, additionally filling prof with an
+// EXPLAIN-ANALYZE-style breakdown of the execution (view routed, points
+// scanned, zone-map leaf pages skipped vs read, pool hit/miss delta, wall
+// time). A nil prof is exactly QueryCtx: the profile-off path takes the same
+// branches and allocates nothing extra.
+func (w *Warehouse) QueryProfiledCtx(ctx context.Context, q Query, prof *QueryProfile) ([]Row, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.forest.ExecuteProfiledCtx(ctx, q, prof)
+}
+
 // queryEngine adapts Warehouse's per-query locking to workload.Engine so
 // QueryBatch can reuse the shared worker pool.
 type queryEngine struct{ w *Warehouse }
