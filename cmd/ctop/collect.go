@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cubetree/internal/dist"
+	"cubetree/internal/obs"
+	"cubetree/internal/server"
+)
+
+// client fetches the debug endpoints of one coordinator (or single-process
+// server, or worker debug port).
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func newClient(base string, timeout time.Duration) *client {
+	return &client{base: base, hc: &http.Client{Timeout: timeout}}
+}
+
+// errNotFound marks an endpoint the target does not serve (e.g.
+// /debug/cluster on a single-process server) — optional data, not a failure.
+var errNotFound = fmt.Errorf("not found")
+
+func (c *client) getJSON(path string, v any) error {
+	res, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, res.Body)
+		return errNotFound
+	}
+	if res.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(res.Body, 512))
+		return fmt.Errorf("%s: HTTP %d: %s", path, res.StatusCode, body)
+	}
+	return json.NewDecoder(res.Body).Decode(v)
+}
+
+// latestBody is /debug/history?latest=1.
+type latestBody struct {
+	AtUnixNS int64        `json:"at_unix_ns"`
+	Snapshot obs.Snapshot `json:"snapshot"`
+}
+
+// status is one full poll of the target: everything a frame of the console
+// (or one -once -json report) needs.
+type status struct {
+	Addr    string
+	At      time.Time
+	QPS     obs.Series // query_total
+	Latency obs.Series // query_latency_ns
+	Errors  obs.Series // query_errors_total
+	Latest  *latestBody
+	Cluster *dist.ClusterInfo    // nil on single-process targets
+	SLO     *obs.SLOReport       // nil when SLO tracking is off
+	Health  *server.HealthStatus // nil on worker debug ports (no /healthz)
+}
+
+// collect polls the target once. The history series are required — ctop is a
+// time-series console, so a target without -scrape-interval is an error —
+// while cluster, SLO, and health views degrade to absent sections.
+func collect(c *client, window time.Duration) (*status, error) {
+	st := &status{Addr: c.base, At: time.Now()}
+	w := window.String()
+	if err := c.getJSON("/debug/history?metric=query_total&window="+w, &st.QPS); err != nil {
+		if err == errNotFound {
+			return nil, fmt.Errorf("%s serves no /debug/history — run the target with -scrape-interval > 0", c.base)
+		}
+		return nil, err
+	}
+	// Latency/error series may not exist yet (no traffic scraped): tolerate.
+	if err := c.getJSON("/debug/history?metric=query_latency_ns&window="+w, &st.Latency); err != nil && err != errNotFound {
+		return nil, err
+	}
+	if err := c.getJSON("/debug/history?metric=query_errors_total&window="+w, &st.Errors); err != nil && err != errNotFound {
+		return nil, err
+	}
+	var latest latestBody
+	switch err := c.getJSON("/debug/history?latest=1", &latest); err {
+	case nil:
+		st.Latest = &latest
+	case errNotFound:
+	default:
+		return nil, err
+	}
+	var cluster dist.ClusterInfo
+	switch err := c.getJSON("/debug/cluster", &cluster); err {
+	case nil:
+		st.Cluster = &cluster
+	case errNotFound:
+	default:
+		return nil, err
+	}
+	var slo obs.SLOReport
+	switch err := c.getJSON("/debug/slo", &slo); err {
+	case nil:
+		st.SLO = &slo
+	case errNotFound:
+	default:
+		return nil, err
+	}
+	var health server.HealthStatus
+	if err := c.getJSON("/healthz", &health); err == nil {
+		st.Health = &health
+	}
+	return st, nil
+}
+
+// lastPoint returns the newest point of a series, if any.
+func lastPoint(s obs.Series) (obs.SeriesPoint, bool) {
+	if len(s.Points) == 0 {
+		return obs.SeriesPoint{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
+// fleetSummary is the rollup block of the machine-readable report.
+type fleetSummary struct {
+	QPS           float64 `json:"qps"`
+	P99NS         int64   `json:"p99_ns"`
+	ErrorRate     float64 `json:"error_rate"`
+	Generation    int64   `json:"generation"`
+	ScrapedShards int64   `json:"scraped_shards,omitempty"`
+	Shards        int64   `json:"shards,omitempty"`
+	UptimeS       int64   `json:"uptime_s,omitempty"`
+}
+
+type shardSummary struct {
+	Addr          string `json:"addr"`
+	Generation    int    `json:"generation"`
+	InFlight      int64  `json:"in_flight"`
+	P95LatencyNS  int64  `json:"p95_latency_ns"`
+	PoolResident  int64  `json:"pool_resident_frames"`
+	PoolCapacity  int64  `json:"pool_capacity_frames"`
+	Straggler     bool   `json:"straggler,omitempty"`
+	ScrapeError   string `json:"scrape_error,omitempty"`
+	QueriesServed uint64 `json:"queries_served,omitempty"`
+}
+
+type sloSummary struct {
+	Name            string  `json:"name"`
+	BurnRate        float64 `json:"burn_rate"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	Burning         bool    `json:"burning"`
+	NoData          bool    `json:"no_data,omitempty"`
+}
+
+type refreshSummary struct {
+	Active           bool  `json:"active"`
+	ProgressPermille int64 `json:"progress_permille"`
+	ETANS            int64 `json:"eta_ns"`
+}
+
+// report is the -once -json body.
+type report struct {
+	Addr     string          `json:"addr"`
+	AtUnixMS int64           `json:"at_unix_ms"`
+	Health   string          `json:"health"`
+	Fleet    fleetSummary    `json:"fleet"`
+	Shards   []shardSummary  `json:"shards,omitempty"`
+	SLO      []sloSummary    `json:"slo,omitempty"`
+	Refresh  *refreshSummary `json:"refresh,omitempty"`
+}
+
+// summarize reduces one poll to the report shape shared by -json output and
+// the console's headline numbers.
+func summarize(st *status) report {
+	rep := report{Addr: st.Addr, AtUnixMS: st.At.UnixMilli(), Health: "unknown"}
+	if st.Health != nil {
+		rep.Health = st.Health.Status
+	}
+	if p, ok := lastPoint(st.QPS); ok {
+		rep.Fleet.QPS = p.Rate
+	}
+	if p, ok := lastPoint(st.Latency); ok {
+		rep.Fleet.P99NS = p.P99
+	}
+	if ep, ok := lastPoint(st.Errors); ok {
+		if qp, ok2 := lastPoint(st.QPS); ok2 && qp.Delta > 0 {
+			rep.Fleet.ErrorRate = ep.Delta / qp.Delta
+		}
+	}
+	if st.Latest != nil {
+		g := st.Latest.Snapshot.Gauges
+		rep.Fleet.Generation = g["generation"]
+		rep.Fleet.ScrapedShards = g["dist_scraped_shards"]
+		rep.Fleet.Shards = g["dist_shards"]
+		rep.Fleet.UptimeS = g["process_uptime_seconds"]
+		if _, ok := g["refresh_active"]; ok {
+			rep.Refresh = &refreshSummary{
+				Active:           g["refresh_active"] != 0,
+				ProgressPermille: g["refresh_progress_permille"],
+				ETANS:            g["refresh_eta_ns"],
+			}
+		}
+	}
+	if st.Cluster != nil {
+		if rep.Fleet.Generation == 0 {
+			rep.Fleet.Generation = int64(st.Cluster.Generation)
+		}
+		for _, sh := range st.Cluster.Shards {
+			row := shardSummary{
+				Addr:         sh.Addr,
+				Generation:   sh.Generation,
+				InFlight:     sh.InFlight,
+				P95LatencyNS: sh.P95LatencyNS,
+				PoolResident: sh.PoolResidentFrames,
+				PoolCapacity: sh.PoolCapacityFrames,
+				Straggler:    sh.Straggler,
+				ScrapeError:  sh.Error,
+			}
+			if sh.Metrics != nil {
+				row.QueriesServed = sh.Metrics.Counters["query_total"]
+			}
+			rep.Shards = append(rep.Shards, row)
+		}
+	}
+	if st.SLO != nil {
+		for _, o := range st.SLO.Objectives {
+			rep.SLO = append(rep.SLO, sloSummary{
+				Name:            o.Name,
+				BurnRate:        o.Short.BurnRate,
+				BudgetRemaining: o.Short.BudgetRemaining,
+				Burning:         o.Burning,
+				NoData:          o.Short.NoData,
+			})
+		}
+	}
+	return rep
+}

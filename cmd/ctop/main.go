@@ -1,0 +1,247 @@
+// Command ctop is a live terminal console for a cubetreed fleet — top(1) for
+// a cubetree cluster. It polls the self-monitoring endpoints of a coordinator
+// (or a single-process server) and redraws a one-screen view:
+//
+//   - fleet QPS / p99 latency / error-rate sparklines from /debug/history
+//
+//   - an SLO budget bar per objective from /debug/slo
+//
+//   - the per-shard table (generation, in-flight, p95, pool occupancy,
+//     stragglers, scrape errors) from /debug/cluster
+//
+//   - refresh progress and ETA when a merge-pack is running
+//
+//     ctop -addr http://localhost:8347
+//
+// Keys: q (or Ctrl-C) quits, any other key redraws immediately.
+//
+// Non-interactive mode for scripts and CI:
+//
+//	ctop -addr http://localhost:8347 -once -json -min-qps 0.01
+//
+// prints one JSON report and exits 1 if the fleet QPS is below -min-qps.
+// Everything is plain ANSI; no terminal library, no dependencies.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cubetree/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8347", "coordinator (or server) base URL")
+		interval = flag.Duration("interval", 2*time.Second, "poll cadence")
+		window   = flag.Duration("window", 30*time.Second, "rate/percentile window for the history series")
+		once     = flag.Bool("once", false, "poll once, print, and exit (non-interactive)")
+		jsonOut  = flag.Bool("json", false, "with -once: print the machine-readable report instead of the console frame")
+		minQPS   = flag.Float64("min-qps", 0, "with -once: exit 1 when fleet QPS is below this (CI assertion)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
+	)
+	flag.Parse()
+	c := newClient(strings.TrimRight(*addr, "/"), *timeout)
+
+	if *once {
+		st, err := collect(c, *window)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctop: %v\n", err)
+			os.Exit(1)
+		}
+		rep := summarize(st)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(rep)
+		} else {
+			render(os.Stdout, st, rep, *window, false)
+		}
+		if rep.Fleet.QPS < *minQPS {
+			fmt.Fprintf(os.Stderr, "ctop: fleet QPS %.4f below -min-qps %.4f\n", rep.Fleet.QPS, *minQPS)
+			os.Exit(1)
+		}
+		return
+	}
+
+	runConsole(c, *interval, *window)
+}
+
+// runConsole is the interactive clear-and-redraw loop. Stdin is read on a
+// side goroutine so 'q' quits without needing raw terminal mode: any line
+// starting with q exits, any other input forces an immediate repoll.
+func runConsole(c *client, interval, window time.Duration) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	keys := make(chan byte)
+	go func() {
+		r := bufio.NewReader(os.Stdin)
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return
+			}
+			b := byte(' ')
+			if s := strings.TrimSpace(line); s != "" {
+				b = s[0]
+			}
+			keys <- b
+		}
+	}()
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		frame := &strings.Builder{}
+		st, err := collect(c, window)
+		if err != nil {
+			fmt.Fprintf(frame, "ctop: %v\n(retrying every %v; q quits)\n", err, interval)
+		} else {
+			render(frame, st, summarize(st), window, true)
+		}
+		// Clear screen + home, then the frame in one write to avoid flicker.
+		os.Stdout.WriteString("\x1b[2J\x1b[H" + frame.String())
+
+		select {
+		case <-sig:
+			fmt.Println()
+			return
+		case k := <-keys:
+			if k == 'q' || k == 'Q' {
+				return
+			}
+			// Any other key: fall through and repoll immediately.
+		case <-ticker.C:
+		}
+	}
+}
+
+// render writes one console frame. live toggles the interactive footer.
+func render(w io.Writer, st *status, rep report, window time.Duration, live bool) {
+	fmt.Fprintf(w, "ctop — %s   %s   health=%s", st.Addr, st.At.Format("15:04:05"), rep.Health)
+	if rep.Fleet.Generation > 0 {
+		fmt.Fprintf(w, "   gen=%d", rep.Fleet.Generation)
+	}
+	if rep.Fleet.Shards > 0 {
+		fmt.Fprintf(w, "   shards=%d/%d scraped", rep.Fleet.ScrapedShards, rep.Fleet.Shards)
+	}
+	if rep.Fleet.UptimeS > 0 {
+		fmt.Fprintf(w, "   up=%s", (time.Duration(rep.Fleet.UptimeS) * time.Second).String())
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "  qps     %8.2f  %s\n", rep.Fleet.QPS, seriesSpark(st.QPS, true))
+	fmt.Fprintf(w, "  p99     %8s  %s\n", fmtNS(rep.Fleet.P99NS), seriesSparkP99(st.Latency))
+	fmt.Fprintf(w, "  errors  %7.2f%%  %s\n", rep.Fleet.ErrorRate*100, seriesSpark(st.Errors, true))
+	fmt.Fprintf(w, "          %s(window %s)\n", strings.Repeat(" ", 2), window)
+
+	if rep.Refresh != nil && rep.Refresh.Active {
+		fmt.Fprintf(w, "\n  refresh  %s %d.%d%%  eta %s\n",
+			bar(float64(rep.Refresh.ProgressPermille)/1000, 30),
+			rep.Refresh.ProgressPermille/10, rep.Refresh.ProgressPermille%10,
+			fmtNS(rep.Refresh.ETANS))
+	}
+
+	if len(rep.SLO) > 0 {
+		fmt.Fprintln(w, "\n  SLO budget remaining")
+		for _, o := range rep.SLO {
+			state := "ok"
+			if o.NoData {
+				state = "no data"
+			} else if o.Burning {
+				state = fmt.Sprintf("BURNING %.1fx", o.BurnRate)
+			}
+			fmt.Fprintf(w, "    %-24s %s %6.1f%%  %s\n",
+				o.Name, bar(o.BudgetRemaining, 20), o.BudgetRemaining*100, state)
+		}
+	}
+
+	if len(rep.Shards) > 0 {
+		fmt.Fprintln(w, "\n  shard                 gen  inflight      p95      pool  served  flags")
+		for _, sh := range rep.Shards {
+			flags := ""
+			if sh.Straggler {
+				flags = "straggler"
+			}
+			if sh.ScrapeError != "" {
+				if flags != "" {
+					flags += ","
+				}
+				flags += "scrape: " + sh.ScrapeError
+			}
+			pool := "-"
+			if sh.PoolCapacity > 0 {
+				pool = fmt.Sprintf("%d/%d", sh.PoolResident, sh.PoolCapacity)
+			}
+			fmt.Fprintf(w, "    %-20s %4d  %8d  %7s  %8s  %6d  %s\n",
+				sh.Addr, sh.Generation, sh.InFlight, fmtNS(sh.P95LatencyNS), pool,
+				sh.QueriesServed, flags)
+		}
+	}
+
+	if live {
+		fmt.Fprintln(w, "\n  q+Enter quit · Enter refresh now")
+	}
+}
+
+// seriesSpark renders a sparkline of a series: rates for counters, values for
+// gauges.
+func seriesSpark(s obs.Series, rate bool) string {
+	vals := make([]float64, 0, len(s.Points))
+	for _, p := range s.Points {
+		if rate && s.Kind == "counter" {
+			vals = append(vals, p.Rate)
+		} else {
+			vals = append(vals, p.Value)
+		}
+	}
+	return obs.SparkString(vals)
+}
+
+// seriesSparkP99 renders the per-window p99 trend of a histogram series.
+func seriesSparkP99(s obs.Series) string {
+	vals := make([]float64, 0, len(s.Points))
+	for _, p := range s.Points {
+		vals = append(vals, float64(p.P99))
+	}
+	return obs.SparkString(vals)
+}
+
+// bar renders frac (clamped to [0,1]) as a fixed-width block bar; negative
+// budget renders empty.
+func bar(frac float64, width int) string {
+	if math.IsNaN(frac) || frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	fill := int(frac*float64(width) + 0.5)
+	return "[" + strings.Repeat("█", fill) + strings.Repeat("·", width-fill) + "]"
+}
+
+// fmtNS renders nanoseconds compactly (ns/µs/ms/s).
+func fmtNS(ns int64) string {
+	switch {
+	case ns <= 0:
+		return "-"
+	case ns < 1_000:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case ns < 1_000_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	}
+}

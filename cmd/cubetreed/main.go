@@ -39,6 +39,7 @@ import (
 
 	"cubetree"
 	"cubetree/internal/dist"
+	"cubetree/internal/obs"
 	"cubetree/internal/server"
 )
 
@@ -60,6 +61,8 @@ func main() {
 		slow       = flag.Duration("slow", 100*time.Millisecond, "slow-query log threshold (0 = off)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "max time to finish in-flight requests on shutdown")
 		debugAddr  = flag.String("debug-addr", "", "worker mode: serve /debug endpoints (traces, metrics, pprof) on this HTTP address")
+		scrape     = flag.Duration("scrape-interval", 10*time.Second, "self-monitoring scrape cadence feeding /debug/history and /debug/slo (0 = off)")
+		sloSpec    = flag.String("slo", "", `SLO objectives, e.g. "p99 query_latency_ns < 50ms over 5m, query_errors_total/query_total < 0.1% over 5m" (empty = those defaults; "off" disables)`)
 	)
 	flag.Parse()
 	if *worker && *shards != "" {
@@ -68,7 +71,7 @@ func main() {
 	}
 	if *shards != "" {
 		runCoordinator(*shards, *addr, serverConfig(*inflight, *queue, *queueWait, *timeout,
-			*rate, *burst, *cacheSize, *batchPar, *slow), *slow, *drainGrace)
+			*rate, *burst, *cacheSize, *batchPar, *slow), *slow, *drainGrace, *scrape, *sloSpec)
 		return
 	}
 	if *dir == "" {
@@ -89,6 +92,8 @@ func main() {
 
 	o := cubetree.NewObserver(cubetree.ObserverOptions{SlowThreshold: *slow, Stats: stats})
 	w.SetObserver(o)
+	stopMon := startSelfMonitoring(o, nil, *scrape, *sloSpec)
+	defer stopMon()
 
 	if *worker {
 		runWorker(w, o, *dir, *addr, *debugAddr)
@@ -99,6 +104,7 @@ func main() {
 		*cacheSize, *batchPar, *slow)
 	cfg.Store = w
 	cfg.Obs = o
+	cfg.SLO = o.SLO
 	cfg.Debug = cubetree.DebugMux(w, o)
 	serveHTTP(cfg, *addr, *drainGrace, func(ln net.Addr) {
 		log.Printf("cubetreed: serving %s on http://%s (views=%d gen=%d)",
@@ -165,9 +171,36 @@ func runWorker(w *cubetree.Warehouse, o *cubetree.Observer, dir, addr, debugAddr
 	log.Printf("cubetreed: stopped")
 }
 
+// startSelfMonitoring attaches the history ring (scraping source, or the
+// observer's own registry when source is nil) and the SLO tracker to o,
+// honoring the -scrape-interval/-slo flags. Returns the scraper's shutdown
+// func. A zero interval disables both; sloSpec "off" keeps the history but
+// drops the objectives.
+func startSelfMonitoring(o *cubetree.Observer, source func() obs.Snapshot,
+	interval time.Duration, sloSpec string) func() {
+	if o == nil || interval <= 0 {
+		return func() {}
+	}
+	h := o.StartHistory(obs.HistoryOptions{Source: source, Interval: interval})
+	if sloSpec != "off" {
+		var objectives []obs.Objective // empty = tracker defaults
+		if sloSpec != "" {
+			parsed, err := obs.ParseObjectives(sloSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cubetreed: -slo: %v\n", err)
+				os.Exit(2)
+			}
+			objectives = parsed
+		}
+		o.SetSLOs(objectives)
+	}
+	return h.Close
+}
+
 // runCoordinator connects to the shard workers and serves the standard HTTP
 // API over the scatter-gather store.
-func runCoordinator(shardList, addr string, cfg server.Config, slow, drainGrace time.Duration) {
+func runCoordinator(shardList, addr string, cfg server.Config, slow, drainGrace time.Duration,
+	scrape time.Duration, sloSpec string) {
 	o := cubetree.NewObserver(cubetree.ObserverOptions{SlowThreshold: slow})
 	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
 		Shards: strings.Split(shardList, ","),
@@ -177,8 +210,22 @@ func runCoordinator(shardList, addr string, cfg server.Config, slow, drainGrace 
 		log.Fatalf("cubetreed: coordinator: %v", err)
 	}
 	defer coord.Close()
+	// The coordinator's history samples the whole fleet: each scrape rides
+	// the metrics wire frames to every worker and merges the answers, so
+	// /debug/history and /debug/slo here describe the cluster.
+	scrapeTimeout := scrape
+	if scrapeTimeout <= 0 || scrapeTimeout > 5*time.Second {
+		scrapeTimeout = 5 * time.Second
+	}
+	stopMon := startSelfMonitoring(o, func() obs.Snapshot {
+		ctx, cancel := context.WithTimeout(context.Background(), scrapeTimeout)
+		defer cancel()
+		return coord.FleetSnapshot(ctx)
+	}, scrape, sloSpec)
+	defer stopMon()
 	cfg.Store = coord
 	cfg.Obs = o
+	cfg.SLO = o.SLO
 	cfg.Debug = cubetree.CoordinatorDebugMux(coord, o)
 	serveHTTP(cfg, addr, drainGrace, func(ln net.Addr) {
 		log.Printf("cubetreed: coordinator serving %d shard(s) on http://%s (views=%d gen=%d)",

@@ -9,10 +9,32 @@ import (
 	"cubetree/internal/obs"
 )
 
+// sparkMetrics is the default /debug/warehouse sparkline set: the signals an
+// operator glances at first — traffic, latency, errors, pool pressure.
+var sparkMetrics = []string{"query_total", "query_latency_ns", "query_errors_total", "pool_resident_frames"}
+
+// sparklineSummary renders the recent history of the headline metrics when
+// the observer has a history ring attached; nil otherwise, so the warehouse
+// page shape is unchanged for processes without self-monitoring.
+func sparklineSummary(o *Observer) []obs.Sparkline {
+	if o == nil || o.History == nil {
+		return nil
+	}
+	var out []obs.Sparkline
+	for _, m := range sparkMetrics {
+		if sp, ok := o.History.Sparkline(m, 30); ok {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
 // DebugMux builds the debug HTTP handler: the observer's endpoints
-// (/debug/metrics, /debug/traces, /debug/slow, /debug/pprof/*) plus, when a
-// warehouse is given, /debug/warehouse with the live generation, placements,
-// and buffer-pool occupancy. Either argument may be nil.
+// (/debug/metrics, /debug/traces, /debug/slow, /debug/history, /debug/slo,
+// /debug/pprof/*) plus, when a warehouse is given, /debug/warehouse with the
+// live generation, placements, buffer-pool occupancy, and — when a history
+// ring is attached — sparkline trends of the headline metrics. Either
+// argument may be nil.
 func DebugMux(w *Warehouse, o *Observer) *http.ServeMux {
 	mux := obs.DebugMux(o)
 	if w != nil {
@@ -20,7 +42,10 @@ func DebugMux(w *Warehouse, o *Observer) *http.ServeMux {
 			rw.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(rw)
 			enc.SetIndent("", "  ")
-			enc.Encode(w.DebugInfo())
+			enc.Encode(struct {
+				DebugInfo
+				Sparklines []obs.Sparkline `json:"sparklines,omitempty"`
+			}{w.DebugInfo(), sparklineSummary(o)})
 		})
 	}
 	return mux

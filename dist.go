@@ -44,7 +44,10 @@ func CoordinatorDebugMux(c *dist.Coordinator, o *Observer) *http.ServeMux {
 			rw.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(rw)
 			enc.SetIndent("", "  ")
-			enc.Encode(c.DebugInfo())
+			enc.Encode(struct {
+				dist.DebugInfo
+				Sparklines []obs.Sparkline `json:"sparklines,omitempty"`
+			}{c.DebugInfo(), sparklineSummary(o)})
 		})
 		mux.HandleFunc("/debug/cluster", func(rw http.ResponseWriter, r *http.Request) {
 			rw.Header().Set("Content-Type", "application/json")

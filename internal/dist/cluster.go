@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"time"
 
 	"cubetree/internal/obs"
 )
@@ -29,18 +30,21 @@ type ClusterShard struct {
 	PoolCapacityFrames int64 `json:"pool_capacity_frames"`
 
 	// Metrics is the worker's full registry snapshot (nil when the scrape
-	// failed). Histograms and labeled families live only here — they have no
-	// meaningful cross-shard sum, so the fleet merge does not attempt one.
+	// failed). Labeled families live only here — they have no meaningful
+	// cross-shard sum, so the fleet merge does not attempt one.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // FleetMetrics is the cross-shard merge of the scraped snapshots: counters
-// and gauges summed over every shard that answered. Sums are the right fold
-// for both families here — counters are monotone event counts and the gauges
-// of interest (pool frames, inflight, points) are extensive quantities.
+// and gauges summed over every shard that answered, histograms merged
+// bucket-by-bucket. Sums are the right fold for the first two — counters are
+// monotone event counts and the gauges of interest (pool frames, inflight,
+// points) are extensive quantities — and every obs.Histogram shares the same
+// log2 bucket grid, so merged percentiles are exact at bucket granularity.
 type FleetMetrics struct {
-	Counters map[string]uint64 `json:"counters"`
-	Gauges   map[string]int64  `json:"gauges"`
+	Counters   map[string]uint64                `json:"counters"`
+	Gauges     map[string]int64                 `json:"gauges"`
+	Histograms map[string]obs.HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // ClusterInfo is /debug/cluster's body: one endpoint answering "is the
@@ -93,7 +97,11 @@ func (c *Coordinator) ClusterInfo(ctx context.Context) ClusterInfo {
 	})
 
 	info := ClusterInfo{
-		Fleet: FleetMetrics{Counters: map[string]uint64{}, Gauges: map[string]int64{}},
+		Fleet: FleetMetrics{
+			Counters:   map[string]uint64{},
+			Gauges:     map[string]int64{},
+			Histograms: map[string]obs.HistogramSnapshot{},
+		},
 	}
 	first := true
 	for i, sh := range c.shards {
@@ -115,6 +123,9 @@ func (c *Coordinator) ClusterInfo(ctx context.Context) ClusterInfo {
 			for name, v := range mp.Metrics.Gauges {
 				info.Fleet.Gauges[name] += v
 			}
+			for name, h := range mp.Metrics.Histograms {
+				info.Fleet.Histograms[name] = obs.MergeHistogramSnapshots(info.Fleet.Histograms[name], h)
+			}
 			if first || mp.Generation < info.GenerationMin {
 				info.GenerationMin = mp.Generation
 			}
@@ -128,4 +139,53 @@ func (c *Coordinator) ClusterInfo(ctx context.Context) ClusterInfo {
 	info.GenerationSkew = info.GenerationMax - info.GenerationMin
 	info.Shards = rows
 	return info
+}
+
+// FleetSnapshot folds one ClusterInfo scrape into a single obs.Snapshot: the
+// coordinator's own registry (dist_* families, server-side counters) plus
+// every worker's counters, gauges, and histograms summed or bucket-merged on
+// top. Names shared by coordinator and workers add together — every metric in
+// play is an extensive quantity, so the sum reads as "the whole fleet did
+// this much". This is the Source a coordinator hands its history ring: the
+// time-series and SLO views then describe the cluster, not one process, and
+// the rollup rides the same metrics/metricsReply wire frames /debug/cluster
+// uses, so pre-metrics workers degrade to a per-shard scrape error rather
+// than an invisible gap. The dist_scraped_shards gauge records how many
+// shards actually answered each sample.
+func (c *Coordinator) FleetSnapshot(ctx context.Context) obs.Snapshot {
+	info := c.ClusterInfo(ctx)
+	var snap obs.Snapshot
+	if o := c.cfg.Obs; o != nil {
+		snap = o.Registry.Snapshot()
+	}
+	if snap.TakenUnixNS == 0 {
+		snap.TakenUnixNS = time.Now().UnixNano()
+	}
+	if snap.Counters == nil {
+		snap.Counters = map[string]uint64{}
+	}
+	if snap.Gauges == nil {
+		snap.Gauges = map[string]int64{}
+	}
+	if snap.Histograms == nil {
+		snap.Histograms = map[string]obs.HistogramSnapshot{}
+	}
+	for name, v := range info.Fleet.Counters {
+		snap.Counters[name] += v
+	}
+	for name, v := range info.Fleet.Gauges {
+		snap.Gauges[name] += v
+	}
+	for name, h := range info.Fleet.Histograms {
+		snap.Histograms[name] = obs.MergeHistogramSnapshots(snap.Histograms[name], h)
+	}
+	scraped := 0
+	for _, sh := range info.Shards {
+		if sh.Error == "" {
+			scraped++
+		}
+	}
+	snap.Gauges["dist_scraped_shards"] = int64(scraped)
+	snap.Gauges["dist_shards"] = int64(len(info.Shards))
+	return snap
 }

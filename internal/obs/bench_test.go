@@ -19,6 +19,8 @@ func TestNilInstrumentationAllocs(t *testing.T) {
 		cv   *CounterVec
 		gv   *GaugeVec
 		slow *SlowLog
+		hist *History
+		slo  *SLOTracker
 	)
 	ctx := context.Background()
 	allocs := testing.AllocsPerRun(1000, func() {
@@ -44,6 +46,25 @@ func TestNilInstrumentationAllocs(t *testing.T) {
 			t.Fatal("empty trace id wrapped the context")
 		}
 		_ = TraceIDFrom(ctx)
+		// Self-monitoring off: a nil history ring and SLO tracker must be
+		// inert. These are the exact calls cubetreed threads through when
+		// -scrape-interval is 0.
+		hist.Start()
+		hist.Sample()
+		if _, _, ok := hist.LatestSnapshot(); ok {
+			t.Fatal("nil history produced a snapshot")
+		}
+		if _, err := hist.Series("query_total", 0); err != errHistoryDisabled {
+			t.Fatal("nil history Series should fail with the static error")
+		}
+		if _, ok := hist.Sparkline("query_total", 8); ok {
+			t.Fatal("nil history produced a sparkline")
+		}
+		if v := slo.Violations(); v != nil {
+			t.Fatal("nil slo tracker reported violations")
+		}
+		_ = slo.Objectives()
+		hist.Close()
 	})
 	if allocs != 0 {
 		t.Fatalf("nil-sink instrumentation allocates %v per op, want 0", allocs)

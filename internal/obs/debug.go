@@ -22,10 +22,19 @@ import (
 //	/debug/slow                — the slow-query log, newest first; entries
 //	                             tagged with a trace ID carry a trace_link
 //	                             pointing at the filtered /debug/traces view
+//	/debug/history             — the self-monitoring time-series ring: windowed
+//	                             counter rates and histogram percentiles
+//	                             (?metric=&window=), the newest raw snapshot
+//	                             (?latest=1), or a metric index (404 when no
+//	                             History is attached)
+//	/debug/slo                 — burn rate and remaining error budget per
+//	                             objective (404 when no SLO tracker attached)
 //	/debug/pprof/…             — the standard runtime profiles
 //
 // Callers may register additional handlers (e.g. /debug/warehouse) on the
-// returned mux before serving it.
+// returned mux before serving it. The History/SLO sinks are read from the
+// observer at request time without synchronization, so attach them (via
+// StartHistory/SetSLOs) before the mux starts serving.
 func DebugMux(o *Observer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -75,6 +84,20 @@ func DebugMux(o *Observer) *http.ServeMux {
 			threshold = int64(o.Slow.Threshold())
 		}
 		writeJSON(w, map[string]any{"threshold_ns": threshold, "slow_queries": entries})
+	})
+	mux.HandleFunc("/debug/history", func(w http.ResponseWriter, r *http.Request) {
+		var h *History
+		if o != nil {
+			h = o.History
+		}
+		h.ServeHTTP(w, r) // nil-safe: answers 404 when disabled
+	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		var t *SLOTracker
+		if o != nil {
+			t = o.SLO
+		}
+		t.ServeHTTP(w, r) // nil-safe: answers 404 when disabled
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

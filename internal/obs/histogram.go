@@ -150,6 +150,117 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// countsOf rebuilds the dense bucket-count array from a snapshot's sparse
+// bucket list. Every Histogram shares the same log2 bucket boundaries, so the
+// Lo bound alone identifies the bucket index.
+func countsOf(s HistogramSnapshot) (counts [histBuckets]uint64, total uint64) {
+	for _, b := range s.Buckets {
+		i := bucketOf(b.Lo)
+		counts[i] += b.Count
+		total += b.Count
+	}
+	return counts, total
+}
+
+// snapshotFromCounts assembles a HistogramSnapshot from a dense count array,
+// re-deriving percentiles with the same interpolation Observe-side snapshots
+// use. min/max pin the percentile estimates to the known observed range.
+func snapshotFromCounts(counts *[histBuckets]uint64, total uint64, sum, min, max int64) HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = total
+	s.Sum = sum
+	if total == 0 {
+		return s
+	}
+	s.Min = min
+	s.Max = max
+	s.Mean = float64(sum) / float64(total)
+	s.P50 = clamp(quantile(counts, total, 0.50), min, max)
+	s.P95 = clamp(quantile(counts, total, 0.95), min, max)
+	s.P99 = clamp(quantile(counts, total, 0.99), min, max)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{Lo: bucketLo(i), Hi: bucketHi(i), Count: c})
+		}
+	}
+	return s
+}
+
+// MergeHistogramSnapshots folds b into a and returns the combined snapshot,
+// as if every observation behind both had landed in one histogram. All
+// histograms share the log2 bucket grid, so merging is exact at bucket
+// granularity: counts add, sums add, extremes take the wider bound, and
+// percentiles are re-interpolated over the summed buckets. Used to roll
+// per-shard latency histograms up into a fleet view.
+func MergeHistogramSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
+	if a.Count == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	ca, ta := countsOf(a)
+	cb, tb := countsOf(b)
+	for i := range ca {
+		ca[i] += cb[i]
+	}
+	min := a.Min
+	if b.Min < min {
+		min = b.Min
+	}
+	max := a.Max
+	if b.Max > max {
+		max = b.Max
+	}
+	return snapshotFromCounts(&ca, ta+tb, a.Sum+b.Sum, min, max)
+}
+
+// DeltaHistogramSnapshot returns the distribution of observations that landed
+// between two snapshots of the same histogram: later minus earlier, bucket by
+// bucket. The true min/max of the window are unknowable from cumulative
+// snapshots, so the delta's extremes are the bounds of its outermost non-empty
+// buckets. A counter-reset (later < earlier, e.g. process restart) yields an
+// empty snapshot rather than garbage.
+func DeltaHistogramSnapshot(later, earlier HistogramSnapshot) HistogramSnapshot {
+	if earlier.Count == 0 {
+		return later
+	}
+	cl, tl := countsOf(later)
+	ce, te := countsOf(earlier)
+	if tl < te {
+		return HistogramSnapshot{}
+	}
+	var total uint64
+	for i := range cl {
+		if cl[i] < ce[i] {
+			return HistogramSnapshot{}
+		}
+		cl[i] -= ce[i]
+		total += cl[i]
+	}
+	if total == 0 {
+		return HistogramSnapshot{}
+	}
+	sum := later.Sum - earlier.Sum
+	if sum < 0 {
+		sum = 0
+	}
+	min, max := int64(0), int64(0)
+	for i := range cl {
+		if cl[i] > 0 {
+			min = bucketLo(i)
+			break
+		}
+	}
+	for i := histBuckets - 1; i >= 0; i-- {
+		if cl[i] > 0 {
+			max = bucketHi(i) - 1
+			break
+		}
+	}
+	return snapshotFromCounts(&cl, total, sum, min, max)
+}
+
 // clamp pins a bucket-interpolated quantile estimate inside the observed
 // value range: an empty histogram snapshots as all zeros, and a single-sample
 // histogram (min == max) reports that exact sample for every percentile

@@ -1,0 +1,449 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default history geometry: one sample every 10s, 360 samples = 1 hour of
+// lookback. Small enough to keep resident (a few MB for a busy registry),
+// long enough to evaluate 5m/1h SLO windows.
+const (
+	DefaultScrapeInterval  = 10 * time.Second
+	DefaultHistoryCapacity = 360
+)
+
+// HistoryOptions configures a History ring.
+type HistoryOptions struct {
+	// Source produces one registry snapshot per scrape. Usually
+	// Registry.Snapshot; a coordinator passes a fleet-merging source instead.
+	Source func() Snapshot
+	// Interval between background scrapes. Default 10s.
+	Interval time.Duration
+	// Capacity is the ring size in samples. Default 360 (1h at 10s).
+	Capacity int
+}
+
+// Static errors so the nil-History paths stay allocation-free — part of the
+// "disabled monitoring costs nothing" contract pinned by
+// TestNilInstrumentationAllocs.
+var (
+	errHistoryDisabled = errors.New("history disabled")
+	errNoSamples       = errors.New("no samples yet")
+)
+
+// histSample is one ring slot: a full registry snapshot and when it was taken.
+type histSample struct {
+	at   time.Time
+	snap Snapshot
+}
+
+// History is a fixed-size ring of registry snapshots sampled on a cadence by
+// a background scraper goroutine. From consecutive samples it derives what
+// cumulative metrics cannot show: per-window counter rates, windowed
+// histogram percentiles, and gauge trajectories. The hot query path never
+// touches a History — sampling happens on the scraper goroutine, reading the
+// same lock-free metrics any /debug/metrics request reads.
+//
+// A nil *History is a no-op for every method, so callers thread it through
+// unconditionally.
+type History struct {
+	source   func() Snapshot
+	interval time.Duration
+
+	mu   sync.RWMutex
+	ring []histSample
+	head int // next write slot
+	n    int // valid samples, <= len(ring)
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewHistory builds a History ring. It does NOT start the scraper — call
+// Start (and Close on shutdown) explicitly, so tests and short-lived tools
+// never leak goroutines by merely constructing one.
+func NewHistory(opts HistoryOptions) *History {
+	if opts.Source == nil {
+		return nil
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultScrapeInterval
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultHistoryCapacity
+	}
+	return &History{
+		source:   opts.Source,
+		interval: opts.Interval,
+		ring:     make([]histSample, opts.Capacity),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the background scraper. The first sample is taken
+// immediately so /debug/history is never empty after startup. Subsequent
+// calls are no-ops.
+func (h *History) Start() {
+	if h == nil || !h.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(h.done)
+		h.Sample()
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.Sample()
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the scraper and waits for it to exit. Safe on a never-started
+// or nil History.
+func (h *History) Close() {
+	if h == nil {
+		return
+	}
+	h.stopOnce.Do(func() { close(h.stop) })
+	if h.started.Load() {
+		<-h.done
+	}
+}
+
+// Sample takes one snapshot from the source and appends it to the ring. The
+// scraper calls it on its cadence; tests and CI call it directly for
+// deterministic timing. Safe for concurrent use.
+func (h *History) Sample() {
+	if h == nil {
+		return
+	}
+	snap := h.source()
+	at := time.Now()
+	if snap.TakenUnixNS > 0 {
+		at = time.Unix(0, snap.TakenUnixNS)
+	}
+	h.sampleAt(at, snap)
+}
+
+// sampleAt appends one sample with an explicit timestamp (test seam).
+func (h *History) sampleAt(at time.Time, snap Snapshot) {
+	h.mu.Lock()
+	h.ring[h.head] = histSample{at: at, snap: snap}
+	h.head = (h.head + 1) % len(h.ring)
+	if h.n < len(h.ring) {
+		h.n++
+	}
+	h.mu.Unlock()
+}
+
+// Interval returns the scrape cadence.
+func (h *History) Interval() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.interval
+}
+
+// Len returns the number of samples currently held.
+func (h *History) Len() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.n
+}
+
+// samples returns the held samples ordered oldest to newest.
+func (h *History) samples() []histSample {
+	if h == nil {
+		return nil
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]histSample, 0, h.n)
+	start := h.head - h.n
+	if start < 0 {
+		start += len(h.ring)
+	}
+	for i := 0; i < h.n; i++ {
+		out = append(out, h.ring[(start+i)%len(h.ring)])
+	}
+	return out
+}
+
+// LatestSnapshot returns the newest sample, if any.
+func (h *History) LatestSnapshot() (Snapshot, time.Time, bool) {
+	if h == nil {
+		return Snapshot{}, time.Time{}, false
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.n == 0 {
+		return Snapshot{}, time.Time{}, false
+	}
+	i := h.head - 1
+	if i < 0 {
+		i += len(h.ring)
+	}
+	return h.ring[i].snap, h.ring[i].at, true
+}
+
+// SeriesPoint is one derived sample of a metric's time series. Which fields
+// are meaningful depends on the series kind: counters carry Delta/Rate,
+// gauges carry Value, histograms carry Delta/Rate plus windowed percentiles.
+type SeriesPoint struct {
+	UnixMS int64   `json:"t_ms"`
+	Value  float64 `json:"value,omitempty"`
+	Delta  float64 `json:"delta,omitempty"`
+	Rate   float64 `json:"rate,omitempty"`
+	P50    int64   `json:"p50,omitempty"`
+	P95    int64   `json:"p95,omitempty"`
+	P99    int64   `json:"p99,omitempty"`
+	Mean   float64 `json:"mean,omitempty"`
+}
+
+// Series is the windowed time series of one metric, oldest point first.
+type Series struct {
+	Metric  string  `json:"metric"`
+	Kind    string  `json:"kind"` // "counter" | "gauge" | "histogram"
+	WindowS float64 `json:"window_s"`
+	// Cumulative is the newest raw value for counters, so clients can
+	// reconcile the sum of Deltas against the lifetime total.
+	Cumulative uint64        `json:"cumulative,omitempty"`
+	Points     []SeriesPoint `json:"points"`
+}
+
+// Series derives the windowed time series of one metric from the ring.
+// window <= interval pairs adjacent samples (the finest resolution); larger
+// windows stride over the ring, so deltas telescope: the sum of all Deltas in
+// a stride-1 series equals newest cumulative minus oldest cumulative exactly.
+func (h *History) Series(metric string, window time.Duration) (Series, error) {
+	var out Series
+	if h == nil {
+		return out, errHistoryDisabled
+	}
+	samples := h.samples()
+	if len(samples) == 0 {
+		return out, errNoSamples
+	}
+	newest := samples[len(samples)-1].snap
+	kind := ""
+	switch {
+	case contains(newest.Counters, metric):
+		kind = "counter"
+	case contains(newest.Gauges, metric):
+		kind = "gauge"
+	case contains(newest.Histograms, metric):
+		kind = "histogram"
+	default:
+		return out, fmt.Errorf("unknown metric %q", metric)
+	}
+	stride := 1
+	if h.interval > 0 && window > h.interval {
+		stride = int((window + h.interval/2) / h.interval)
+	}
+	out.Metric = metric
+	out.Kind = kind
+	out.WindowS = (time.Duration(stride) * h.interval).Seconds()
+	if kind == "counter" {
+		out.Cumulative = newest.Counters[metric]
+	}
+
+	if kind == "gauge" {
+		// Gauges are instantaneous: one point per stride-th sample.
+		for i := (len(samples) - 1) % stride; i < len(samples); i += stride {
+			out.Points = append(out.Points, SeriesPoint{
+				UnixMS: samples[i].at.UnixMilli(),
+				Value:  float64(samples[i].snap.Gauges[metric]),
+			})
+		}
+		return out, nil
+	}
+
+	// Counters and histograms need a pair of samples per point. Anchor the
+	// newest point at the newest sample and walk backwards in strides.
+	var pts []SeriesPoint
+	for j := len(samples) - 1; j-stride >= 0; j -= stride {
+		later, earlier := samples[j], samples[j-stride]
+		elapsed := later.at.Sub(earlier.at).Seconds()
+		p := SeriesPoint{UnixMS: later.at.UnixMilli()}
+		switch kind {
+		case "counter":
+			lv, ev := later.snap.Counters[metric], earlier.snap.Counters[metric]
+			if lv >= ev {
+				p.Delta = float64(lv - ev)
+			}
+			if elapsed > 0 {
+				p.Rate = p.Delta / elapsed
+			}
+		case "histogram":
+			d := DeltaHistogramSnapshot(later.snap.Histograms[metric], earlier.snap.Histograms[metric])
+			p.Delta = float64(d.Count)
+			if elapsed > 0 {
+				p.Rate = p.Delta / elapsed
+			}
+			p.P50, p.P95, p.P99, p.Mean = d.P50, d.P95, d.P99, d.Mean
+		}
+		pts = append(pts, p)
+	}
+	// Reverse into oldest-first order.
+	for i, j := 0, len(pts)-1; i < j; i, j = i+1, j-1 {
+		pts[i], pts[j] = pts[j], pts[i]
+	}
+	out.Points = pts
+	return out, nil
+}
+
+func contains[V any](m map[string]V, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+
+// Sparkline is a compact recent-history summary of one metric: the last n
+// derived values (counter rate, gauge value, or histogram p99) plus a unicode
+// block rendering, embedded in /debug/warehouse for at-a-glance trends.
+type Sparkline struct {
+	Metric string    `json:"metric"`
+	Kind   string    `json:"kind"`
+	Last   float64   `json:"last"`
+	Points []float64 `json:"points"`
+	Spark  string    `json:"spark"`
+}
+
+// Sparkline summarizes the last n samples of a metric. ok is false when the
+// metric is unknown or the ring has no samples.
+func (h *History) Sparkline(metric string, n int) (Sparkline, bool) {
+	s, err := h.Series(metric, 0)
+	if err != nil {
+		return Sparkline{}, false
+	}
+	vals := make([]float64, 0, len(s.Points))
+	for _, p := range s.Points {
+		switch s.Kind {
+		case "counter":
+			vals = append(vals, p.Rate)
+		case "gauge":
+			vals = append(vals, p.Value)
+		case "histogram":
+			vals = append(vals, float64(p.P99))
+		}
+	}
+	if len(vals) > n && n > 0 {
+		vals = vals[len(vals)-n:]
+	}
+	if len(vals) == 0 {
+		return Sparkline{}, false
+	}
+	return Sparkline{
+		Metric: metric,
+		Kind:   s.Kind,
+		Last:   vals[len(vals)-1],
+		Points: vals,
+		Spark:  SparkString(vals),
+	}, true
+}
+
+// sparkRunes maps a value's fraction of the series maximum to a block glyph.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// SparkString renders values as a unicode sparkline, scaled to the series
+// maximum (an all-zero series renders as a flat baseline).
+func SparkString(vals []float64) string {
+	var max float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if max > 0 && v > 0 {
+			i = int(v / max * float64(len(sparkRunes)-1))
+			if i >= len(sparkRunes) {
+				i = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// historyIndex is the /debug/history response when no metric is selected.
+type historyIndex struct {
+	IntervalS  float64  `json:"interval_s"`
+	Samples    int      `json:"samples"`
+	Capacity   int      `json:"capacity"`
+	SpanS      float64  `json:"span_s"`
+	Counters   []string `json:"counters,omitempty"`
+	Gauges     []string `json:"gauges,omitempty"`
+	Histograms []string `json:"histograms,omitempty"`
+}
+
+// ServeHTTP implements /debug/history:
+//
+//	GET /debug/history                     → index of known metrics + ring geometry
+//	GET /debug/history?metric=M&window=30s → windowed Series for M
+//	GET /debug/history?latest=1            → newest raw snapshot with timestamp
+func (h *History) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h == nil {
+		http.Error(w, `{"error":"history disabled"}`, http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	if q.Get("latest") != "" {
+		snap, at, ok := h.LatestSnapshot()
+		if !ok {
+			http.Error(w, `{"error":"no samples yet"}`, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, struct {
+			AtUnixNS int64    `json:"at_unix_ns"`
+			Snapshot Snapshot `json:"snapshot"`
+		}{at.UnixNano(), snap})
+		return
+	}
+	if metric := q.Get("metric"); metric != "" {
+		window := time.Duration(0)
+		if ws := q.Get("window"); ws != "" {
+			d, err := time.ParseDuration(ws)
+			if err != nil {
+				http.Error(w, fmt.Sprintf(`{"error":"bad window: %v"}`, err), http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		s, err := h.Series(metric, window)
+		if err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, s)
+		return
+	}
+	samples := h.samples()
+	idx := historyIndex{IntervalS: h.interval.Seconds(), Samples: len(samples), Capacity: len(h.ring)}
+	if len(samples) > 0 {
+		idx.SpanS = samples[len(samples)-1].at.Sub(samples[0].at).Seconds()
+		newest := samples[len(samples)-1].snap
+		idx.Counters = sortedKeys(newest.Counters)
+		idx.Gauges = sortedKeys(newest.Gauges)
+		idx.Histograms = sortedKeys(newest.Histograms)
+	}
+	writeJSON(w, idx)
+}

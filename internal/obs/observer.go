@@ -16,6 +16,13 @@ type Observer struct {
 	Tracer   *Tracer
 	Slow     *SlowLog
 
+	// History and SLO are the self-monitoring sinks, attached explicitly via
+	// StartHistory/SetSLOs before the debug mux starts serving (they are read
+	// unsynchronized at request time). Both are optional and nil-safe: no
+	// scraper goroutine ever starts unless asked for.
+	History *History
+	SLO     *SLOTracker
+
 	// Pre-registered query-path metrics.
 	Queries         *Counter   // query_total
 	QueryErrors     *Counter   // query_errors_total
@@ -59,6 +66,35 @@ func New(opts Options) *Observer {
 	o.Batches = reg.Counter("query_batches_total")
 	o.ProfiledQueries = reg.Counter("query_profiled_total")
 	return o
+}
+
+// StartHistory attaches a started History ring to the observer. A nil Source
+// defaults to the observer's own registry; a coordinator passes a
+// fleet-merging source instead. Call Close on the returned History at
+// shutdown. Attach before the debug mux starts serving.
+func (o *Observer) StartHistory(opts HistoryOptions) *History {
+	if o == nil {
+		return nil
+	}
+	if opts.Source == nil {
+		opts.Source = o.Registry.Snapshot
+	}
+	h := NewHistory(opts)
+	h.Start()
+	o.History = h
+	return h
+}
+
+// SetSLOs attaches an SLO tracker evaluating objectives against the
+// observer's history ring (StartHistory must have been called first for the
+// tracker to ever see data). Attach before the debug mux starts serving.
+func (o *Observer) SetSLOs(objectives []Objective) *SLOTracker {
+	if o == nil {
+		return nil
+	}
+	t := NewSLOTracker(o.History, objectives)
+	o.SLO = t
+	return t
 }
 
 // PhaseHistogram returns the latency histogram for one named pipeline phase

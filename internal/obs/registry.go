@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cubetree/internal/pager"
 )
@@ -165,6 +166,10 @@ func (r *Registry) AttachStats(s *pager.Stats) {
 
 // Snapshot is a point-in-time copy of every metric, shaped for JSON.
 type Snapshot struct {
+	// TakenUnixNS stamps when the snapshot was captured (UnixNano). Every
+	// /debug/metrics body carries it, and the history ring relies on it to
+	// order samples that crossed a wire hop.
+	TakenUnixNS int64                              `json:"taken_unix_ns,omitempty"`
 	Counters    map[string]uint64                  `json:"counters,omitempty"`
 	Gauges      map[string]int64                   `json:"gauges,omitempty"`
 	Histograms  map[string]HistogramSnapshot       `json:"histograms,omitempty"`
@@ -181,6 +186,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	s.TakenUnixNS = time.Now().UnixNano()
 	r.mu.Lock()
 	s.Counters = make(map[string]uint64, len(r.counters))
 	for name, c := range r.counters {

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	EnableRuntimeMetrics(reg)
+	s := reg.Snapshot()
+	if s.Gauges["go_goroutines"] < 1 {
+		t.Fatalf("go_goroutines = %d", s.Gauges["go_goroutines"])
+	}
+	if s.Gauges["go_gomaxprocs"] < 1 {
+		t.Fatalf("go_gomaxprocs = %d", s.Gauges["go_gomaxprocs"])
+	}
+	if s.Gauges["go_heap_alloc_bytes"] <= 0 {
+		t.Fatalf("go_heap_alloc_bytes = %d", s.Gauges["go_heap_alloc_bytes"])
+	}
+	for _, name := range []string{
+		"go_heap_sys_bytes", "go_heap_inuse_bytes", "go_heap_objects",
+		"go_stack_inuse_bytes", "go_next_gc_bytes", "go_gc_cycles_total",
+		"go_gc_pause_total_ns", "go_gc_pause_last_ns",
+		"go_sched_latency_p50_ns", "go_sched_latency_p99_ns",
+	} {
+		if _, ok := s.Gauges[name]; !ok {
+			t.Fatalf("missing runtime gauge %s", name)
+		}
+	}
+	// GC accounting moves once a collection has run.
+	runtime.GC()
+	// The cached sampler refreshes at most once per second, so the snapshot
+	// may lag; the gauge set itself is what matters here.
+}
+
+func TestRuntimeSamplerCaches(t *testing.T) {
+	s := newRuntimeSampler()
+	v1 := s.read(func(s *runtimeSampler) int64 { return int64(s.ms.HeapAlloc) })
+	at1 := s.at
+	// An immediate second read must reuse the cached MemStats.
+	s.read(func(s *runtimeSampler) int64 { return int64(s.ms.HeapAlloc) })
+	if !s.at.Equal(at1) {
+		t.Fatal("second read within the interval re-sampled")
+	}
+	if v1 <= 0 {
+		t.Fatalf("heap alloc = %d", v1)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, BuildInfo{
+		GoVersion:    runtime.Version(),
+		PackFormat:   "v2",
+		WireProtocol: "1",
+	})
+	s := reg.Snapshot()
+	fam, ok := s.GaugeVecs["build_info"]
+	if !ok || len(fam.Values) != 1 {
+		t.Fatalf("build_info family = %+v", s.GaugeVecs)
+	}
+	lv := fam.Values[0]
+	if lv.Value != 1 {
+		t.Fatalf("build_info value = %v, want 1", lv.Value)
+	}
+	if lv.Labels[0] != runtime.Version() || lv.Labels[1] != "v2" || lv.Labels[2] != "1" {
+		t.Fatalf("build_info labels = %v", lv.Labels)
+	}
+	if s.Gauges["process_start_time_unix_ns"] != processStart.UnixNano() {
+		t.Fatalf("start time gauge = %d", s.Gauges["process_start_time_unix_ns"])
+	}
+	if _, ok := s.Gauges["process_uptime_seconds"]; !ok {
+		t.Fatal("missing uptime gauge")
+	}
+
+	// The family flows through Prometheus exposition with the cubetree_ prefix.
+	var b strings.Builder
+	WritePrometheus(&b, s)
+	out := b.String()
+	if !strings.Contains(out, "cubetree_build_info{") {
+		t.Fatalf("prometheus output missing build_info:\n%s", out)
+	}
+	if !strings.Contains(out, `pack_format="v2"`) {
+		t.Fatalf("prometheus output missing pack_format label:\n%s", out)
+	}
+	if !strings.Contains(out, "cubetree_process_start_time_unix_ns") {
+		t.Fatalf("prometheus output missing start time:\n%s", out)
+	}
+}
+
+func TestSnapshotTimestamp(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Snapshot()
+	if s.TakenUnixNS <= 0 {
+		t.Fatalf("TakenUnixNS = %d, want stamped", s.TakenUnixNS)
+	}
+	var nilReg *Registry
+	if nilReg.Snapshot().TakenUnixNS != 0 {
+		t.Fatal("nil registry snapshot should not be stamped")
+	}
+}

@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Objective is one service-level objective evaluated over the history ring.
+// Two kinds exist, distinguished by which fields are set:
+//
+//   - Latency: a Target fraction (e.g. 0.99) of Metric's observations must
+//     complete within ThresholdNS, over Window. Metric names a histogram.
+//   - Ratio: the good fraction of TotalMetric must stay >= Target, where
+//     BadMetric counts the bad events. Both name counters.
+//
+// The error budget of either kind is 1 - Target: the fraction of events
+// allowed to be bad before the objective is violated.
+type Objective struct {
+	Name        string        `json:"name"`
+	Metric      string        `json:"metric,omitempty"`
+	ThresholdNS int64         `json:"threshold_ns,omitempty"`
+	BadMetric   string        `json:"bad_metric,omitempty"`
+	GoodMetric  string        `json:"good_metric,omitempty"` // bad = total - good
+	TotalMetric string        `json:"total_metric,omitempty"`
+	Target      float64       `json:"target"`
+	Window      time.Duration `json:"-"`
+	WindowS     float64       `json:"window_s"` // Window in seconds, for JSON
+}
+
+// DefaultObjectives returns the out-of-the-box SLOs cubetreed evaluates when
+// -slo is not given: query p99 under 50ms and query error ratio under 0.1%,
+// both over 5 minutes.
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{
+			Name:        "query-p99-latency",
+			Metric:      "query_latency_ns",
+			ThresholdNS: int64(50 * time.Millisecond),
+			Target:      0.99,
+			Window:      5 * time.Minute,
+		},
+		{
+			Name:        "query-error-ratio",
+			BadMetric:   "query_errors_total",
+			TotalMetric: "query_total",
+			Target:      0.999,
+			Window:      5 * time.Minute,
+		},
+	}
+}
+
+// ParseObjectives parses the -slo flag syntax: a comma- or semicolon-
+// separated list of clauses, each either
+//
+//	p99 query_latency_ns < 50ms over 5m          (latency objective)
+//	query_errors_total/query_total < 0.1% over 5m (bad-ratio objective)
+//	query_ok_total/query_total > 99.9% over 5m    (good-ratio objective)
+//
+// The percentile (p50..p99.9) sets the latency Target; ratio targets may be
+// written as percentages or fractions. "over <window>" is optional and
+// defaults to 5m.
+func ParseObjectives(spec string) ([]Objective, error) {
+	var objs []Objective
+	for _, clause := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ';' }) {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		obj, err := parseObjective(clause)
+		if err != nil {
+			return nil, fmt.Errorf("slo clause %q: %w", clause, err)
+		}
+		objs = append(objs, obj)
+	}
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("empty slo spec")
+	}
+	return objs, nil
+}
+
+func parseObjective(clause string) (Objective, error) {
+	var o Objective
+	o.Window = 5 * time.Minute
+
+	fields := strings.Fields(clause)
+	// Peel a trailing "over <window>".
+	if n := len(fields); n >= 2 && fields[n-2] == "over" {
+		d, err := time.ParseDuration(fields[n-1])
+		if err != nil {
+			return o, fmt.Errorf("bad window: %w", err)
+		}
+		o.Window = d
+		fields = fields[:n-2]
+	}
+
+	if len(fields) == 4 && strings.HasPrefix(fields[0], "p") {
+		// Latency: p<q> <histogram> < <duration>
+		q, err := strconv.ParseFloat(fields[0][1:], 64)
+		if err != nil || q <= 0 || q >= 100 {
+			return o, fmt.Errorf("bad percentile %q", fields[0])
+		}
+		if fields[2] != "<" && fields[2] != "<=" {
+			return o, fmt.Errorf("latency objective needs '<', got %q", fields[2])
+		}
+		d, err := time.ParseDuration(fields[3])
+		if err != nil {
+			return o, fmt.Errorf("bad threshold: %w", err)
+		}
+		o.Metric = fields[1]
+		o.Target = q / 100
+		o.ThresholdNS = int64(d)
+		o.Name = fmt.Sprintf("%s-%s-%s", fields[0], fields[1], fields[3])
+		return o, nil
+	}
+
+	if len(fields) == 3 && strings.Contains(fields[0], "/") {
+		// Ratio: <bad>/<total> < x%   or   <good>/<total> > y%
+		num, total, _ := strings.Cut(fields[0], "/")
+		if num == "" || total == "" {
+			return o, fmt.Errorf("ratio objective needs numerator/total counters")
+		}
+		frac, err := parseFraction(fields[2])
+		if err != nil {
+			return o, err
+		}
+		switch fields[1] {
+		case "<", "<=":
+			// Numerator counts bad events, bounded above: budget is the bound.
+			o.BadMetric = num
+			o.Target = 1 - frac
+		case ">", ">=":
+			// Numerator counts good events, bounded below (the "non-5xx
+			// ratio > 99.9%" shape): bad = total - good at evaluation time.
+			o.GoodMetric = num
+			o.Target = frac
+		default:
+			return o, fmt.Errorf("ratio objective needs '<' or '>', got %q", fields[1])
+		}
+		o.TotalMetric = total
+		o.Name = fmt.Sprintf("%s-ratio", num)
+		return o, nil
+	}
+
+	return o, fmt.Errorf("unrecognized objective shape")
+}
+
+// parseFraction accepts "0.1%", "99.9%", or a bare fraction like "0.001".
+func parseFraction(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad ratio %q: %w", s, err)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("ratio %q out of [0,1]", s)
+	}
+	return v, nil
+}
+
+// SLOWindow is the evaluation of one objective over one time window.
+type SLOWindow struct {
+	WindowS float64 `json:"window_s"` // actual span evaluated, may be shorter than asked
+	Samples int     `json:"samples"`
+	Total   float64 `json:"events"`
+	Bad     float64 `json:"bad_events"`
+	// BadRatio is Bad/Total; BurnRate is BadRatio divided by the error
+	// budget (1-Target): burn 1.0 consumes the budget exactly at the
+	// sustainable pace, >1 means the objective is burning.
+	BadRatio        float64 `json:"bad_ratio"`
+	BurnRate        float64 `json:"burn_rate"`
+	BudgetRemaining float64 `json:"budget_remaining"` // 1 - consumed fraction; negative when overspent
+	NoData          bool    `json:"no_data,omitempty"`
+}
+
+// SLOStatus is one objective's current evaluation over its own window (Short)
+// and the long window (Long, the full ring span capped at 1h-equivalent).
+type SLOStatus struct {
+	Objective
+	Short   SLOWindow `json:"short"`
+	Long    SLOWindow `json:"long"`
+	Burning bool      `json:"burning"`
+}
+
+// SLOReport is the /debug/slo body.
+type SLOReport struct {
+	TakenUnixMS int64       `json:"taken_unix_ms"`
+	Objectives  []SLOStatus `json:"objectives"`
+	Violations  []string    `json:"violations,omitempty"`
+}
+
+// SLOTracker evaluates objectives against a history ring on demand. It holds
+// no state of its own beyond configuration, so evaluation is always
+// consistent with what /debug/history shows. Nil-safe.
+type SLOTracker struct {
+	history    *History
+	objectives []Objective
+	longWindow time.Duration
+}
+
+// NewSLOTracker builds a tracker over h. Empty objectives default to
+// DefaultObjectives.
+func NewSLOTracker(h *History, objectives []Objective) *SLOTracker {
+	if len(objectives) == 0 {
+		objectives = DefaultObjectives()
+	}
+	for i := range objectives {
+		objectives[i].WindowS = objectives[i].Window.Seconds()
+	}
+	return &SLOTracker{history: h, objectives: objectives, longWindow: time.Hour}
+}
+
+// Objectives returns the configured objectives.
+func (t *SLOTracker) Objectives() []Objective {
+	if t == nil {
+		return nil
+	}
+	return t.objectives
+}
+
+// Evaluate computes burn rate and remaining budget for every objective.
+func (t *SLOTracker) Evaluate() SLOReport {
+	var rep SLOReport
+	if t == nil {
+		return rep
+	}
+	samples := t.history.samples()
+	if len(samples) > 0 {
+		rep.TakenUnixMS = samples[len(samples)-1].at.UnixMilli()
+	}
+	for _, obj := range t.objectives {
+		st := SLOStatus{Objective: obj}
+		st.Short = evalWindow(obj, samples, obj.Window)
+		st.Long = evalWindow(obj, samples, t.longWindow)
+		st.Burning = !st.Short.NoData && st.Short.BurnRate > 1
+		if st.Burning {
+			rep.Violations = append(rep.Violations, obj.Name)
+		}
+		rep.Objectives = append(rep.Objectives, st)
+	}
+	return rep
+}
+
+// Violations returns the names of currently-burning objectives, for /healthz.
+func (t *SLOTracker) Violations() []string {
+	if t == nil {
+		return nil
+	}
+	return t.Evaluate().Violations
+}
+
+// evalWindow evaluates one objective over the trailing window: it pairs the
+// newest sample with the oldest sample no older than the window (or the
+// oldest held, when the ring is younger than the window) and computes bad vs
+// total events from the cumulative deltas between them.
+func evalWindow(obj Objective, samples []histSample, window time.Duration) SLOWindow {
+	var w SLOWindow
+	if len(samples) < 2 {
+		w.NoData = true
+		w.BudgetRemaining = 1
+		return w
+	}
+	newest := samples[len(samples)-1]
+	// Find the oldest sample within the window of the newest; tolerate half a
+	// scrape interval of slack so a ring that exactly spans the window keeps
+	// its oldest sample.
+	cutoff := newest.at.Add(-window)
+	earliest := samples[0]
+	for _, s := range samples {
+		if !s.at.Before(cutoff) {
+			earliest = s
+			break
+		}
+		earliest = s
+	}
+	if earliest.at.Equal(newest.at) && len(samples) >= 2 {
+		earliest = samples[len(samples)-2]
+	}
+	w.WindowS = newest.at.Sub(earliest.at).Seconds()
+	for _, s := range samples {
+		if !s.at.Before(earliest.at) && !s.at.After(newest.at) {
+			w.Samples++
+		}
+	}
+
+	var total, bad float64
+	if obj.ThresholdNS > 0 {
+		d := DeltaHistogramSnapshot(newest.snap.Histograms[obj.Metric], earliest.snap.Histograms[obj.Metric])
+		total = float64(d.Count)
+		bad = countAbove(d, obj.ThresholdNS)
+	} else {
+		tl, te := newest.snap.Counters[obj.TotalMetric], earliest.snap.Counters[obj.TotalMetric]
+		if tl >= te {
+			total = float64(tl - te)
+		}
+		if obj.GoodMetric != "" {
+			gl, ge := newest.snap.Counters[obj.GoodMetric], earliest.snap.Counters[obj.GoodMetric]
+			var good float64
+			if gl >= ge {
+				good = float64(gl - ge)
+			}
+			if bad = total - good; bad < 0 {
+				bad = 0
+			}
+		} else {
+			bl, be := newest.snap.Counters[obj.BadMetric], earliest.snap.Counters[obj.BadMetric]
+			if bl >= be {
+				bad = float64(bl - be)
+			}
+		}
+	}
+	w.Total, w.Bad = total, bad
+	if total == 0 {
+		// No traffic in the window: nothing burned, full budget intact.
+		w.NoData = true
+		w.BudgetRemaining = 1
+		return w
+	}
+	w.BadRatio = bad / total
+	budget := 1 - obj.Target
+	if budget <= 0 {
+		budget = 1e-9 // a 100% target has no budget; any bad event burns hard
+	}
+	w.BurnRate = w.BadRatio / budget
+	w.BudgetRemaining = 1 - w.BurnRate
+	return w
+}
+
+// countAbove estimates how many observations in a (delta) histogram snapshot
+// exceeded the threshold, interpolating linearly within the bucket the
+// threshold falls into — the same approximation the quantile extraction uses,
+// so SLO verdicts and reported percentiles agree.
+func countAbove(d HistogramSnapshot, threshold int64) float64 {
+	var above float64
+	for _, b := range d.Buckets {
+		switch {
+		case b.Lo >= threshold:
+			above += float64(b.Count)
+		case b.Hi <= threshold:
+			// entirely below
+		default:
+			frac := float64(b.Hi-threshold) / float64(b.Hi-b.Lo)
+			above += frac * float64(b.Count)
+		}
+	}
+	return above
+}
+
+// ServeHTTP implements /debug/slo.
+func (t *SLOTracker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if t == nil {
+		http.Error(w, `{"error":"slo tracking disabled"}`, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, t.Evaluate())
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestParseObjectives(t *testing.T) {
+	objs, err := ParseObjectives("p99 query_latency_ns < 50ms over 5m, query_errors_total/query_total < 0.1% over 1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("objs = %d", len(objs))
+	}
+	lat := objs[0]
+	if lat.Metric != "query_latency_ns" || lat.ThresholdNS != int64(50*time.Millisecond) ||
+		lat.Target != 0.99 || lat.Window != 5*time.Minute {
+		t.Fatalf("latency objective = %+v", lat)
+	}
+	ratio := objs[1]
+	if ratio.BadMetric != "query_errors_total" || ratio.TotalMetric != "query_total" ||
+		ratio.Window != time.Hour {
+		t.Fatalf("ratio objective = %+v", ratio)
+	}
+	if got, want := ratio.Target, 0.999; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("ratio target = %v, want %v", got, want)
+	}
+
+	// Good-ratio form: numerator counts good events.
+	objs, err = ParseObjectives("query_ok_total/query_total > 99.9%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objs[0].GoodMetric != "query_ok_total" || objs[0].Window != 5*time.Minute {
+		t.Fatalf("good-ratio objective = %+v", objs[0])
+	}
+	if got := objs[0].Target; got < 0.999-1e-9 || got > 0.999+1e-9 {
+		t.Fatalf("good-ratio target = %v", got)
+	}
+
+	// Fractional percentile and bare-fraction target.
+	objs, err = ParseObjectives("p99.9 query_latency_ns < 1s; query_errors_total/query_total < 0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := objs[0].Target; got < 0.999-1e-9 || got > 0.999+1e-9 {
+		t.Fatalf("p99.9 target = %v", got)
+	}
+
+	for _, bad := range []string{
+		"",
+		"p99 query_latency_ns",
+		"p99 query_latency_ns > 50ms",
+		"pzz query_latency_ns < 50ms",
+		"p99 query_latency_ns < fifty",
+		"a/b = 5%",
+		"a/b < 150%",
+		"p99 m < 50ms over soon",
+		"just words here now",
+	} {
+		if _, err := ParseObjectives(bad); err == nil {
+			t.Fatalf("ParseObjectives(%q) should fail", bad)
+		}
+	}
+}
+
+// burnHistory builds a two-sample history where the window between samples
+// carries n observations of latency v into query_latency_ns, errs of
+// query_errors_total, and n of query_total.
+func burnHistory(t *testing.T, n int, v int64, errs uint64) *History {
+	t.Helper()
+	reg := NewRegistry()
+	hist := reg.Histogram("query_latency_ns")
+	total := reg.Counter("query_total")
+	bad := reg.Counter("query_errors_total")
+	h := NewHistory(HistoryOptions{Source: reg.Snapshot, Interval: 10 * time.Second, Capacity: 8})
+	base := time.Now().Add(-time.Minute)
+	h.sampleAt(base, reg.Snapshot())
+	for i := 0; i < n; i++ {
+		hist.Observe(v)
+		total.Inc()
+	}
+	bad.Add(errs)
+	h.sampleAt(base.Add(10*time.Second), reg.Snapshot())
+	return h
+}
+
+func TestSLOHealthyAndBurning(t *testing.T) {
+	// Healthy: all observations at 1ms, no errors.
+	tr := NewSLOTracker(burnHistory(t, 1000, int64(time.Millisecond), 0), nil)
+	rep := tr.Evaluate()
+	if len(rep.Objectives) != 2 {
+		t.Fatalf("objectives = %d, want 2 defaults", len(rep.Objectives))
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("healthy report has violations: %v", rep.Violations)
+	}
+	for _, st := range rep.Objectives {
+		if st.Burning || st.Short.BurnRate > 1 {
+			t.Fatalf("healthy objective burning: %+v", st)
+		}
+		if st.Short.NoData {
+			t.Fatalf("healthy objective reports no_data: %+v", st)
+		}
+		if st.Short.BudgetRemaining <= 0 {
+			t.Fatalf("healthy budget = %v", st.Short.BudgetRemaining)
+		}
+	}
+
+	// Burning: every observation at 200ms (over the 50ms p99 objective) and
+	// half the queries erroring.
+	tr = NewSLOTracker(burnHistory(t, 1000, int64(200*time.Millisecond), 500), nil)
+	rep = tr.Evaluate()
+	if len(rep.Violations) != 2 {
+		t.Fatalf("violations = %v, want both defaults burning", rep.Violations)
+	}
+	for _, st := range rep.Objectives {
+		if !st.Burning || st.Short.BurnRate <= 1 {
+			t.Fatalf("objective should burn: %+v", st)
+		}
+		if st.Short.BudgetRemaining >= 0 {
+			t.Fatalf("burning budget remaining = %v, want negative", st.Short.BudgetRemaining)
+		}
+	}
+	if v := tr.Violations(); len(v) != 2 {
+		t.Fatalf("Violations() = %v", v)
+	}
+}
+
+func TestSLONoData(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistory(HistoryOptions{Source: reg.Snapshot, Interval: time.Second, Capacity: 4})
+	tr := NewSLOTracker(h, nil)
+	rep := tr.Evaluate()
+	for _, st := range rep.Objectives {
+		if !st.Short.NoData || st.Burning {
+			t.Fatalf("empty history should be no_data, got %+v", st)
+		}
+		if st.Short.BudgetRemaining != 1 {
+			t.Fatalf("no-data budget = %v, want 1", st.Short.BudgetRemaining)
+		}
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("no-data violations = %v", rep.Violations)
+	}
+
+	// Samples but zero traffic in the window: still no_data, not burning.
+	h.sampleAt(time.Now().Add(-10*time.Second), reg.Snapshot())
+	h.sampleAt(time.Now(), reg.Snapshot())
+	for _, st := range tr.Evaluate().Objectives {
+		if !st.Short.NoData || st.Burning {
+			t.Fatalf("zero-traffic window should be no_data, got %+v", st)
+		}
+	}
+}
+
+func TestSLOGoodRatioObjective(t *testing.T) {
+	reg := NewRegistry()
+	good := reg.Counter("ok_total")
+	total := reg.Counter("req_total")
+	h := NewHistory(HistoryOptions{Source: reg.Snapshot, Interval: time.Second, Capacity: 4})
+	base := time.Now().Add(-time.Minute)
+	h.sampleAt(base, reg.Snapshot())
+	total.Add(1000)
+	good.Add(900) // 90% good against a 99.9% objective: burning hard
+	h.sampleAt(base.Add(time.Second), reg.Snapshot())
+
+	objs, err := ParseObjectives("ok_total/req_total > 99.9% over 5m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewSLOTracker(h, objs).Evaluate()
+	st := rep.Objectives[0]
+	if st.Short.Bad != 100 || st.Short.Total != 1000 {
+		t.Fatalf("good-ratio window = %+v", st.Short)
+	}
+	if !st.Burning {
+		t.Fatalf("90%% good vs 99.9%% target should burn: %+v", st)
+	}
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var tr *SLOTracker
+	if v := tr.Violations(); v != nil {
+		t.Fatalf("nil tracker violations = %v", v)
+	}
+	if rep := tr.Evaluate(); len(rep.Objectives) != 0 {
+		t.Fatal("nil tracker evaluated objectives")
+	}
+	rec := httptest.NewRecorder()
+	tr.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil tracker handler = %d, want 404", rec.Code)
+	}
+}
+
+func TestSLOHandler(t *testing.T) {
+	tr := NewSLOTracker(burnHistory(t, 100, int64(time.Millisecond), 0), nil)
+	rec := httptest.NewRecorder()
+	tr.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	if rec.Code != 200 {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	var rep SLOReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Objectives) != 2 {
+		t.Fatalf("handler objectives = %d", len(rep.Objectives))
+	}
+	for _, st := range rep.Objectives {
+		if st.Name == "" || st.WindowS == 0 {
+			t.Fatalf("objective missing identity: %+v", st)
+		}
+	}
+}
+
+func TestCountAbove(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(100) // bucket [64,128)
+	}
+	s := h.Snapshot()
+	if got := countAbove(s, 128); got != 0 {
+		t.Fatalf("countAbove(128) = %v, want 0", got)
+	}
+	if got := countAbove(s, 64); got != 100 {
+		t.Fatalf("countAbove(64) = %v, want 100", got)
+	}
+	// Threshold mid-bucket: linear interpolation gives half.
+	if got := countAbove(s, 96); got != 50 {
+		t.Fatalf("countAbove(96) = %v, want 50", got)
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"cubetree/internal/obs"
+)
+
+func getHealth(t *testing.T, url string) (int, HealthStatus) {
+	t.Helper()
+	res, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var hs HealthStatus
+	if err := json.NewDecoder(res.Body).Decode(&hs); err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, hs
+}
+
+// /healthz without an SLO tracker: structured ok body, generation included.
+func TestHealthzStructuredBody(t *testing.T) {
+	store := &fakeStore{}
+	store.gen.Store(7)
+	_, ts := newTestServer(t, store, Config{})
+	code, hs := getHealth(t, ts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if hs.Status != "ok" || hs.Generation != store.Generation() || len(hs.Violations) != 0 {
+		t.Fatalf("health = %+v (store generation %d)", hs, store.Generation())
+	}
+}
+
+// sloTrackerWith builds a two-sample history carrying n query observations of
+// latency v between the samples, wrapped in a default-objective tracker.
+func sloTrackerWith(n int, v time.Duration) *obs.SLOTracker {
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("query_latency_ns")
+	total := reg.Counter("query_total")
+	h := obs.NewHistory(obs.HistoryOptions{Source: reg.Snapshot, Interval: time.Second, Capacity: 8})
+	h.Sample()
+	for i := 0; i < n; i++ {
+		hist.ObserveDuration(v)
+		total.Inc()
+	}
+	h.Sample()
+	return obs.NewSLOTracker(h, nil)
+}
+
+// A healthy SLO tracker leaves /healthz at "ok"; a burning one degrades the
+// body to "degraded" with the violated objectives — and the code stays 200,
+// because liveness must not flap with latency.
+func TestHealthzDegradesOnSLOBurn(t *testing.T) {
+	_, ts := newTestServer(t, &fakeStore{}, Config{SLO: sloTrackerWith(500, time.Millisecond)})
+	code, hs := getHealth(t, ts.URL)
+	if code != http.StatusOK || hs.Status != "ok" {
+		t.Fatalf("healthy tracker: code %d health %+v", code, hs)
+	}
+
+	_, ts = newTestServer(t, &fakeStore{}, Config{SLO: sloTrackerWith(500, 500*time.Millisecond)})
+	code, hs = getHealth(t, ts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("degraded /healthz code = %d, must stay 200", code)
+	}
+	if hs.Status != "degraded" || len(hs.Violations) == 0 {
+		t.Fatalf("health = %+v, want degraded with violations", hs)
+	}
+	found := false
+	for _, v := range hs.Violations {
+		if v == "query-p99-latency" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v, want query-p99-latency", hs.Violations)
+	}
+}

@@ -57,6 +57,16 @@ type ProfiledStore interface {
 	QueryProfiledCtx(ctx context.Context, q workload.Query, prof *workload.QueryProfile) ([]workload.Row, error)
 }
 
+// HealthStatus is /healthz's body. The endpoint always answers 200 — it is
+// liveness — but the body distinguishes a healthy process from one burning
+// an SLO ("degraded", with the violated objective names).
+type HealthStatus struct {
+	Status     string   `json:"status"` // "ok" | "degraded"
+	Generation int      `json:"generation"`
+	Draining   bool     `json:"draining,omitempty"`
+	Violations []string `json:"violations,omitempty"`
+}
+
 // Config tunes the server. The zero value of every field has a production
 // default; only Store is required.
 type Config struct {
@@ -93,6 +103,11 @@ type Config struct {
 	// Obs, when set, registers the server_* metric families on its
 	// registry and counts every admission decision. Optional.
 	Obs *obs.Observer
+	// SLO, when set, feeds /healthz: burning objectives degrade the health
+	// body to {"status":"degraded","violations":[...]} while keeping the
+	// 200 code — /healthz is liveness, and a process serving slow queries
+	// is alive. Optional.
+	SLO *obs.SLOTracker
 	// Debug, when set, is mounted at /debug/ so one port serves queries,
 	// the debug endpoints, and Prometheus exposition. Optional.
 	Debug http.Handler
@@ -212,9 +227,18 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/query", s.recovered(s.handleQuery))
 	mux.HandleFunc("/views", s.recovered(s.handleViews))
 	mux.HandleFunc("/admin/refresh", s.recovered(s.handleRefresh))
+	// /healthz is liveness with content: always 200 (a process burning its
+	// latency budget is degraded, not dead — restarting it would only make
+	// things worse), but the body is structured so monitors can assert on
+	// status and surface the burning objectives.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		st := HealthStatus{Status: "ok", Generation: s.store.Generation(), Draining: s.draining.Load()}
+		if v := s.cfg.SLO.Violations(); len(v) > 0 {
+			st.Status = "degraded"
+			st.Violations = v
+		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Write([]byte(`{"status":"ok"}` + "\n"))
+		json.NewEncoder(w).Encode(st)
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.draining.Load() {

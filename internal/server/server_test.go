@@ -387,9 +387,18 @@ func TestDrainShedsNewWorkAndWaitsForInflight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Liveness stays 200 through a drain, and the structured body says the
+	// process is alive-but-draining.
+	var hs HealthStatus
+	if err := json.NewDecoder(res.Body).Decode(&hs); err != nil {
+		t.Fatal(err)
+	}
 	res.Body.Close()
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("/healthz during drain = %d, want 200", res.StatusCode)
+	}
+	if hs.Status != "ok" || !hs.Draining {
+		t.Fatalf("/healthz during drain = %+v, want ok+draining", hs)
 	}
 
 	select {

@@ -88,5 +88,18 @@ func BenchmarkObsOverhead(b *testing.B) {
 		s.Forest.SetObserver(obs.New(obs.Options{SlowThreshold: time.Second}))
 		runProfiled(b)
 	})
+	// Full self-monitoring: runtime collector registered, history scraper
+	// running at the production cadence, SLO tracker attached. All of that
+	// work happens on the scraper goroutine at snapshot time, so the bar is
+	// the same as plain "observed" — identical allocs/op on the query path.
+	b.Run("observed-monitored", func(b *testing.B) {
+		o := obs.New(obs.Options{SlowThreshold: time.Second})
+		obs.EnableRuntimeMetrics(o.Registry)
+		h := o.StartHistory(obs.HistoryOptions{Interval: obs.DefaultScrapeInterval})
+		defer h.Close()
+		o.SetSLOs(nil)
+		s.Forest.SetObserver(o)
+		run(b)
+	})
 	s.Forest.SetObserver(nil)
 }
